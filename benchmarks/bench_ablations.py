@@ -1,0 +1,51 @@
+"""Ablations for the design directions discussed in paper §6.
+
+* duplicate-adaptive batch sizing ("tune batch size based on duplicates");
+* per-VABlock driver parallelism (predicted to be workload-imbalanced);
+* asynchronous CPU unmapping off the fault path;
+* enlarged prefetch scope beyond one VABlock.
+"""
+
+from repro.analysis.experiments import (
+    ablation_async_unmap,
+    ablation_driver_parallel,
+    ablation_dup_adaptive,
+    ablation_prefetch_scope,
+)
+
+
+def bench_ablation_dup_adaptive(run_once, record_result):
+    result = run_once(ablation_dup_adaptive)
+    record_result(result)
+    fixed = result.data["fixed 256"]
+    adaptive = result.data["duplicate-adaptive"]
+    # The naive §6 policy backfires: shrinking batches on duplicates costs
+    # more batches (Fig 9's lesson) — a negative result worth keeping.
+    assert adaptive["batches"] != fixed["batches"]
+
+
+def bench_ablation_driver_parallel(run_once, record_result):
+    result = run_once(ablation_driver_parallel)
+    record_result(result)
+    gs = result.data["gauss-seidel (2.3 blk/batch)"]
+    rnd = result.data["Random (many blk/batch)"]
+    # §6's prediction: block-local workloads can't use VABlock parallelism;
+    # block-spread workloads can.
+    assert gs[8] < 2.5
+    assert rnd[8] > gs[8]
+    assert rnd[8] > 2.0
+
+
+def bench_ablation_async_unmap(run_once, record_result):
+    result = run_once(ablation_async_unmap)
+    record_result(result)
+    assert result.data["speedup"] > 1.3
+
+
+def bench_ablation_prefetch_scope(run_once, record_result):
+    result = run_once(ablation_prefetch_scope)
+    record_result(result)
+    # Wider scope eliminates further batches...
+    assert result.data[4]["batches"] < result.data[1]["batches"]
+    # ...but cannot remove the compulsory per-block costs (modest time gain).
+    assert result.data[4]["batch_time"] > 0.5 * result.data[1]["batch_time"]

@@ -1,0 +1,17 @@
+"""Figure 1: access latency of the abstracted unified space.
+
+Paper: UVM access latency is one or more orders of magnitude above explicit
+direct management, and oversubscription is far worse still.
+Reproduced shape: explicit < UVM in-core < UVM oversubscribed, with the UVM
+rows several times the explicit baseline (see EXPERIMENTS.md for the
+magnitude discussion).
+"""
+
+from repro.analysis.experiments import fig01_latency
+
+
+def bench_fig01_access_latency(run_once, record_result):
+    result = run_once(fig01_latency)
+    record_result(result)
+    assert result.data["uvm_slowdown"] > 2.0
+    assert result.data["oversub_slowdown"] > result.data["uvm_slowdown"] * 1.5

@@ -1,0 +1,18 @@
+"""Figure 3: faults of vector addition as a relative time series.
+
+Paper: the first batch contains exactly 56 faults — all 32 vector-A reads
+and 24 of the 32 vector-B reads (the per-µTLB outstanding-fault cap) — and
+no write executes until all 64 prerequisite reads are fulfilled.
+"""
+
+from repro.analysis.experiments import fig03_vecadd_batches
+
+
+def bench_fig03_vecadd_batches(run_once, record_result):
+    result = run_once(fig03_vecadd_batches)
+    record_result(result)
+    assert result.data["first_batch_size"] == 56
+    comp0 = result.data["composition"][0]
+    assert comp0 == {"A": 32, "B": 24, "C": 0}
+    # Writes (C pages) never appear before batch 2.
+    assert result.data["composition"][1]["C"] == 0

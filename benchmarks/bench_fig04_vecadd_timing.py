@@ -1,0 +1,19 @@
+"""Figure 4: vector-add faults with real-time buffer-arrival timestamps.
+
+Paper: faults clustered tightly vertically always indicate a batch; faults
+from the same warp happen in rapid succession, and the full batch servicing
+time is short relative to the inter-batch spacing.
+"""
+
+from repro.analysis.experiments import fig04_vecadd_timing
+
+
+def bench_fig04_vecadd_timing(run_once, record_result):
+    result = run_once(fig04_vecadd_timing)
+    record_result(result)
+    # Arrival spans are small next to servicing time (tight clusters).
+    assert result.data["mean_span_over_service"] < 0.5
+    spans = result.data["arrival_spans"]
+    services = result.data["service_times"]
+    assert all(s >= 0 for s in spans)
+    assert all(sv > 0 for sv in services)

@@ -1,0 +1,17 @@
+"""Figure 6: best fit of batch time vs data migrated per application.
+
+Paper: average batch cost rises linearly with the amount of data moved for
+all applications, with app-dependent slope and high variance.
+"""
+
+from repro.analysis.experiments import fig06_data_movement
+
+
+def bench_fig06_data_movement(run_once, record_result):
+    result = run_once(fig06_data_movement)
+    record_result(result)
+    for name, fit in result.data.items():
+        assert fit.slope > 0, f"{name} batch cost must rise with bytes moved"
+    # Slopes are app-dependent: a clear spread across applications.
+    slopes = sorted(f.slope for f in result.data.values())
+    assert slopes[-1] > 1.5 * slopes[0]

@@ -1,0 +1,29 @@
+"""Figure 8: batch sizes in time series, raw vs duplicates removed.
+
+Paper: sgemm is far more complex than stream — its batching shows "phases"
+over time — and filtering duplicates greatly alters the average batch size
+for both applications.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig08_dedup_timeseries
+
+
+def bench_fig08_dedup_timeseries(run_once, record_result):
+    result = run_once(fig08_dedup_timeseries)
+    record_result(result)
+    for name in ("stream", "sgemm"):
+        raw = np.array(result.data[name]["raw"])
+        uniq = np.array(result.data[name]["unique"])
+        # Dedup shrinks batches materially.
+        assert uniq.mean() < 0.8 * raw.mean(), name
+    # sgemm's dedup impact exceeds stream's (panel sharing).
+    assert (
+        result.data["sgemm"]["summary"].dup_fraction
+        > result.data["stream"]["summary"].dup_fraction
+    )
+    # sgemm's batch-size series swings over a wider absolute range
+    # ("phases") than stream's steady profile.
+    spread = lambda xs: np.std(xs)
+    assert spread(result.data["sgemm"]["unique"]) > spread(result.data["stream"]["unique"])

@@ -1,0 +1,26 @@
+"""Figure 9: batch-size policy evaluation (sgemm).
+
+Paper: performance correlates strongly with batch size — larger caps mean
+fewer batches and better runtime despite higher duplicate rates — with
+diminishing returns past ~1024 (the per-window fault-generation ceiling).
+"""
+
+from repro.analysis.experiments import fig09_batch_size
+
+
+def bench_fig09_batch_size(run_once, record_result):
+    result = run_once(fig09_batch_size)
+    record_result(result)
+    data = result.data
+    # Fewer batches at every size step.
+    assert data[512]["batches"] < data[256]["batches"]
+    assert data[1024]["batches"] <= data[512]["batches"]
+    # Better (or equal) time despite more duplicates per batch.
+    assert data[2048]["batch_time"] < data[256]["batch_time"]
+    assert data[2048]["dup_fraction"] >= data[256]["dup_fraction"] - 0.05
+    # Diminishing returns: the 1024→2048 gain is smaller than 256→512.
+    gain_small = data[256]["batch_time"] - data[512]["batch_time"]
+    gain_large = data[1024]["batch_time"] - data[2048]["batch_time"]
+    assert gain_large < gain_small * 1.5
+    # Unique faults per batch are generation-limited, far below the cap.
+    assert data[2048]["unique_per_batch"] < 2048 / 4

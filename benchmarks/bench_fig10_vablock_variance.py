@@ -1,0 +1,16 @@
+"""Figure 10: batch time vs migration size, coloured by VABlock count.
+
+Paper: for batches with similar migration sizes, touching more VABlocks
+incurs higher cost — each block in a batch is a distinct processing step.
+"""
+
+from repro.analysis.experiments import fig10_vablock_variance
+
+
+def bench_fig10_vablock_variance(run_once, record_result):
+    result = run_once(fig10_vablock_variance)
+    record_result(result)
+    # The multi-block workloads show a positive per-block cost residual.
+    positive = [name for name, fit in result.data.items() if fit.slope > 0]
+    assert "Regular" in positive or "Random" in positive
+    assert len(positive) >= len(result.data) / 2

@@ -1,0 +1,19 @@
+"""Figure 11: HPGMG with single- vs multithreaded host initialization.
+
+Paper: disabling host multithreading roughly doubles performance; the
+difference is CPU page unmapping on the fault path, whose cost is inflated
+by first-touch mappings spread across many cores (TLB shootdowns).
+"""
+
+from repro.analysis.experiments import fig11_hpgmg_unmap
+
+
+def bench_fig11_hpgmg_unmap(run_once, record_result):
+    result = run_once(fig11_hpgmg_unmap)
+    record_result(result)
+    assert result.data["slowdown"] > 1.5
+    assert (
+        result.data[64]["unmap_fraction_mean"]
+        > 2 * result.data[1]["unmap_fraction_mean"]
+    )
+    assert result.data[64]["unmap_fraction_max"] > 0.4

@@ -1,0 +1,24 @@
+"""Figure 12: sgemm under oversubscription and eviction.
+
+Paper: many batches execute before memory fills without evicting; batches
+containing evictions pay to fail the allocation, migrate a VABlock back,
+and restart the migration — costs stratified by the eviction count.
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import fig12_sgemm_oversub
+
+
+def bench_fig12_sgemm_oversub(run_once, record_result):
+    result = run_once(fig12_sgemm_oversub)
+    record_result(result)
+    data = result.data
+    assert data["total_evictions"] > 0
+    assert 0 in data, "most batches must not evict"
+    evicting_counts = [k for k in data if isinstance(k, int) and k > 0]
+    assert evicting_counts
+    # Eviction batches cost more, monotonically in eviction count (means).
+    base = data[0]["mean"]
+    for k in evicting_counts:
+        assert data[k]["mean"] > base

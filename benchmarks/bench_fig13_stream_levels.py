@@ -1,0 +1,25 @@
+"""Figure 13: stream under oversubscription — cost "levels".
+
+Paper: batches with the same eviction count land on multiple cost levels;
+the lower level has near-zero CPU-unmapping time because a block that was
+evicted and paged back in is not CPU-mapped and skips
+unmap_mapping_range().
+"""
+
+from repro.analysis.experiments import fig13_stream_levels
+
+
+def bench_fig13_stream_levels(run_once, record_result):
+    result = run_once(fig13_stream_levels)
+    record_result(result)
+    data = result.data
+    # The level mechanism: evicting batches split into an unmap-free
+    # population (blocks paged back in after eviction) and an unmap-paying
+    # one (first GPU touch of CPU-mapped blocks).
+    assert data["unmap_free_evicting"] > 0
+    assert data["unmap_paying_evicting"] > 0
+    # Where an eviction count shows multiple duration levels, they are
+    # clearly separated.
+    for k, levels in data.items():
+        if isinstance(k, int) and len(levels) >= 2:
+            assert levels[-1][0] > 1.5 * levels[0][0]

@@ -1,0 +1,17 @@
+"""Figure 14: batch profiles of sgemm with prefetching enabled.
+
+Paper: prefetching reduces the number of batches by ~93 %; the remaining
+high-cost outliers are the compulsory VABlock DMA-state batches (per-page
+DMA mappings plus radix-tree inserts), up to ~64 % of batch time.
+"""
+
+from repro.analysis.experiments import fig14_prefetch_sgemm
+
+
+def bench_fig14_prefetch_sgemm(run_once, record_result):
+    result = run_once(fig14_prefetch_sgemm)
+    record_result(result)
+    assert result.data["batch_reduction"] > 0.75
+    assert result.data[True]["batch_time"] < result.data[False]["batch_time"]
+    # DMA-state creation dominates some prefetch-era batches.
+    assert result.data[True]["dma_fraction_max"] > 0.3

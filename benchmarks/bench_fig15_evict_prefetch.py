@@ -1,0 +1,22 @@
+"""Figure 15: dgemm with eviction + prefetching combined.
+
+Paper: four batch populations coexist — prefetch-enlarged migrations,
+evicting batches, CPU-unmapping batches, and intermittent DMA-state setup —
+and the cost relationships from the isolated studies still hold.
+"""
+
+from repro.analysis.experiments import fig15_evict_prefetch
+
+
+def bench_fig15_evict_prefetch(run_once, record_result):
+    result = run_once(fig15_evict_prefetch)
+    record_result(result)
+    for population in (
+        "prefetching (pages_prefetched > 0)",
+        "evicting (evictions > 0)",
+        "CPU unmapping (unmap_calls > 0)",
+        "DMA-state setup (new_dma_blocks > 0)",
+    ):
+        assert result.data[population] > 0, population
+    # DMA setup is intermittent, not universal.
+    assert result.data["DMA-state setup (new_dma_blocks > 0)"] <= result.data["total_batches"]

@@ -1,0 +1,24 @@
+"""Figure 16: Gauss-Seidel case study at ~16 % oversubscription.
+
+Paper: eviction creates new opportunities for prefetching (freshly paged-in
+VABlocks re-trigger it); fault behaviour shows contiguous batches allocating
+and evicting similar large page ranges; LRU evicts the earliest-allocated
+pages first.
+"""
+
+from repro.analysis.experiments import fig16_gauss_seidel_case
+
+
+def bench_fig16_gauss_seidel_case(run_once, record_result):
+    result = run_once(fig16_gauss_seidel_case)
+    record_result(result)
+    assert result.data["evictions"] > 10
+    assert sum(result.data["prefetch_series"]) > 0
+    # LRU banding: the first quarter of evictions target early-allocated
+    # blocks (small allocation ranks).
+    assert result.data["lru_median_rank_fraction"] < 0.6
+    # Prefetching keeps occurring after evictions begin (the interplay).
+    evicts = result.data["evict_series"]
+    prefetch = result.data["prefetch_series"]
+    first_evict = next(i for i, e in enumerate(evicts) if e > 0)
+    assert any(p > 0 for p in prefetch[first_evict:])

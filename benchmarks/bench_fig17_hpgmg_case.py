@@ -1,0 +1,21 @@
+"""Figure 17: HPGMG case study at ~25 % oversubscription.
+
+Paper: the setup phase produces few faults; intensive prefetching and
+increasing evictions coincide in several segments; the LRU replacement
+policy manifests as earliest-allocated eviction bands.
+"""
+
+from repro.analysis.experiments import fig17_hpgmg_case
+
+
+def bench_fig17_hpgmg_case(run_once, record_result):
+    result = run_once(fig17_hpgmg_case)
+    record_result(result)
+    assert result.data["evictions"] > 10
+    assert len(result.data["segments"]) >= 1
+    assert result.data["lru_median_rank_fraction"] < 0.6
+    # Prefetch and eviction activity overlap in time (§5.4's coincidence).
+    evicts = result.data["evict_series"]
+    prefetch = result.data["prefetch_series"]
+    overlap = sum(1 for e, p in zip(evicts, prefetch) if e > 0 and p > 0)
+    assert overlap > 0

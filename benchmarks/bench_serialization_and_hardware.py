@@ -1,0 +1,33 @@
+"""§6 claim benches: driver serialization and hardware (in)sensitivity.
+
+* ``ablation_faster_interconnect`` — "improvements to basic hardware ...
+  would still improve performance but would not resolve the underlying
+  issues": even a free wire recovers only a few percent of batch time.
+* ``fig_pointer_chase`` — the serialization endpoint: dependent accesses
+  ship one fault per batch and pay a full driver round trip per page.
+"""
+
+from repro.analysis.experiments import (
+    ablation_faster_interconnect,
+    fig_pointer_chase,
+)
+
+
+def bench_ablation_faster_interconnect(run_once, record_result):
+    result = run_once(ablation_faster_interconnect)
+    record_result(result)
+    ideal = result.data["ideal-interconnect"]["speedup"]
+    nvlink = result.data["power9-nvlink2"]["speedup"]
+    # Faster links help a little...
+    assert 1.0 < nvlink <= ideal
+    # ...but even a free wire cannot fix the fault path (§6).
+    assert ideal < 1.4
+
+
+def bench_fig_pointer_chase(run_once, record_result):
+    result = run_once(fig_pointer_chase)
+    record_result(result)
+    # Fully dependent chase: exactly one fault per batch.
+    assert result.data["chase_batches"] == 256
+    # Per-page cost is an order of magnitude above the streaming case.
+    assert result.data["serialization_penalty"] > 5

@@ -1,0 +1,26 @@
+"""Table 3: VABlock source statistics in a batch.
+
+Paper ordering: Random touches by far the most VABlocks per batch (~1
+fault/block), Regular is next (many independent SM regions), applications
+cluster low (2-7 blocks/batch) with stencils the most block-local.
+"""
+
+from repro.analysis.experiments import tab03_vablock_stats
+
+
+def bench_tab03_vablock_stats(run_once, record_result):
+    result = run_once(tab03_vablock_stats)
+    record_result(result)
+    data = result.data
+    # Random >> Regular >> apps in blocks/batch.
+    assert data["Random"].vablocks_per_batch > data["Regular"].vablocks_per_batch
+    assert data["Regular"].vablocks_per_batch > 10
+    for app in ("sgemm", "stream", "gauss-seidel", "hpgmg"):
+        assert data[app].vablocks_per_batch < 8, app
+    # Random has ~no locality: faults/VABlock near 1.
+    assert data["Random"].faults_per_vablock.mean < 3
+    # Stencils are the most block-local (many faults per block).
+    assert data["gauss-seidel"].faults_per_vablock.mean > data["Random"].faults_per_vablock.mean
+    # Per-block workload is highly imbalanced for apps (the §6 argument
+    # against naive per-VABlock driver parallelism).
+    assert data["gauss-seidel"].faults_per_vablock.std > 5

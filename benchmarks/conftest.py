@@ -1,0 +1,43 @@
+"""Benchmark harness helpers.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures: the
+benchmark measures the end-to-end experiment (simulation + analysis), the
+rendered rows/series are printed and archived under ``benchmarks/results/``,
+and shape assertions pin the paper's qualitative findings.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Print an ExperimentResult and archive it under benchmarks/results/."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{result.exp_id}.txt").write_text(text)
+        print("\n" + text)
+        return result
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Working with the instrumented batch log, like the paper's tooling.
+
+The paper's modified driver logs per-batch metadata "to the system log at
+the end of each batch" and analyzes it offline.  This example runs a
+workload, persists the batch log as JSONL, reloads it, and computes the
+paper's statistics from the file — the full offline-analysis loop.
+
+Run:
+    python examples/batch_log_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import BatchLog, UvmSystem, default_config
+from repro.analysis.fits import fit_time_vs_bytes
+from repro.analysis.report import ascii_table, format_usec_stats
+from repro.analysis.stats import duplicate_summary, per_sm_stats, vablock_stats
+from repro.units import MB, fmt_bytes
+from repro.workloads import CuFft
+
+
+def main() -> None:
+    system = UvmSystem(default_config(prefetch_enabled=False))
+    result = CuFft(nbytes=32 * MB).run(system)
+
+    # --- persist the "driver log" ------------------------------------------
+    log_path = Path(tempfile.gettempdir()) / "uvm_repro_cufft_batches.jsonl"
+    result.batch_log().to_jsonl(log_path)
+    print(f"wrote {result.num_batches} batch records to {log_path}")
+
+    # --- offline analysis from the file only -------------------------------
+    log = BatchLog.from_jsonl(log_path)
+    records = log.records
+
+    sm = per_sm_stats(records, num_sms=system.config.gpu.num_sms)
+    vb = vablock_stats(records)
+    dup = duplicate_summary(records)
+    fit, _, _ = fit_time_vs_bytes(records)
+
+    rows = [
+        ["batches", len(records)],
+        ["total faults (raw)", log.total_faults_raw],
+        ["total faults (unique)", log.total_faults_unique],
+        ["duplicate fraction", f"{dup.dup_fraction:.0%}"],
+        ["  type 1 (same µTLB)", dup.dup_same_utlb],
+        ["  type 2 (cross µTLB)", dup.dup_cross_utlb],
+        ["avg faults/SM/batch (Tab 2)", f"{sm.mean:.2f}"],
+        ["VABlocks/batch (Tab 3)", f"{vb.vablocks_per_batch:.2f}"],
+        ["faults/VABlock (Tab 3)", f"{vb.faults_per_vablock.mean:.2f}"],
+        ["bytes migrated", fmt_bytes(log.total_bytes_h2d)],
+        ["cost slope (Fig 6)", f"{fit.slope * MB:.0f} us/MB"],
+        ["batch durations", format_usec_stats([r.duration for r in records])],
+    ]
+    print()
+    print(ascii_table(["metric", "value"], rows, title="cufft batch-log analysis:"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""GEMM under UVM: real numerics + batch profiles across memory regimes.
+
+Computes a blocked matrix product *numerically* (validated against NumPy)
+while simulating the identical tile traversal through the UVM stack in
+three regimes the paper studies:
+
+1. in-core, prefetching off   (§4's baseline fault path)
+2. in-core, prefetching on    (Fig 14's batch elimination)
+3. oversubscribed, prefetch on (Fig 12/15's eviction interplay)
+
+Run:
+    python examples/gemm_oversubscription.py
+"""
+
+import numpy as np
+
+from repro import UvmSystem, default_config
+from repro.apps.gemm import blocked_gemm
+from repro.analysis.report import ascii_table
+from repro.units import MB, fmt_bytes, fmt_usec
+from repro.workloads import Sgemm
+
+
+def run_regime(label, n, prefetch, gpu_mem_mb):
+    config = default_config(prefetch_enabled=prefetch)
+    config.gpu.memory_bytes = gpu_mem_mb * MB
+    system = UvmSystem(config)
+    result = Sgemm(n=n, tile=256).run(system)
+    recs = result.records
+    return [
+        label,
+        result.num_batches,
+        fmt_usec(result.batch_time_usec),
+        fmt_usec(result.kernel_time_usec),
+        sum(r.evictions for r in recs),
+        fmt_bytes(sum(r.bytes_h2d for r in recs)),
+    ]
+
+
+def main() -> None:
+    # --- the numbers themselves -------------------------------------------
+    n_numeric = 256
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n_numeric, n_numeric)).astype(np.float32)
+    b = rng.standard_normal((n_numeric, n_numeric)).astype(np.float32)
+    c = blocked_gemm(a, b, tile=64)
+    err = float(np.max(np.abs(c - a @ b)))
+    print(f"blocked GEMM vs numpy reference: max |error| = {err:.2e}")
+    assert err < 1e-3
+
+    # --- the paging profiles ----------------------------------------------
+    n = 1536  # 3 x 9.4 MiB matrices
+    rows = [
+        run_regime("in-core, prefetch off", n, prefetch=False, gpu_mem_mb=64),
+        run_regime("in-core, prefetch on", n, prefetch=True, gpu_mem_mb=64),
+        run_regime("oversubscribed (~175%), prefetch on", n, prefetch=True, gpu_mem_mb=16),
+    ]
+    print()
+    print(
+        ascii_table(
+            ["regime", "batches", "batch time", "kernel time", "evictions", "migrated"],
+            rows,
+            title=f"sgemm n={n} through the simulated UVM stack:",
+        )
+    )
+    print(
+        "\nPrefetching collapses the batch count (Fig 14); oversubscription"
+        "\nbrings eviction churn and its restart/migrate-back costs (Fig 12)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Host-OS interaction study: how CPU-side parallelization hurts GPU faults.
+
+Reproduces the Fig 11 phenomenon on the multigrid workload: initializing
+the grids with one host thread vs. one-per-core changes *GPU* fault
+performance by ~2x, because `unmap_mapping_range()` on the fault path has
+to shoot down TLB entries on every core that first-touched a page.
+
+Also demonstrates the §6 ablation: performing the unmapping asynchronously
+off the fault path recovers the loss.
+
+Run:
+    python examples/stencil_host_interaction.py
+"""
+
+import numpy as np
+
+from repro import UvmSystem, default_config
+from repro.analysis.report import ascii_table
+from repro.apps.multigrid import MultigridPoisson
+from repro.units import fmt_usec
+from repro.workloads import Hpgmg
+
+
+def run_case(host_threads: int, async_unmap: bool = False):
+    config = default_config(prefetch_enabled=True, async_unmap=async_unmap)
+    config.host.num_threads = host_threads
+    system = UvmSystem(config)
+    result = Hpgmg(n=1024, levels=3, cycles=2).run(system)
+    recs = [r for r in result.records if r.duration > 0]
+    unmap_frac = float(np.mean([r.unmap_fraction for r in recs])) if recs else 0.0
+    return result, unmap_frac
+
+
+def main() -> None:
+    # --- the solver itself is real math ------------------------------------
+    rng = np.random.default_rng(0)
+    f = rng.standard_normal((64, 64))
+    _, history = MultigridPoisson(levels=3).solve(f, cycles=2)
+    print(
+        "multigrid V-cycles contract the residual: "
+        + " -> ".join(f"{h:.2f}" for h in history)
+    )
+
+    # --- Fig 11: host threading vs fault performance -----------------------
+    rows = []
+    base, _ = run_case(host_threads=1)
+    for label, threads, async_unmap in [
+        ("1 host thread", 1, False),
+        ("64 host threads (OpenMP default)", 64, False),
+        ("64 host threads + async unmap (§6)", 64, True),
+    ]:
+        result, unmap_frac = run_case(threads, async_unmap)
+        rows.append(
+            [
+                label,
+                fmt_usec(result.kernel_time_usec),
+                f"{result.kernel_time_usec / base.kernel_time_usec:.2f}x",
+                "(off fault path)" if async_unmap else f"{unmap_frac:.0%}",
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            ["configuration", "kernel time", "vs 1 thread", "mean unmap share"],
+            rows,
+            title="HPGMG V-cycles: host first-touch threading vs GPU fault cost:",
+        )
+    )
+    print(
+        "\nMultithreaded first-touch spreads PTEs across cores; the driver's"
+        "\nunmap_mapping_range() calls on the fault path pay for the TLB"
+        "\nshootdowns (Fig 11).  Moving unmaps off the fault path (§6)"
+        "\nrecovers the single-threaded performance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` on offline hosts without
+the `wheel` package (pip falls back to `setup.py develop`).  All metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

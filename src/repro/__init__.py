@@ -1,0 +1,45 @@
+"""uvm-repro: a reproduction of "In-Depth Analyses of Unified Virtual Memory
+System for GPU Accelerated Computing" (Allen & Ge, SC '21).
+
+The package simulates the full UVM stack — GPU fault generation hardware,
+the nvidia-uvm driver's batch servicing path, and the host-OS components on
+the fault path — with per-batch instrumentation equivalent to the paper's
+modified driver, plus the workloads, analyses, and benchmarks that
+regenerate every table and figure in the paper's evaluation.
+
+Quick start::
+
+    from repro import UvmSystem, default_config
+    from repro.workloads import StreamTriad
+
+    system = UvmSystem(default_config())
+    result = StreamTriad(nbytes=8 << 20).run(system)
+    print(result.num_batches, result.batch_time_usec)
+"""
+
+from .api import ManagedAllocation, RunResult, UvmSystem
+from .config import DriverConfig, GpuConfig, HostConfig, SystemConfig, default_config
+from .core.batch_record import BatchRecord
+from .core.instrumentation import BatchLog
+from .gpu.warp import KernelLaunch, Phase, WarpProgram
+from .sim.engine import LaunchResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UvmSystem",
+    "ManagedAllocation",
+    "RunResult",
+    "LaunchResult",
+    "SystemConfig",
+    "GpuConfig",
+    "DriverConfig",
+    "HostConfig",
+    "default_config",
+    "BatchRecord",
+    "BatchLog",
+    "KernelLaunch",
+    "Phase",
+    "WarpProgram",
+    "__version__",
+]

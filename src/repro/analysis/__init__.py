@@ -1,0 +1,44 @@
+"""Analysis tooling: the statistics, fits, and renderers behind every
+table and figure, plus canned experiment runners (`repro.analysis.experiments`).
+"""
+
+from .stats import (
+    SummaryStats,
+    per_sm_stats,
+    vablock_stats,
+    duplicate_summary,
+    batch_size_summary,
+)
+from .fits import LinearFit, fit_time_vs_bytes
+from .timeseries import batch_series, eviction_groups, moving_mean, split_levels
+from .report import ascii_table, ascii_hist, format_usec_stats
+from .breakdown import cost_breakdown, host_os_share, render_breakdown, wire_share
+from .export import export_batch_timeline, export_scatter, export_sm_histogram
+from .traces import FaultTrace, capture_trace, replay
+
+__all__ = [
+    "SummaryStats",
+    "per_sm_stats",
+    "vablock_stats",
+    "duplicate_summary",
+    "batch_size_summary",
+    "LinearFit",
+    "fit_time_vs_bytes",
+    "batch_series",
+    "eviction_groups",
+    "moving_mean",
+    "split_levels",
+    "ascii_table",
+    "ascii_hist",
+    "format_usec_stats",
+    "cost_breakdown",
+    "host_os_share",
+    "render_breakdown",
+    "wire_share",
+    "export_batch_timeline",
+    "export_scatter",
+    "export_sm_histogram",
+    "FaultTrace",
+    "capture_trace",
+    "replay",
+]

@@ -1,0 +1,104 @@
+"""A/B comparison of driver configurations over one workload.
+
+The paper's methodology is comparative: the same workload under two driver
+configurations (prefetch on/off, batch caps, host threading), attributing
+the delta to fault-path components.  :func:`compare_configs` packages that
+workflow: it runs a workload factory under two configurations and reports
+totals plus the per-component cost deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..api import RunResult, UvmSystem
+from ..config import SystemConfig
+from ..units import fmt_usec
+from .breakdown import COMPONENTS, cost_breakdown
+from .report import ascii_table
+
+
+@dataclass
+class ComparisonRow:
+    """One metric compared across the two runs."""
+
+    metric: str
+    a: float
+    b: float
+
+    @property
+    def ratio(self) -> float:
+        return self.a / self.b if self.b else float("inf")
+
+
+@dataclass
+class Comparison:
+    """Outcome of an A/B configuration comparison."""
+
+    label_a: str
+    label_b: str
+    result_a: RunResult
+    result_b: RunResult
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [
+                    row.metric,
+                    fmt_usec(row.a) if "time" in row.metric else f"{row.a:.0f}",
+                    fmt_usec(row.b) if "time" in row.metric else f"{row.b:.0f}",
+                    f"{row.ratio:.2f}x" if row.b else "-",
+                ]
+            )
+        return ascii_table(
+            ["metric", self.label_a, self.label_b, "A/B"],
+            table_rows,
+            title=f"{self.label_a} vs {self.label_b}",
+        )
+
+    def metric(self, name: str) -> ComparisonRow:
+        for row in self.rows:
+            if row.metric == name:
+                return row
+        raise KeyError(name)
+
+
+def compare_configs(
+    workload_factory: Callable,
+    config_a: SystemConfig,
+    config_b: SystemConfig,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> Comparison:
+    """Run ``workload_factory()`` under both configs and compare.
+
+    The factory is called once per run so workloads with internal state
+    (seeded data structures) are rebuilt identically.
+    """
+    results = []
+    for config in (config_a, config_b):
+        system = UvmSystem(config)
+        results.append(workload_factory().run(system))
+    result_a, result_b = results
+
+    comparison = Comparison(label_a, label_b, result_a, result_b)
+    rows = comparison.rows
+    rows.append(ComparisonRow("batches", result_a.num_batches, result_b.num_batches))
+    rows.append(ComparisonRow("faults (raw)", result_a.total_faults, result_b.total_faults))
+    rows.append(
+        ComparisonRow("batch time", result_a.batch_time_usec, result_b.batch_time_usec)
+    )
+    rows.append(
+        ComparisonRow("kernel time", result_a.kernel_time_usec, result_b.kernel_time_usec)
+    )
+    shares_a = {s.attr: s.total_usec for s in cost_breakdown(result_a.records)}
+    shares_b = {s.attr: s.total_usec for s in cost_breakdown(result_b.records)}
+    for attr, label in COMPONENTS:
+        if shares_a.get(attr, 0.0) or shares_b.get(attr, 0.0):
+            rows.append(
+                ComparisonRow(f"time: {label}", shares_a.get(attr, 0.0), shares_b.get(attr, 0.0))
+            )
+    return comparison

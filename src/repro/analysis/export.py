@@ -1,0 +1,92 @@
+"""Figure-data export: CSV series for external plotting.
+
+The benchmark harness prints ASCII renderings; for publication-quality
+plots, these helpers dump the exact (x, y, series) data each figure uses as
+CSV — dependency-free, loadable by pandas/matplotlib/gnuplot alike.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from ..core.batch_record import BatchRecord
+
+PathLike = Union[str, Path]
+
+
+def write_csv(path: PathLike, header: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    """Write rows to ``path``; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def export_batch_timeline(records: Iterable[BatchRecord], path: PathLike) -> Path:
+    """Per-batch series behind Figs 8/12-17: one row per batch."""
+    header = [
+        "batch_id",
+        "t_start_usec",
+        "duration_usec",
+        "faults_raw",
+        "faults_unique",
+        "vablocks",
+        "bytes_h2d",
+        "pages_prefetched",
+        "evictions",
+        "unmap_usec",
+        "dma_usec",
+        "transfer_usec",
+        "hinted",
+    ]
+    rows = [
+        [
+            r.batch_id,
+            f"{r.t_start:.3f}",
+            f"{r.duration:.3f}",
+            r.num_faults_raw,
+            r.num_faults_unique,
+            r.num_vablocks,
+            r.bytes_h2d,
+            r.pages_prefetched,
+            r.evictions,
+            f"{r.time_unmap:.3f}",
+            f"{r.time_dma:.3f}",
+            f"{r.time_transfer_h2d + r.time_transfer_d2h:.3f}",
+            int(r.hinted),
+        ]
+        for r in records
+    ]
+    return write_csv(path, header, rows)
+
+
+def export_scatter(
+    records: Iterable[BatchRecord],
+    path: PathLike,
+    x: str = "bytes_h2d",
+    y: str = "duration",
+) -> Path:
+    """Two-column scatter (Fig 6/10-style): any two record attributes or
+    properties by name."""
+    rows = []
+    for r in records:
+        rows.append([getattr(r, x), getattr(r, y)])
+    return write_csv(path, [x, y], rows)
+
+
+def export_sm_histogram(records: Iterable[BatchRecord], path: PathLike) -> Path:
+    """Per-SM fault totals across a run (Table 2's raw material)."""
+    totals: Dict[int, int] = {}
+    for r in records:
+        if r.sm_fault_counts is None:
+            continue
+        for sm, count in enumerate(r.sm_fault_counts):
+            totals[sm] = totals.get(sm, 0) + int(count)
+    rows = sorted(totals.items())
+    return write_csv(path, ["sm_id", "total_faults"], rows)

@@ -1,0 +1,90 @@
+"""Least-squares fits: batch cost vs. data moved (Fig 6) and friends.
+
+Figure 6 plots, per application, the best-fit line of batch servicing time
+against bytes migrated: the paper's point is that every app's cost rises
+*linearly* with data moved but with app-specific slope and high variance —
+data movement "sets the trend" without being the dominant term (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..core.batch_record import BatchRecord
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y = slope * x + intercept with goodness-of-fit."""
+
+    slope: float
+    intercept: float
+    r2: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(x: Iterable[float], y: Iterable[float]) -> LinearFit:
+    """Ordinary least squares fit of ``y`` on ``x``.
+
+    >>> fit = linear_fit([0, 1, 2], [1, 3, 5])
+    >>> round(fit.slope, 6), round(fit.intercept, 6), round(fit.r2, 6)
+    (2.0, 1.0, 1.0)
+    """
+    xa = np.asarray(list(x), dtype=float)
+    ya = np.asarray(list(y), dtype=float)
+    if xa.size != ya.size:
+        raise ValueError("x and y must have equal length")
+    if xa.size < 2 or np.allclose(xa, xa[0]):
+        return LinearFit(0.0, float(ya.mean()) if ya.size else 0.0, 0.0, int(xa.size))
+    slope, intercept = np.polyfit(xa, ya, 1)
+    pred = slope * xa + intercept
+    ss_res = float(np.sum((ya - pred) ** 2))
+    ss_tot = float(np.sum((ya - ya.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(float(slope), float(intercept), r2, int(xa.size))
+
+
+def fit_time_vs_bytes(
+    records: Iterable[BatchRecord],
+    include_zero_migration: bool = False,
+) -> Tuple[LinearFit, np.ndarray, np.ndarray]:
+    """Fig 6 fit: batch duration (µs) vs bytes migrated host→device.
+
+    Returns the fit plus the (bytes, duration) samples used.
+    """
+    xs, ys = [], []
+    for r in records:
+        if r.bytes_h2d == 0 and not include_zero_migration:
+            continue
+        xs.append(float(r.bytes_h2d))
+        ys.append(r.duration)
+    x = np.asarray(xs)
+    y = np.asarray(ys)
+    return linear_fit(x, y), x, y
+
+
+def fit_time_vs_blocks(records: Iterable[BatchRecord]) -> LinearFit:
+    """Fig 10 companion: batch duration vs VABlocks touched."""
+    recs = [r for r in records if r.num_vablocks > 0]
+    return linear_fit([r.num_vablocks for r in recs], [r.duration for r in recs])
+
+
+def partial_fit_blocks_given_bytes(
+    records: Iterable[BatchRecord],
+) -> Optional[LinearFit]:
+    """Fig 10's claim, isolated: regress duration residual (after removing
+    the bytes trend) on VABlock count.  A positive slope means more blocks
+    cost more *at the same migration size*."""
+    recs = [r for r in records if r.bytes_h2d > 0]
+    if len(recs) < 3:
+        return None
+    base, x, y = fit_time_vs_bytes(recs)
+    residuals = y - np.array([base.predict(v) for v in x])
+    blocks = [r.num_vablocks for r in recs]
+    return linear_fit(blocks, residuals)

@@ -1,0 +1,89 @@
+"""Plain-text rendering: tables, histograms, and series for the benches.
+
+The benchmark harness prints "the same rows/series the paper reports";
+these helpers keep that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..units import fmt_usec
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render an aligned text table.
+
+    >>> print(ascii_table(["a", "b"], [[1, 2]]))  # doctest: +NORMALIZE_WHITESPACE
+    a | b
+    --+--
+    1 | 2
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_hist(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """Text histogram with proportional bars."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return f"{label}: (no data)"
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [label] if label else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * max(0, round(width * c / peak))
+        lines.append(f"[{lo:12.2f}, {hi:12.2f}) {c:6d} {bar}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 60,
+    height_chars: str = " .:-=+*#%@",
+    label: str = "",
+) -> str:
+    """One-line density strip of a series (coarse time-series view)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return f"{label}: (no data)"
+    # Downsample to `width` buckets by mean.
+    idx = np.linspace(0, arr.size, width + 1).astype(int)
+    buckets = [arr[a:b].mean() if b > a else 0.0 for a, b in zip(idx[:-1], idx[1:])]
+    lo, hi = min(buckets), max(buckets)
+    span = (hi - lo) or 1.0
+    chars = [
+        height_chars[min(len(height_chars) - 1, int((v - lo) / span * (len(height_chars) - 1)))]
+        for v in buckets
+    ]
+    prefix = f"{label} " if label else ""
+    return f"{prefix}[{lo:.1f}..{hi:.1f}] |{''.join(chars)}|"
+
+
+def format_usec_stats(values: Sequence[float]) -> str:
+    """'mean / p50 / p95 / max' summary of durations in human units."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return "(no data)"
+    return (
+        f"mean={fmt_usec(float(arr.mean()))} p50={fmt_usec(float(np.percentile(arr, 50)))} "
+        f"p95={fmt_usec(float(np.percentile(arr, 95)))} max={fmt_usec(float(arr.max()))}"
+    )

@@ -1,0 +1,99 @@
+"""Time-series utilities for batch profiles (Figs 8, 12, 13, 15, 16, 17)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.batch_record import BatchRecord
+
+
+def batch_series(records: Iterable[BatchRecord], field: str) -> np.ndarray:
+    """Extract a per-batch series by attribute/property name.
+
+    >>> # batch_series(records, "num_faults_raw") etc.
+    """
+    return np.asarray([getattr(r, field) for r in records], dtype=float)
+
+
+def moving_mean(series: Sequence[float], window: int) -> np.ndarray:
+    """Simple moving average (shrinks at the edges).
+
+    >>> moving_mean([1, 2, 3, 4], 2).tolist()
+    [1.0, 1.5, 2.5, 3.5]
+    """
+    arr = np.asarray(series, dtype=float)
+    if window <= 1 or arr.size == 0:
+        return arr
+    out = np.empty_like(arr)
+    csum = np.cumsum(arr)
+    for i in range(arr.size):
+        lo = max(0, i - window + 1)
+        total = csum[i] - (csum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def eviction_groups(records: Iterable[BatchRecord]) -> Dict[int, List[BatchRecord]]:
+    """Batches grouped by their eviction count (Fig 12/13 colouring)."""
+    groups: Dict[int, List[BatchRecord]] = defaultdict(list)
+    for r in records:
+        groups[r.evictions].append(r)
+    return dict(groups)
+
+
+def split_levels(
+    durations: Sequence[float],
+    gap_factor: float = 1.8,
+) -> List[Tuple[float, int]]:
+    """Detect cost "levels": clusters of batch durations separated by gaps.
+
+    Figure 13 shows batches with the *same* eviction count landing on
+    distinct duration levels (unmap paid vs. skipped).  This sorts the
+    durations and starts a new level wherever a value exceeds the previous
+    by more than ``gap_factor``×.  Returns ``(level mean, member count)``
+    pairs, cheapest level first.
+
+    >>> split_levels([1.0, 1.1, 5.0, 5.2])
+    [(1.05, 2), (5.1, 2)]
+    """
+    vals = sorted(float(v) for v in durations)
+    if not vals:
+        return []
+    levels: List[List[float]] = [[vals[0]]]
+    for v in vals[1:]:
+        if levels[-1] and v > levels[-1][-1] * gap_factor and v - levels[-1][-1] > 1e-9:
+            levels.append([v])
+        else:
+            levels[-1].append(v)
+    return [(float(np.mean(level)), len(level)) for level in levels]
+
+
+def phase_segments(
+    series: Sequence[float],
+    threshold: float,
+    min_len: int = 2,
+) -> List[Tuple[int, int]]:
+    """Contiguous index ranges where ``series`` exceeds ``threshold``.
+
+    Used for the Fig 17 observation of ~four intensive prefetch/eviction
+    segments: returns ``[(start, stop), ...]`` half-open ranges.
+
+    >>> phase_segments([0, 5, 6, 0, 0, 7, 8, 9], threshold=1)
+    [(1, 3), (5, 8)]
+    """
+    segments: List[Tuple[int, int]] = []
+    start = None
+    for i, v in enumerate(series):
+        if v > threshold:
+            if start is None:
+                start = i
+        else:
+            if start is not None and i - start >= min_len:
+                segments.append((start, i))
+            start = None
+    if start is not None and len(series) - start >= min_len:
+        segments.append((start, len(series)))
+    return segments

@@ -1,0 +1,35 @@
+"""Real-numerics applications driven through the managed-memory API.
+
+Each app implements its algorithm *from scratch* with NumPy (verifiable
+against library references) using the same blocking/sweep structure as its
+:mod:`repro.workloads` access-pattern model, and runs both together: the
+numbers come out of the math, the batch profile comes out of the simulated
+UVM stack servicing the same traversal.
+"""
+
+from .managed_compute import ManagedArray, ManagedAppResult
+from .gemm import blocked_gemm, run_managed_gemm
+from .triad import triad, run_managed_triad
+from .fft import iterative_fft, run_managed_fft
+from .gauss_seidel import gauss_seidel_poisson, run_managed_gauss_seidel
+from .multigrid import MultigridPoisson, run_managed_multigrid
+from .graph import bfs_distances, csr_spmv, run_managed_bfs, run_managed_spmv
+
+__all__ = [
+    "ManagedArray",
+    "ManagedAppResult",
+    "blocked_gemm",
+    "run_managed_gemm",
+    "triad",
+    "run_managed_triad",
+    "iterative_fft",
+    "run_managed_fft",
+    "gauss_seidel_poisson",
+    "run_managed_gauss_seidel",
+    "MultigridPoisson",
+    "run_managed_multigrid",
+    "bfs_distances",
+    "csr_spmv",
+    "run_managed_bfs",
+    "run_managed_spmv",
+]

@@ -1,0 +1,72 @@
+"""Glue between NumPy data and managed allocations.
+
+:class:`ManagedArray` pairs a NumPy ndarray with a managed allocation of the
+same byte extent, so an application can do its real arithmetic on the array
+while the simulated UVM stack services the identical page traversal.  The
+pairing is by construction (same shape, same dtype, same blocking), not by
+instrumented interception — Python/NumPy cannot trap page-granularity loads
+the way a µTLB does, so the honest statement is: *the workload model and the
+computation walk the same index space*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..api import ManagedAllocation, RunResult, UvmSystem
+
+
+class ManagedArray:
+    """A NumPy array backed by a managed allocation."""
+
+    def __init__(
+        self,
+        system: UvmSystem,
+        shape: Tuple[int, ...],
+        dtype=np.float32,
+        name: str = "",
+        fill: Optional[float] = None,
+    ) -> None:
+        self.system = system
+        self.data = np.zeros(shape, dtype=dtype)
+        if fill is not None:
+            self.data.fill(fill)
+        self.alloc: ManagedAllocation = system.managed_alloc(
+            self.data.nbytes, name or "managed"
+        )
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def host_init(self, values: Optional[np.ndarray] = None, **touch_kwargs) -> None:
+        """Fill on the host (CPU first-touch) and mark pages host-resident."""
+        if values is not None:
+            np.copyto(self.data, values)
+        self.system.host_touch(self.alloc, **touch_kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ManagedArray(shape={self.data.shape}, dtype={self.data.dtype}, alloc={self.alloc.name!r})"
+
+
+@dataclass
+class ManagedAppResult:
+    """A numeric result together with its simulated paging profile."""
+
+    #: The application's computed output (NumPy array or scalar).
+    value: np.ndarray
+    #: Batch/kernel profile from the simulated UVM run.
+    run: RunResult
+    #: Max absolute error against the reference implementation.
+    max_abs_error: float = 0.0

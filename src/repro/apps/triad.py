@@ -1,0 +1,52 @@
+"""BabelStream triad: real arithmetic + simulated paging profile."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..api import UvmSystem
+from ..config import default_config
+from ..units import PAGE_SIZE
+from ..workloads.stream import StreamTriad
+from .managed_compute import ManagedAppResult
+
+
+def triad(b: np.ndarray, c: np.ndarray, scalar: float, chunk: int = 4096) -> np.ndarray:
+    """Chunked ``a[i] = b[i] + scalar * c[i]`` (grid-stride traversal).
+
+    >>> triad(np.ones(4), np.ones(4), 2.0).tolist()
+    [3.0, 3.0, 3.0, 3.0]
+    """
+    if b.shape != c.shape:
+        raise ValueError("triad arrays must have equal shape")
+    a = np.empty_like(b)
+    n = b.size
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        a[lo:hi] = b[lo:hi] + scalar * c[lo:hi]
+    return a
+
+
+def run_managed_triad(
+    nbytes: int = 8 << 20,
+    scalar: float = 0.4,
+    system: Optional[UvmSystem] = None,
+    seed: int = 0,
+) -> ManagedAppResult:
+    """Run the triad numerically and simulate its UVM paging profile."""
+    if system is None:
+        system = UvmSystem(default_config())
+    n = nbytes // 4  # float32 elements
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(n).astype(np.float32)
+    c = rng.standard_normal(n).astype(np.float32)
+
+    value = triad(b, c, scalar, chunk=PAGE_SIZE // 4)
+    reference = b + scalar * c
+    err = float(np.max(np.abs(value - reference)))
+
+    workload = StreamTriad(nbytes=nbytes)
+    run = workload.run(system)
+    return ManagedAppResult(value=value, run=run, max_abs_error=err)

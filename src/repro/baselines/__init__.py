@@ -1,0 +1,10 @@
+"""Baselines: programmer-managed (explicit) memory movement.
+
+Figure 1 of the paper compares UVM's abstracted unified space against
+"explicit direct management" — the classic ``cudaMemcpy`` workflow whose
+costs are pure bulk transfers.  :mod:`repro.baselines.explicit` models it.
+"""
+
+from .explicit import ExplicitTransferModel, explicit_run_time
+
+__all__ = ["ExplicitTransferModel", "explicit_run_time"]

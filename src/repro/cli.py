@@ -1,0 +1,209 @@
+"""Command-line interface: ``uvm-repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show all registered experiments and workloads;
+* ``run <exp_id> [...]`` — run experiments and print their rendered output;
+* ``all`` — run the full suite in order (the paper's evaluation end-to-end);
+* ``breakdown <workload>`` — run a workload and attribute its batch time to
+  fault-path components (the paper's central decomposition);
+* ``export <workload> --out DIR`` — run a workload and dump its per-batch
+  timeline / scatter / per-SM CSVs for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis.experiments import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="uvm-repro",
+        description=(
+            "Reproduction of 'In-Depth Analyses of Unified Virtual Memory "
+            "System for GPU Accelerated Computing' (SC '21)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments and workloads")
+
+    run_p = sub.add_parser("run", help="run one or more experiments")
+    run_p.add_argument("experiments", nargs="+", metavar="EXP",
+                       help="experiment ids, e.g. fig07 tab02")
+
+    sub.add_parser("all", help="run every experiment in order")
+
+    def add_workload_args(p):
+        p.add_argument("workload", help="workload name (see `list`)")
+        p.add_argument("--no-prefetch", action="store_true",
+                       help="disable the driver prefetcher")
+        p.add_argument("--gpu-mb", type=int, default=64,
+                       help="device memory in MiB (default 64)")
+
+    bd = sub.add_parser("breakdown", help="cost attribution for a workload run")
+    add_workload_args(bd)
+
+    ex = sub.add_parser("export", help="dump a workload run's data as CSV")
+    add_workload_args(ex)
+    ex.add_argument("--out", default="export", help="output directory")
+
+    cmp_p = sub.add_parser(
+        "compare", help="A/B a workload: prefetch on vs off (or custom caps)"
+    )
+    cmp_p.add_argument("workload", help="workload name (see `list`)")
+    cmp_p.add_argument("--gpu-mb", type=int, default=64)
+    cmp_p.add_argument(
+        "--batch-sizes",
+        nargs=2,
+        type=int,
+        metavar=("A", "B"),
+        help="compare two batch caps instead of prefetch on/off",
+    )
+    return parser
+
+
+def _run_workload(args):
+    from .api import UvmSystem
+    from .config import default_config
+    from .units import MB
+    from .workloads import WORKLOAD_REGISTRY
+
+    if args.workload not in WORKLOAD_REGISTRY:
+        print(
+            f"error: unknown workload {args.workload!r}; "
+            f"known: {', '.join(sorted(WORKLOAD_REGISTRY))}",
+            file=sys.stderr,
+        )
+        return None, None
+    cfg = default_config(prefetch_enabled=not args.no_prefetch)
+    cfg.gpu.memory_bytes = args.gpu_mb * MB
+    system = UvmSystem(cfg)
+    result = WORKLOAD_REGISTRY[args.workload]().run(system)
+    return system, result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "list"):
+        from .workloads import WORKLOAD_REGISTRY
+
+        print("Available experiments:")
+        for exp_id in EXPERIMENTS:
+            doc = (EXPERIMENTS[exp_id].__doc__ or "").strip().splitlines()[0]
+            print(f"  {exp_id:24s} {doc}")
+        print("\nAvailable workloads (for `breakdown` / `export`):")
+        print("  " + ", ".join(sorted(WORKLOAD_REGISTRY)))
+        return 0
+
+    if args.command == "breakdown":
+        from .analysis.breakdown import host_os_share, render_breakdown, wire_share
+        from .units import fmt_usec
+
+        system, result = _run_workload(args)
+        if system is None:
+            return 2
+        print(
+            render_breakdown(
+                result.records,
+                title=f"{args.workload}: fault-path cost attribution "
+                f"({result.num_batches} batches, "
+                f"batch time {fmt_usec(result.batch_time_usec)})",
+            )
+        )
+        print(f"\nhost-OS share (unmap + DMA/radix): {host_os_share(result.records):.1%}")
+        print(f"interconnect share (wire time)    : {wire_share(result.records):.1%}")
+        return 0
+
+    if args.command == "compare":
+        from .analysis.compare import compare_configs
+        from .config import default_config
+        from .units import MB
+        from .workloads import WORKLOAD_REGISTRY
+
+        if args.workload not in WORKLOAD_REGISTRY:
+            print(f"error: unknown workload {args.workload!r}", file=sys.stderr)
+            return 2
+        factory = WORKLOAD_REGISTRY[args.workload]
+
+        def cfg(**kw):
+            c = default_config(**kw)
+            c.gpu.memory_bytes = args.gpu_mb * MB
+            return c
+
+        if args.batch_sizes:
+            a, b = args.batch_sizes
+            comparison = compare_configs(
+                factory,
+                cfg(batch_size=a),
+                cfg(batch_size=b),
+                label_a=f"cap {a}",
+                label_b=f"cap {b}",
+            )
+        else:
+            comparison = compare_configs(
+                factory,
+                cfg(prefetch_enabled=True),
+                cfg(prefetch_enabled=False),
+                label_a="prefetch on",
+                label_b="prefetch off",
+            )
+        print(comparison.render())
+        return 0
+
+    if args.command == "export":
+        from pathlib import Path
+
+        from .analysis.export import (
+            export_batch_timeline,
+            export_scatter,
+            export_sm_histogram,
+        )
+
+        system, result = _run_workload(args)
+        if system is None:
+            return 2
+        out = Path(args.out)
+        paths = [
+            export_batch_timeline(result.records, out / f"{args.workload}_timeline.csv"),
+            export_scatter(result.records, out / f"{args.workload}_time_vs_bytes.csv"),
+            export_sm_histogram(result.records, out / f"{args.workload}_sm_faults.csv"),
+        ]
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+
+    if args.command == "run":
+        for exp_id in args.experiments:
+            if exp_id not in EXPERIMENTS:
+                print(f"error: unknown experiment {exp_id!r}", file=sys.stderr)
+                print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+                return 2
+        for exp_id in args.experiments:
+            t0 = time.time()
+            result = run_experiment(exp_id)
+            print(result.render())
+            print(f"[{exp_id} completed in {time.time() - t0:.1f}s]\n")
+        return 0
+
+    if args.command == "all":
+        for exp_id in EXPERIMENTS:
+            t0 = time.time()
+            result = run_experiment(exp_id)
+            print(result.render())
+            print(f"[{exp_id} completed in {time.time() - t0:.1f}s]\n")
+        return 0
+
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Configuration dataclasses for the simulated UVM stack.
+
+The defaults model the paper's testbed (§3.1): a Titan V (80 SMs, 12 GB HBM2)
+attached over PCIe 3.0 x16 to an AMD Epyc 7551P host running Fedora 33 —
+except that device memory defaults to 64 MiB so the full experiment suite runs
+in seconds on a laptop.  Experiments express problem sizes as *ratios* of
+device memory, so the scaled-down memory preserves the paper's
+oversubscription behaviour.
+
+Every hardware limit the paper reverse-engineers is an explicit field here:
+
+* ``utlb_outstanding_limit = 56`` — the per-µTLB outstanding fault cap
+  measured in §3.2 / Fig 3.
+* ``sm_fault_rate_limit`` — the per-SM fault-rate throttle ("far fault"
+  mechanism) inferred in §3.2; with a 256-fault batch over 80 SMs this
+  yields the ~3.2 faults/SM/batch ceiling of Table 2.
+* ``batch_size = 256`` — the driver's default maximum batch (§2.2); Fig 9
+  sweeps this up to 6144.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import ConfigError
+from .units import MB, PAGE_SIZE, VABLOCK_SIZE
+
+
+@dataclass
+class GpuConfig:
+    """Device-side hardware parameters."""
+
+    #: Number of streaming multiprocessors (Titan V: 80).
+    num_sms: int = 80
+    #: Adjacent SMs share a µTLB (§4.2: "adjacent SMs share a µTLB").
+    sms_per_utlb: int = 2
+    #: Maximum outstanding translation faults per µTLB (§3.2, Fig 3).
+    utlb_outstanding_limit: int = 56
+    #: Fault-rate throttle (§3.2, the "far fault" mechanism): an SM may
+    #: issue up to ``sm_fault_rate_limit`` faults per
+    #: ``fault_window_unit_usec`` of replay-window time.  The engine scales
+    #: each round's quota by the actual window length (≈ the previous
+    #: batch's service time), so short windows (a fast driver) yield the
+    #: small batches of Fig 3 while long windows let the buffer accumulate —
+    #: the mechanism behind Fig 9's unique-fault ceiling of ~500/batch.
+    sm_fault_rate_limit: int = 8
+    #: Reference window (µs) for the rate limit above (rate = limit/unit).
+    fault_window_unit_usec: float = 20.0
+    #: Hardware fault buffer entries; overflowing faults are dropped and
+    #: reissued after replay (footnote 1 of the paper).
+    fault_buffer_entries: int = 8192
+    #: Device memory size.  Scaled down from 12 GiB by default; see module doc.
+    memory_bytes: int = 64 * MB
+    #: Maximum warps resident per SM (Volta: 64).
+    max_warps_per_sm: int = 64
+    #: Threads per warp.
+    warp_size: int = 32
+
+    @property
+    def num_utlbs(self) -> int:
+        return (self.num_sms + self.sms_per_utlb - 1) // self.sms_per_utlb
+
+    @property
+    def num_vablocks(self) -> int:
+        return self.memory_bytes // VABLOCK_SIZE
+
+    def utlb_of_sm(self, sm_id: int) -> int:
+        """µTLB id servicing ``sm_id`` (adjacent SMs share)."""
+        return sm_id // self.sms_per_utlb
+
+    def validate(self) -> None:
+        if self.num_sms <= 0:
+            raise ConfigError("num_sms must be positive")
+        if self.sms_per_utlb <= 0:
+            raise ConfigError("sms_per_utlb must be positive")
+        if self.utlb_outstanding_limit <= 0:
+            raise ConfigError("utlb_outstanding_limit must be positive")
+        if self.sm_fault_rate_limit <= 0:
+            raise ConfigError("sm_fault_rate_limit must be positive")
+        if self.memory_bytes < VABLOCK_SIZE:
+            raise ConfigError("device memory must hold at least one VABlock")
+        if self.memory_bytes % VABLOCK_SIZE:
+            raise ConfigError("device memory must be a multiple of 2MB")
+        if self.fault_buffer_entries <= 0:
+            raise ConfigError("fault_buffer_entries must be positive")
+
+
+@dataclass
+class DriverConfig:
+    """nvidia-uvm driver policy parameters."""
+
+    #: Maximum faults fetched into one batch (§2.2; swept by Fig 9).
+    batch_size: int = 256
+    #: Enable the reactive tree/density prefetcher (§5.2).
+    prefetch_enabled: bool = True
+    #: Density threshold: a subtree is promoted when the fraction of its
+    #: pages with migration *evidence* (resident, faulted, or 64 KiB
+    #: upgrades — not the tree's own promotions) strictly exceeds this.
+    #: 0.3 calibrates to the real driver's behaviour (51 % counted over a
+    #: bitmap that includes same-pass promotions): dense sweeps escalate to
+    #: the full block within ~2 batches, while a single fault in an empty
+    #: block pulls only a region pair.
+    prefetch_threshold: float = 0.3
+    #: Prefetch policy: "density-tree" (the driver's, §5.2), "region-only"
+    #: (just the 64 KiB upgrade), "sequential" (next-N), or "full-block".
+    prefetch_policy: str = "density-tree"
+    #: Enable VABlock-granularity LRU eviction (§5.1).  When disabled, an
+    #: out-of-memory condition raises :class:`repro.errors.OutOfDeviceMemory`.
+    eviction_enabled: bool = True
+    #: Eviction policy: "lru" (the driver's fault-visible LRU, §5.1),
+    #: "fifo" (strict allocation order), "random", or "access-counter"
+    #: (hit-aware via modelled GPU access counters, Ganguly et al. [15]).
+    eviction_policy: str = "lru"
+    #: Ablation (§6): number of simulated driver service threads splitting the
+    #: per-VABlock work of a batch.  1 reproduces the paper's serial driver.
+    service_threads: int = 1
+    #: Ablation (§6): perform CPU page unmapping asynchronously (off the fault
+    #: path); its cost then overlaps the GPU instead of serializing it.
+    async_unmap: bool = False
+    #: Ablation (§6): adapt batch size based on observed duplicate rate.
+    adaptive_batch: bool = False
+    #: Lower bound for the adaptive batch policy.
+    adaptive_batch_min: int = 64
+    #: Ablation (§6): prefetch scope in VABlocks (paper: fixed at 1).
+    prefetch_scope_blocks: int = 1
+
+    def validate(self) -> None:
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
+        if not 0.0 < self.prefetch_threshold <= 1.0:
+            raise ConfigError("prefetch_threshold must be in (0, 1]")
+        if self.prefetch_policy not in (
+            "density-tree",
+            "region-only",
+            "sequential",
+            "full-block",
+        ):
+            raise ConfigError(f"unknown prefetch_policy {self.prefetch_policy!r}")
+        if self.eviction_policy not in ("lru", "fifo", "random", "access-counter"):
+            raise ConfigError(f"unknown eviction_policy {self.eviction_policy!r}")
+        if self.service_threads <= 0:
+            raise ConfigError("service_threads must be positive")
+        if self.adaptive_batch_min <= 0:
+            raise ConfigError("adaptive_batch_min must be positive")
+        if self.prefetch_scope_blocks <= 0:
+            raise ConfigError("prefetch_scope_blocks must be positive")
+
+
+@dataclass
+class HostConfig:
+    """Host OS / CPU-side parameters."""
+
+    #: Number of host threads used by CPU phases (e.g. OpenMP init).  Fig 11
+    #: compares 1 vs. one-per-logical-core (64 on the Epyc 7551P).
+    num_threads: int = 1
+    #: Logical cores on the host (Epyc 7551P: 32 cores / 64 threads).
+    num_cores: int = 64
+
+    def validate(self) -> None:
+        if self.num_threads <= 0:
+            raise ConfigError("num_threads must be positive")
+        if self.num_cores <= 0:
+            raise ConfigError("num_cores must be positive")
+
+
+@dataclass
+class SystemConfig:
+    """Aggregate configuration for one simulated system instance."""
+
+    gpu: GpuConfig = field(default_factory=GpuConfig)
+    driver: DriverConfig = field(default_factory=DriverConfig)
+    host: HostConfig = field(default_factory=HostConfig)
+    #: Seed for all stochastic components (workload shuffles, jitter).
+    seed: int = 0
+    #: Cost-model overrides, applied as attribute assignments on the default
+    #: :class:`repro.hostos.cost_model.CostModel`.
+    cost_overrides: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        self.gpu.validate()
+        self.driver.validate()
+        self.host.validate()
+
+    def replace(self, **kwargs) -> "SystemConfig":
+        """Return a deep-copied config with top-level fields replaced."""
+        clone = dataclasses.replace(
+            self,
+            gpu=dataclasses.replace(self.gpu),
+            driver=dataclasses.replace(self.driver),
+            host=dataclasses.replace(self.host),
+            cost_overrides=dict(self.cost_overrides),
+        )
+        for key, value in kwargs.items():
+            if not hasattr(clone, key):
+                raise ConfigError(f"unknown SystemConfig field {key!r}")
+            setattr(clone, key, value)
+        return clone
+
+
+def default_config(**driver_overrides) -> SystemConfig:
+    """A validated default configuration, optionally overriding driver fields.
+
+    >>> cfg = default_config(prefetch_enabled=False, batch_size=512)
+    """
+    cfg = SystemConfig()
+    for key, value in driver_overrides.items():
+        if not hasattr(cfg.driver, key):
+            raise ConfigError(f"unknown DriverConfig field {key!r}")
+        setattr(cfg.driver, key, value)
+    cfg.validate()
+    return cfg

@@ -1,0 +1,29 @@
+"""The UVM driver model — the paper's primary subject.
+
+Implements the nvidia-uvm fault-servicing engine at the granularity the
+paper analyzes: fault batches (§2.2), duplicate classification (§4.2),
+per-VABlock processing (§4.3), host-OS interaction (§4.4), the tree/density
+prefetcher and LRU VABlock eviction (§5), and the per-batch instrumentation
+record equivalent to the paper's modified-driver logs.
+"""
+
+from .batch import AssembledBatch, BlockWork, assemble_batch
+from .batch_record import BatchRecord
+from .vablock import VABlockManager, VABlockState
+from .prefetch import DensityPrefetcher
+from .eviction import LruEvictionPolicy
+from .driver import UvmDriver
+from .instrumentation import BatchLog
+
+__all__ = [
+    "AssembledBatch",
+    "BlockWork",
+    "assemble_batch",
+    "BatchRecord",
+    "VABlockManager",
+    "VABlockState",
+    "DensityPrefetcher",
+    "LruEvictionPolicy",
+    "UvmDriver",
+    "BatchLog",
+]

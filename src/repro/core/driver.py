@@ -1,0 +1,596 @@
+"""The UVM driver model: fault fetch, batch servicing, replay.
+
+This is the system under study.  One call to :meth:`UvmDriver.service_next_batch`
+performs the full fault-handling path of paper §2.2/§4/§5 and emits one
+:class:`~repro.core.batch_record.BatchRecord`:
+
+1. (wake) worker-thread wakeup if it was sleeping;
+2. fetch up to ``batch_size`` faults from the GPU fault buffer;
+3. preprocess: sort/group by VABlock, classify duplicates (§4.2);
+4. per VABlock, in first-fault order (§2.2 "each VABlock within a batch
+   requires a distinct processing step"):
+
+   a. ensure the block has a physical chunk, evicting LRU victims at
+      VABlock granularity when device memory is full (§5.1);
+   b. compulsory first-access DMA-state creation: per-page DMA mappings
+      plus reverse mappings in the kernel radix tree (§5.2);
+   c. reactive tree/density prefetch expansion within the block (§5.2);
+   d. ``unmap_mapping_range()`` when the block is partially CPU-resident
+      (§4.4) — paid at most once per block unless the CPU re-touches,
+      which produces the cost "levels" of Fig 13;
+   e. page population (zero-fill) for pages without source data and for
+      restarted migrations after eviction (§5.1);
+   f. host→device copy of valid pages via the copy engines;
+   g. GPU page-table update;
+
+5. replay: flush the fault buffer — dropping every un-fetched fault, which
+   the µTLBs will reissue if still needed — and push the replay (§2.1).
+
+Ablations from §6 are built in behind ``DriverConfig`` flags: per-VABlock
+service parallelism, asynchronous unmapping, duplicate-adaptive batch
+sizing, and enlarged prefetch scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import InvalidAccess, OutOfDeviceMemory
+from ..units import REGIONS_PER_VABLOCK, vablock_of_page
+from ..gpu.copy_engine import contiguous_runs
+from ..gpu.device import GpuDevice
+from ..gpu.fault import Fault
+from ..hostos.cost_model import CostModel
+from ..hostos.dma import DmaMapper
+from ..hostos.host_vm import HostVm
+from ..sim.clock import SimClock
+from ..sim.trace import EventTrace
+from .batch import AssembledBatch, BlockWork, assemble_batch
+from .batch_record import BatchRecord
+from .eviction import LruEvictionPolicy, make_eviction_policy
+from .instrumentation import BatchLog
+from .prefetch import DensityPrefetcher, make_prefetcher
+from .vablock import VABlockManager, VABlockState
+
+
+@dataclass
+class ServiceOutcome:
+    """What one batch service did, for the engine to apply to the GPU."""
+
+    record: BatchRecord
+    #: Pages made (and still) resident — warps waiting on them unblock.
+    serviced_pages: List[int] = field(default_factory=list)
+    #: Fetched faults whose page is *not* resident at batch end (evicted
+    #: within the same batch); their warps must re-demand.
+    unserviced_faults: List[Fault] = field(default_factory=list)
+    #: Faults dropped by the pre-replay flush; reissued if still needed.
+    dropped_faults: List[Fault] = field(default_factory=list)
+    #: Pages evicted from the device during this batch.
+    evicted_pages: List[int] = field(default_factory=list)
+
+
+class UvmDriver:
+    """Host-resident fault servicing engine and managed-memory manager."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        device: GpuDevice,
+        clock: SimClock,
+        host_vm: HostVm,
+        dma: DmaMapper,
+        cost_model: CostModel,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[EventTrace] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.device = device
+        self.clock = clock
+        self.host_vm = host_vm
+        self.dma = dma
+        self.cost = cost_model
+        self.rng = rng
+        self.trace = trace
+        self.vablocks = VABlockManager()
+        self.prefetcher = make_prefetcher(
+            config.driver.prefetch_policy,
+            threshold=config.driver.prefetch_threshold,
+            scope_blocks=config.driver.prefetch_scope_blocks,
+        )
+        self.eviction = make_eviction_policy(config.driver.eviction_policy)
+        self.log = BatchLog()
+        self._batch_id = 0
+        self._current_batch_size = config.driver.batch_size
+        #: Unmap work deferred off the fault path (async-unmap ablation).
+        self.async_unmap_backlog_usec = 0.0
+
+    # ----------------------------------------------------------- allocation
+
+    def register_allocation(self, start_page: int, num_pages: int) -> None:
+        """Track a new managed allocation's VABlocks."""
+        self.vablocks.register_allocation(start_page, num_pages)
+
+    # ---------------------------------------------------------------- hints
+
+    def bulk_migrate(self, pages) -> BatchRecord:
+        """cudaMemPrefetchAsync-to-device: migrate ``pages`` through the
+        per-VABlock servicing path without any faults.
+
+        Bulk migration pays population/DMA/unmap/transfer exactly like fault
+        servicing — it goes through the same VA-block code — but skips the
+        fault fetch, the per-fault servicing bookkeeping, and the reactive
+        prefetcher, which is why hinted migration approaches explicit-copy
+        efficiency (related work [10]).
+        """
+        record = BatchRecord(batch_id=self._batch_id, hinted=True)
+        self._batch_id += 1
+        record.t_start = self.clock.now
+        by_block: Dict[int, List[int]] = {}
+        for page in sorted(set(pages)):
+            by_block.setdefault(vablock_of_page(page), []).append(page)
+        outcome = ServiceOutcome(record=record)
+        block_costs: List[float] = []
+        pinned: Set[int] = set()
+        for block_id, block_pages in by_block.items():
+            pinned.add(block_id)
+            work = BlockWork(block_id=block_id, pages=block_pages, hinted=True)
+            cost, deferred = self._service_block(work, record, outcome, pinned)
+            block_costs.append(cost)
+            if deferred:
+                pinned.discard(block_id)
+        record.num_vablocks = len(by_block)
+        record.vablock_fault_counts = np.array(
+            [len(p) for p in by_block.values()], dtype=np.int32
+        )
+        self._advance_block_phase(block_costs)
+        record.t_end = self.clock.now
+        self.log.append(record)
+        return record
+
+    def advise_read_mostly(self, pages) -> None:
+        """cudaMemAdviseSetReadMostly over ``pages``' VABlocks: migrations
+        duplicate rather than move until a GPU write collapses the hint."""
+        for block_id in {vablock_of_page(p) for p in pages}:
+            if block_id in self.vablocks:
+                self.vablocks.get(block_id).read_mostly = True
+
+    def advise_accessed_by(self, pages) -> BatchRecord:
+        """cudaMemAdviseSetAccessedBy (device): direct-map ``pages`` so the
+        GPU accesses them remotely over the interconnect — no faults, no
+        migration, no device memory consumed.  Pays DMA-mapping setup."""
+        record = BatchRecord(batch_id=self._batch_id, hinted=True)
+        self._batch_id += 1
+        record.t_start = self.clock.now
+        new_pages = [
+            p for p in sorted(set(pages)) if not self.device.page_table.is_resident(p)
+        ]
+        if new_pages:
+            result = self.dma.map_pages(new_pages)
+            self.clock.advance(result.cost_usec)
+            record.time_dma = result.cost_usec
+            record.dma_mappings_created += result.new_mappings
+            record.radix_nodes_allocated += result.new_nodes
+            pt_cost = self.cost.pagetable_cost(len(new_pages))
+            self.clock.advance(pt_cost)
+            record.time_pagetable = pt_cost
+            self.device.page_table.map_pages(new_pages)
+            for block_id in {vablock_of_page(p) for p in new_pages}:
+                if block_id in self.vablocks:
+                    block = self.vablocks.get(block_id)
+                    block.remote_pages.update(
+                        p for p in new_pages if vablock_of_page(p) == block_id
+                    )
+        record.t_end = self.clock.now
+        self.log.append(record)
+        return record
+
+    def is_remote_mapped(self, page: int) -> bool:
+        """True when ``page`` is direct-mapped (accessed-by), not migrated."""
+        block_id = vablock_of_page(page)
+        if block_id not in self.vablocks:
+            return False
+        return page in self.vablocks.get(block_id).remote_pages
+
+    # -------------------------------------------------------------- policy
+
+    @property
+    def effective_batch_size(self) -> int:
+        """Current fetch limit (fixed, or duplicate-adaptive under ablation)."""
+        return self._current_batch_size
+
+    def _update_adaptive(self, record: BatchRecord) -> None:
+        if not self.config.driver.adaptive_batch or record.num_faults_raw == 0:
+            return
+        dup_rate = record.duplicate_count / record.num_faults_raw
+        lo = self.config.driver.adaptive_batch_min
+        hi = self.config.driver.batch_size
+        if dup_rate > 0.5:
+            self._current_batch_size = max(lo, self._current_batch_size // 2)
+        else:
+            self._current_batch_size = min(hi, self._current_batch_size * 2)
+
+    # ------------------------------------------------------------- service
+
+    def service_next_batch(self, slept: bool) -> ServiceOutcome:
+        """Service one fault batch from the GPU buffer (must be non-empty)."""
+        record = BatchRecord(batch_id=self._batch_id, slept_before=slept)
+        self._batch_id += 1
+        record.t_start = self.clock.now
+
+        # 1. Wake + interrupt acknowledge.
+        if slept:
+            record.time_wake = self._spend(self.cost.interrupt_wake_usec)
+        self.device.gmmu.acknowledge()
+
+        # 2. Fetch.
+        faults = self.device.fault_buffer.fetch(self.effective_batch_size)
+        record.time_fetch = self._spend(self.cost.fetch_cost(len(faults)))
+
+        if self.trace is not None:
+            # Per-fault instrumentation (the paper's first driver variant):
+            # origin SM, address, access type, arrival time.  Enables trace
+            # capture + open-loop replay (repro.analysis.traces).
+            for f in faults:
+                self.trace.emit(
+                    f.timestamp,
+                    "fault",
+                    record.batch_id,
+                    f.page,
+                    int(f.access),
+                    f.sm_id,
+                    f.warp_uid,
+                )
+
+        # 3. Preprocess / dedup.
+        batch = assemble_batch(faults, self.device.config.num_sms)
+        record.time_preprocess = self._spend(self.cost.preprocess_cost(len(faults)))
+        if faults:
+            record.t_first_fault = faults[0].timestamp
+            record.t_last_fault = faults[-1].timestamp
+        record.num_faults_raw = batch.num_raw
+        record.num_faults_unique = batch.num_unique
+        record.dup_same_utlb = batch.dup_same_utlb
+        record.dup_cross_utlb = batch.dup_cross_utlb
+        record.sm_fault_counts = batch.sm_fault_counts
+        record.num_vablocks = batch.num_blocks
+        record.vablock_fault_counts = np.array(
+            [len(w.pages) for w in batch.blocks], dtype=np.int32
+        )
+
+        # 4. Per-VABlock processing.  Blocks already serviced in this batch
+        # stay pinned (their block locks are held until the replay): a later
+        # block's eviction must not undo this batch's own migrations, or a
+        # working set spanning more blocks than device chunks would thrash
+        # without ever making progress.  A block that cannot obtain memory
+        # because everything is pinned is deferred — its faults drop at the
+        # flush and reissue (the driver's fault-retry path).
+        outcome = ServiceOutcome(record=record)
+        block_costs: List[float] = []
+        pinned: set = set()
+        for work in batch.blocks:
+            pinned.add(work.block_id)
+            cost, deferred = self._service_block(work, record, outcome, pinned)
+            block_costs.append(cost)
+            if deferred:
+                pinned.discard(work.block_id)
+                outcome.unserviced_faults.extend(
+                    f for f in faults if f.page in set(work.pages)
+                )
+        self._advance_block_phase(block_costs)
+
+        # 5. Replay: flush buffer (drop), clear µTLB waiting, push replay.
+        outcome.dropped_faults = self.device.fault_buffer.flush()
+        record.dropped_at_flush = len(outcome.dropped_faults)
+        record.time_replay = self._spend(self.cost.replay_usec)
+        self.device.replay_all()
+
+        # Pages evicted by later blocks of this batch are not serviced.
+        resident = self.device.page_table.resident
+        still = [p for p in outcome.serviced_pages if p in resident]
+        if len(still) != len(outcome.serviced_pages):
+            gone = set(outcome.serviced_pages) - set(still)
+            outcome.serviced_pages = still
+            outcome.unserviced_faults = [f for f in faults if f.page in gone]
+
+        record.t_end = self.clock.now
+        self.log.append(record)
+        if self.trace is not None:
+            self.trace.emit(record.t_end, "batch", record.batch_id, record.num_faults_raw)
+        self._update_adaptive(record)
+        return outcome
+
+    # ---------------------------------------------------------- block path
+
+    def _service_block(
+        self,
+        work: BlockWork,
+        record: BatchRecord,
+        outcome: ServiceOutcome,
+        pinned: Set[int],
+    ) -> Tuple[float, bool]:
+        """Service one VABlock's faults.
+
+        Returns ``(cost, deferred)``; ``deferred`` is True when the block
+        could not obtain device memory because every resident block is
+        pinned by this batch — its faults must retry in a later batch.
+        """
+        try:
+            block = self.vablocks.get(work.block_id)
+        except KeyError:
+            raise InvalidAccess(
+                f"faults target VABlock {work.block_id} outside any managed allocation"
+            )
+        total = 0.0
+
+        def spend(usec: float, attr: str) -> float:
+            nonlocal total
+            jittered = self.cost.jitter(self.rng, usec)
+            setattr(record, attr, getattr(record, attr) + jittered)
+            total += jittered
+            return jittered
+
+        spend(self.cost.vablock_base_usec, "time_block_base")
+
+        faulted = [p for p in work.pages if p not in block.resident_pages]
+        if not work.hinted:
+            # Per-unique-page fault servicing (VMA/policy/service
+            # bookkeeping); prefetched pages ride along in bulk and skip
+            # this cost, as do hint-driven migrations.
+            spend(
+                len(faulted) * self.cost.fault_service_per_page_usec,
+                "time_block_base",
+            )
+
+        # (a) physical chunk, evicting if necessary.
+        allocated_now = False
+        if not block.is_gpu_allocated:
+            chunk = self.device.chunks.allocate()
+            while chunk is None:
+                if not self.config.driver.eviction_enabled:
+                    raise OutOfDeviceMemory(
+                        "device memory exhausted with eviction disabled"
+                    )
+                if self.eviction.pick_victim(pinned) is None:
+                    # Everything resident is pinned by this batch: defer.
+                    return total, True
+                self._evict_one(pinned, record, outcome, spend)
+                chunk = self.device.chunks.allocate()
+            block.gpu_chunk = chunk
+            block.alloc_stamp = self.vablocks.next_stamp()
+            allocated_now = True
+            record.blocks_allocated += 1
+            spend(self.cost.chunk_alloc_usec, "time_alloc")
+            self.eviction.on_gpu_allocated(block.block_id)
+        else:
+            self.eviction.on_fault_service(block.block_id)
+
+        # (b) compulsory DMA state (once per block lifetime).
+        if not block.dma_initialized:
+            result = self.dma.map_pages(sorted(block.valid_pages))
+            spend(result.cost_usec, "time_dma")
+            block.dma_initialized = True
+            record.new_dma_blocks += 1
+            record.dma_mappings_created += result.new_mappings
+            record.radix_nodes_allocated += result.new_nodes
+            record.radix_slab_refills += result.slab_refills
+
+        # (c) prefetch expansion (reactive only: hints specify exact ranges).
+        prefetched: Set[int] = set()
+        if self.config.driver.prefetch_enabled and faulted and not work.hinted:
+            prefetched = self.prefetcher.expand(block, faulted)
+            spend(
+                self.cost.prefetch_decision_cost(REGIONS_PER_VABLOCK),
+                "time_prefetch_decide",
+            )
+            if self.prefetcher.scope_blocks > 1:
+                self._scope_expansion(block, faulted, prefetched, record, outcome, spend)
+
+        target = sorted(set(faulted) | prefetched)
+        if not target:
+            return total, False
+
+        # (d) CPU unmapping when the block is partially host-resident (§4.4).
+        # Read-mostly blocks *duplicate* instead of migrating: the host
+        # mappings stay intact — unless this batch carries GPU writes, which
+        # collapse the duplication and pay the deferred unmap now.
+        collapse = block.read_mostly and bool(work.write_pages)
+        if collapse:
+            block.read_mostly = False
+        mapped = self.host_vm.mapped_pages_of(block.valid_pages)
+        if mapped and (not block.read_mostly or collapse):
+            stats = self.host_vm.unmap_range(block.valid_pages)
+            unmap_usec = self.cost.unmap_cost(stats.pages_unmapped, stats.distinct_threads)
+            if self.config.driver.async_unmap:
+                # Ablation: charge off the fault path.
+                jit = self.cost.jitter(self.rng, unmap_usec)
+                record.time_unmap += jit
+                self.async_unmap_backlog_usec += jit
+            else:
+                spend(unmap_usec, "time_unmap")
+            record.unmap_calls += 1
+            record.pages_unmapped += stats.pages_unmapped
+
+        # (e) population + (f) transfer.
+        transfer_pages = [p for p in target if self.host_vm.has_valid_data(p)]
+        populate_pages = len(target) - len(transfer_pages)
+        if allocated_now and block.evict_count > 0:
+            # Restarted migration re-populates the whole target (§5.1).
+            populate_pages = len(target)
+        spend(self.cost.population_cost(populate_pages), "time_population")
+        record.pages_populated += populate_pages
+        if transfer_pages:
+            spend(
+                len(transfer_pages) * self.cost.migration_prep_per_page_usec,
+                "time_migrate_prep",
+            )
+            runs = contiguous_runs(transfer_pages)
+            spend(self.device.copy_engine.host_to_device(runs), "time_transfer_h2d")
+            record.pages_migrated_h2d += len(transfer_pages)
+            record.bytes_h2d += len(transfer_pages) * 4096
+
+        # (g) page-table update.
+        spend(self.cost.pagetable_cost(len(target)), "time_pagetable")
+        self.device.page_table.map_pages(target)
+        block.resident_pages.update(target)
+        if not block.read_mostly:
+            # GPU takes ownership: host copies go stale and eviction must
+            # copy back.  Read-mostly blocks keep valid host duplicates.
+            self.host_vm.invalidate(target)
+
+        record.pages_prefetched += len(prefetched)
+        outcome.serviced_pages.extend(target)
+        if self.trace is not None:
+            # Fig 16c/17c fault-behaviour data: page extent migrated into
+            # this block during this batch.
+            self.trace.emit(
+                self.clock.now,
+                "migrate",
+                record.batch_id,
+                block.block_id,
+                target[0],
+                target[-1],
+                len(target),
+            )
+        return total, False
+
+    def _evict_one(self, exclude: Set[int], record, outcome, spend) -> None:
+        """Evict the LRU VABlock (paper §5.1: fail-alloc, migrate back,
+        restart)."""
+        victim_id = self.eviction.require_victim(exclude)
+        victim = self.vablocks.get(victim_id)
+        pages = sorted(victim.resident_pages)
+        spend(self.cost.evict_restart_usec, "time_eviction")
+        spend(self.cost.pagetable_cost(len(pages)), "time_eviction")
+        if pages:
+            runs = contiguous_runs(pages)
+            spend(self.device.copy_engine.device_to_host(runs), "time_transfer_d2h")
+            record.bytes_d2h += len(pages) * 4096
+            self.host_vm.mark_valid(pages)
+            self.device.page_table.unmap_pages(pages)
+        # Evicted data lands on the host *unmapped*: paging it back in later
+        # skips unmap_mapping_range (the lower levels of Fig 13).
+        if not self.host_vm.mapped_pages_of(victim.valid_pages):
+            record.evictions_unmap_free += 1
+        self.device.chunks.free(victim.gpu_chunk)
+        victim.gpu_chunk = None
+        victim.resident_pages = set()
+        victim.evict_count += 1
+        self.eviction.on_evicted(victim_id)
+        record.evictions += 1
+        record.pages_evicted += len(pages)
+        outcome.evicted_pages.extend(pages)
+        if self.trace is not None:
+            first = pages[0] if pages else victim.first_page
+            last = pages[-1] if pages else victim.first_page
+            self.trace.emit(
+                self.clock.now,
+                "evict",
+                record.batch_id,
+                victim_id,
+                first,
+                last,
+                len(pages),
+            )
+
+    def _scope_expansion(
+        self,
+        block: VABlockState,
+        faulted: List[int],
+        prefetched: Set[int],
+        record: BatchRecord,
+        outcome: ServiceOutcome,
+        spend,
+    ) -> None:
+        """Enlarged prefetch scope (§6 ablation): when a block goes fully
+        dense, mirror the fetch into already-GPU-allocated neighbour blocks
+        (each neighbour pays its own population/transfer/page-table costs)."""
+        covered = len(faulted) + len(prefetched) + len(block.resident_pages)
+        if covered < block.num_valid_pages:
+            return
+        for nbr_id in self.prefetcher.neighbour_blocks(block.block_id):
+            if nbr_id not in self.vablocks:
+                continue
+            nbr = self.vablocks.get(nbr_id)
+            if not nbr.is_gpu_allocated:
+                # Allocate the neighbour only from free memory: a speculative
+                # cross-block prefetch must not trigger evictions.
+                chunk = self.device.chunks.allocate()
+                if chunk is None:
+                    continue
+                nbr.gpu_chunk = chunk
+                nbr.alloc_stamp = self.vablocks.next_stamp()
+                record.blocks_allocated += 1
+                spend(self.cost.chunk_alloc_usec, "time_alloc")
+                self.eviction.on_gpu_allocated(nbr_id)
+                if not nbr.dma_initialized:
+                    result = self.dma.map_pages(sorted(nbr.valid_pages))
+                    spend(result.cost_usec, "time_dma")
+                    nbr.dma_initialized = True
+                    record.new_dma_blocks += 1
+                    record.dma_mappings_created += result.new_mappings
+                    record.radix_nodes_allocated += result.new_nodes
+                    record.radix_slab_refills += result.slab_refills
+            target = sorted(p for p in nbr.valid_pages if p not in nbr.resident_pages)
+            if not target:
+                continue
+            mapped = self.host_vm.mapped_pages_of(nbr.valid_pages)
+            if mapped:
+                stats = self.host_vm.unmap_range(nbr.valid_pages)
+                spend(
+                    self.cost.unmap_cost(stats.pages_unmapped, stats.distinct_threads),
+                    "time_unmap",
+                )
+                record.unmap_calls += 1
+                record.pages_unmapped += stats.pages_unmapped
+            transfer = [p for p in target if self.host_vm.has_valid_data(p)]
+            spend(self.cost.population_cost(len(target) - len(transfer)), "time_population")
+            record.pages_populated += len(target) - len(transfer)
+            if transfer:
+                spend(
+                    len(transfer) * self.cost.migration_prep_per_page_usec,
+                    "time_migrate_prep",
+                )
+                spend(
+                    self.device.copy_engine.host_to_device(contiguous_runs(transfer)),
+                    "time_transfer_h2d",
+                )
+                record.pages_migrated_h2d += len(transfer)
+                record.bytes_h2d += len(transfer) * 4096
+            spend(self.cost.pagetable_cost(len(target)), "time_pagetable")
+            self.device.page_table.map_pages(target)
+            nbr.resident_pages.update(target)
+            self.host_vm.invalidate(target)
+            record.pages_prefetched += len(target)
+            outcome.serviced_pages.extend(target)
+
+    # ------------------------------------------------------------ internals
+
+    def _spend(self, usec: float) -> float:
+        """Advance the clock by a jittered cost; returns the jittered value."""
+        jittered = self.cost.jitter(self.rng, usec)
+        self.clock.advance(jittered)
+        return jittered
+
+    def _advance_block_phase(self, block_costs: List[float]) -> None:
+        """Advance the clock for the per-block work.
+
+        The serial driver pays the sum.  Under the parallel-driver ablation
+        (§6) blocks are assigned round-robin to ``service_threads`` bins and
+        the clock advances by the largest bin — the imbalance the paper
+        predicts shows up as a weak speedup.
+        """
+        if not block_costs:
+            return
+        threads = self.config.driver.service_threads
+        if threads <= 1:
+            self.clock.advance(sum(block_costs))
+            return
+        bins = [0.0] * threads
+        for i, cost in enumerate(block_costs):
+            bins[i % threads] += cost
+        self.clock.advance(max(bins))

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the UVM reproduction library."""
+
+from __future__ import annotations
+
+
+class UvmError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(UvmError):
+    """Invalid or inconsistent :class:`repro.config.SystemConfig`."""
+
+
+class AllocationError(UvmError):
+    """Managed or device allocation failed (e.g. address space exhausted)."""
+
+
+class OutOfDeviceMemory(AllocationError):
+    """Device chunk allocator has no free chunk and eviction found no victim."""
+
+
+class FaultBufferOverflow(UvmError):
+    """Raised only in strict mode; normally overflowing faults are dropped."""
+
+
+class InvalidAccess(UvmError):
+    """A workload accessed an address outside any managed allocation."""
+
+
+class SimulationError(UvmError):
+    """The simulation reached an inconsistent state (internal bug guard)."""
+
+
+class DeadlockError(SimulationError):
+    """No warp can make progress and no faults are outstanding."""

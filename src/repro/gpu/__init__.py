@@ -1,0 +1,33 @@
+"""GPU-side substrate: fault generation hardware model.
+
+Models the device half of Figure 2 of the paper: SMs whose warps issue
+memory accesses with register-scoreboard semantics, per-µTLB outstanding
+fault caps, the per-SM fault-rate throttle, the GMMU routing faults into the
+circular hardware fault buffer, the GPU page table, and the copy engines.
+"""
+
+from .fault import AccessType, Fault
+from .warp import Phase, WarpProgram, WarpState, KernelLaunch
+from .utlb import UTlb
+from .sm import StreamingMultiprocessor
+from .fault_buffer import FaultBuffer
+from .gmmu import Gmmu
+from .page_table import GpuPageTable
+from .copy_engine import CopyEngine
+from .device import GpuDevice
+
+__all__ = [
+    "AccessType",
+    "Fault",
+    "Phase",
+    "WarpProgram",
+    "WarpState",
+    "KernelLaunch",
+    "UTlb",
+    "StreamingMultiprocessor",
+    "FaultBuffer",
+    "Gmmu",
+    "GpuPageTable",
+    "CopyEngine",
+    "GpuDevice",
+]

@@ -1,0 +1,62 @@
+"""The hardware GPU fault buffer.
+
+The GMMU writes fault information into a circular array on the device,
+configured and managed by the UVM driver (paper §2.1).  The driver fetches
+entries host-side in batches; a *replay* is preceded by a buffer flush that
+drops every un-fetched entry — "only faults that still need to be serviced
+will be reissued" (§4.2).  Faults arriving while the buffer is full are
+dropped by hardware and likewise reissue after the next replay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from .fault import Fault
+
+
+class FaultBuffer:
+    """Bounded FIFO of :class:`Fault` entries with drop-on-overflow."""
+
+    __slots__ = ("capacity", "_entries", "total_pushed", "total_overflow_dropped", "total_flush_dropped")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: Deque[Fault] = deque()
+        self.total_pushed = 0
+        self.total_overflow_dropped = 0
+        self.total_flush_dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def push(self, fault: Fault) -> bool:
+        """Append a fault; False (dropped) when the buffer is full."""
+        if self.full:
+            self.total_overflow_dropped += 1
+            return False
+        self._entries.append(fault)
+        self.total_pushed += 1
+        return True
+
+    def fetch(self, max_n: int) -> List[Fault]:
+        """Driver-side read of up to ``max_n`` oldest entries (consumed)."""
+        n = min(max_n, len(self._entries))
+        entries = self._entries
+        return [entries.popleft() for _ in range(n)]
+
+    def flush(self) -> List[Fault]:
+        """Drop every remaining entry (pre-replay flush); returns them so the
+        engine can re-demand non-prefetch accesses."""
+        dropped = list(self._entries)
+        self._entries.clear()
+        self.total_flush_dropped += len(dropped)
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultBuffer({len(self._entries)}/{self.capacity})"

@@ -1,0 +1,50 @@
+"""GPU page table: which managed pages are device-resident.
+
+The driver updates the GPU's page tables after migrating data and before
+issuing the fault replay (paper §2.1).  The simulator keeps the authoritative
+resident set here as a plain ``set`` of global page ids — the hot structure
+warps consult when deciding whether an access faults — while
+:class:`repro.core.vablock.VABlockState` keeps the per-block masks the driver
+reasons about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+
+class GpuPageTable:
+    """Set-semantics GPU page table with mapping counters."""
+
+    __slots__ = ("resident", "total_mapped", "total_unmapped")
+
+    def __init__(self) -> None:
+        #: Global page ids currently mapped in device memory.
+        self.resident: Set[int] = set()
+        self.total_mapped = 0
+        self.total_unmapped = 0
+
+    def is_resident(self, page: int) -> bool:
+        return page in self.resident
+
+    def map_pages(self, pages: Iterable[int]) -> int:
+        """Install mappings; returns the number of newly-mapped pages."""
+        before = len(self.resident)
+        self.resident.update(pages)
+        added = len(self.resident) - before
+        self.total_mapped += added
+        return added
+
+    def unmap_pages(self, pages: Iterable[int]) -> int:
+        """Remove mappings (eviction path); returns pages actually removed."""
+        resident = self.resident
+        removed = 0
+        for page in pages:
+            if page in resident:
+                resident.discard(page)
+                removed += 1
+        self.total_unmapped += removed
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.resident)

@@ -1,0 +1,25 @@
+"""Host OS substrate: virtual memory, DMA mapping, and the cost model.
+
+Models the Linux-kernel components the UVM driver depends on (paper §2.1,
+§4.4, §5.2): the host virtual-memory system whose ``unmap_mapping_range()``
+sits on the fault path, the DMA API whose reverse mappings live in a radix
+tree, and the calibrated microsecond cost model for every fault-path
+operation.
+"""
+
+from .cost_model import CostModel
+from .radix_tree import RadixTree
+from .dma import DmaMapper
+from .host_vm import HostVm
+from .cpu import HostCpu, static_first_touch
+from .platforms import PLATFORM_PRESETS
+
+__all__ = [
+    "CostModel",
+    "RadixTree",
+    "DmaMapper",
+    "HostVm",
+    "HostCpu",
+    "static_first_touch",
+    "PLATFORM_PRESETS",
+]

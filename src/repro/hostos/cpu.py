@@ -1,0 +1,76 @@
+"""Host CPU threading model: first-touch page→thread assignment.
+
+Figure 11 of the paper shows that *how an application parallelizes its host
+code* changes GPU fault performance: HPGMG initialized with one OpenMP
+thread runs ~2× faster than with one thread per logical core, because
+multithreaded first-touch spreads a VABlock's PTEs across many cores and
+``unmap_mapping_range()`` must shoot down TLBs on all of them.
+
+:func:`static_first_touch` reproduces OpenMP's default ``schedule(static)``
+loop partitioning: a contiguous index range is split into ``num_threads``
+equal chunks, so pages land on threads in large contiguous spans — but a
+2 MiB VABlock still straddles several spans once arrays are larger than
+``num_threads`` blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..config import HostConfig
+
+
+def static_first_touch(num_pages: int, num_threads: int) -> Callable[[int], int]:
+    """Thread-of-page function for OpenMP static scheduling over a range.
+
+    ``page`` arguments are *offsets within the allocation* (0-based).
+
+    >>> f = static_first_touch(8, 2)
+    >>> [f(i) for i in range(8)]
+    [0, 0, 0, 0, 1, 1, 1, 1]
+    """
+    if num_threads <= 1 or num_pages <= 0:
+        return lambda page: 0
+    chunk = max(1, (num_pages + num_threads - 1) // num_threads)
+    return lambda page: min(page // chunk, num_threads - 1)
+
+
+def interleaved_first_touch(num_threads: int, granularity: int = 1) -> Callable[[int], int]:
+    """Round-robin page→thread mapping (models ``schedule(static, chunk)``
+    with a small chunk — the worst case for unmap shootdown spread)."""
+    if num_threads <= 1:
+        return lambda page: 0
+    return lambda page: (page // max(1, granularity)) % num_threads
+
+
+class HostCpu:
+    """Host CPU configuration plus helpers to run touch phases."""
+
+    def __init__(self, config: HostConfig) -> None:
+        config.validate()
+        self.config = config
+
+    @property
+    def num_threads(self) -> int:
+        return self.config.num_threads
+
+    def first_touch_fn(
+        self,
+        num_pages: int,
+        interleaved: bool = False,
+        granularity: int = 1,
+    ) -> Callable[[int], int]:
+        """Page→thread function for a parallel init over ``num_pages``."""
+        if interleaved:
+            return interleaved_first_touch(self.num_threads, granularity)
+        return static_first_touch(num_pages, self.num_threads)
+
+    def touch_cost_usec(self, num_pages: int, per_page_usec: float = 0.05) -> float:
+        """Wall time of the host touch itself (parallelized across threads).
+
+        Small relative to fault servicing; included so host phases advance
+        the clock realistically.
+        """
+        if num_pages <= 0:
+            return 0.0
+        return num_pages * per_page_usec / self.num_threads

@@ -1,0 +1,58 @@
+"""Platform presets: interconnect/host variants as cost-model overrides.
+
+The paper's testbed is x86 + PCIe 3.0 (§3.1); its related work compares
+Power9 + NVLink systems (Gayatri et al. [16], Knap et al. [22]) and §6
+argues that "improvements to basic hardware, such as interconnect bandwidth
+and latency, would still improve performance but would not resolve the
+underlying issues".  These presets make that comparison one line::
+
+    cfg = default_config()
+    cfg.cost_overrides = PLATFORM_PRESETS["power9-nvlink2"]
+
+Each preset is a plain dict of :class:`~repro.hostos.cost_model.CostModel`
+field overrides, so presets compose with further experiment-specific
+overrides by dict union.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..units import GB
+
+#: The paper's testbed: AMD Epyc + Titan V over PCIe 3.0 x16.
+X86_PCIE3: Dict[str, float] = {}
+
+#: PCIe 4.0 x16: double the link bandwidth, slightly lower latency.
+X86_PCIE4: Dict[str, float] = {
+    "link_bandwidth_bytes_per_sec": 24.0 * GB,
+    "transfer_latency_usec": 3.0,
+    "peer_bandwidth_bytes_per_sec": 20.0 * GB,
+}
+
+#: Power9 + NVLink 2.0 (Summit-class): ~3-4x PCIe 3 bandwidth and much
+#: lower per-transfer latency; host unmap costs stay (they are host-OS
+#: work, the point of §4.4).
+POWER9_NVLINK2: Dict[str, float] = {
+    "link_bandwidth_bytes_per_sec": 45.0 * GB,
+    "transfer_latency_usec": 1.5,
+    "peer_bandwidth_bytes_per_sec": 45.0 * GB,
+    "peer_latency_usec": 2.0,
+}
+
+#: A hypothetical "free wire": near-infinite bandwidth, zero setup — the
+#: §6 thought experiment isolating how much of UVM's cost hardware could
+#: ever remove.
+IDEAL_INTERCONNECT: Dict[str, float] = {
+    "link_bandwidth_bytes_per_sec": 10_000.0 * GB,
+    "transfer_latency_usec": 0.0,
+    "peer_bandwidth_bytes_per_sec": 10_000.0 * GB,
+    "peer_latency_usec": 0.0,
+}
+
+PLATFORM_PRESETS: Dict[str, Dict[str, float]] = {
+    "x86-pcie3": X86_PCIE3,
+    "x86-pcie4": X86_PCIE4,
+    "power9-nvlink2": POWER9_NVLINK2,
+    "ideal-interconnect": IDEAL_INTERCONNECT,
+}

@@ -1,0 +1,16 @@
+"""Multi-GPU extension: the paper's stated future direction.
+
+"While this work focuses on single GPUs, it serves as a base and foundation
+for studying the interactions among multiple devices on the same systems,
+which are the standard building blocks of computer clusters." (paper §1)
+
+:class:`MultiGpuSystem` instantiates one fault-servicing engine per device,
+all sharing the host-side state a real UVM deployment shares — one clock,
+one host VM, one DMA-mapping table — and adds the cross-device mechanism
+single-GPU UVM lacks: page *ownership* migration between devices, either
+peer-to-peer over the interconnect or bounced through host memory.
+"""
+
+from .system import DeviceHandle, MultiGpuSystem, PeerTransferStats
+
+__all__ = ["MultiGpuSystem", "DeviceHandle", "PeerTransferStats"]

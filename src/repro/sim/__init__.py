@@ -1,0 +1,7 @@
+"""Simulation kernel: clock, deterministic RNG, and event tracing."""
+
+from .clock import SimClock
+from .rng import make_rng, spawn_rng
+from .trace import EventTrace, TraceEvent
+
+__all__ = ["SimClock", "make_rng", "spawn_rng", "EventTrace", "TraceEvent"]

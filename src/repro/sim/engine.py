@@ -1,0 +1,427 @@
+"""The GPU↔driver orchestration loop.
+
+The paper observes (§6 "Driver Serialization") that "the GPU is generally
+stalled during driver fault processing, leading to highly synchronous
+behavior between the CPU and GPU with little overlap".  The engine models
+that faithfully as an alternation:
+
+* **GPU round** — SMs activate queued warps, advance runnable warps
+  (accruing compute time), and issue faults into the hardware buffer subject
+  to the µTLB outstanding cap and the per-SM rate throttle.  Faults arrive
+  in rapid succession with round-robin interleaving across SMs (Fig 4,
+  Table 2's "SMs are served relatively fairly").
+* **Driver phase** — the worker fetches *one* batch (up to ``batch_size``),
+  services it, then flushes the buffer and issues the replay (§4.2: the
+  buffer is flushed before every replay; dropped faults reissue).
+
+The throttle window depends on whether the worker was sleeping: a sleeping
+driver leaves a long generation window (interrupt + wake), letting SMs fill
+their µTLBs (the 56-fault first batch of Fig 3); a busy driver turns batches
+around fast, capping each SM at ``sm_fault_rate_limit`` per window (the
+small later batches, and the ~500-unique-fault generation ceiling behind
+Fig 9's diminishing returns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..core.batch_record import BatchRecord
+from ..core.driver import ServiceOutcome, UvmDriver
+from ..errors import DeadlockError
+from ..gpu.copy_engine import contiguous_runs
+from ..gpu.device import GpuDevice
+from ..gpu.fault import AccessType
+from ..gpu.warp import KernelLaunch, WarpState
+from ..hostos.cost_model import CostModel
+from ..hostos.cpu import HostCpu
+from ..hostos.dma import DmaMapper
+from ..hostos.host_vm import HostVm
+from ..units import vablock_of_page
+from .clock import SimClock
+from .rng import spawn_rng
+from .trace import EventTrace
+
+
+@dataclass
+class LaunchResult:
+    """Summary of one kernel launch."""
+
+    name: str
+    #: Simulated kernel wall time (µs), launch to last warp retired.
+    kernel_time_usec: float
+    #: Batch records produced during this launch.
+    records: List[BatchRecord] = field(default_factory=list)
+    #: GPU compute time accrued by warp phases (µs).
+    compute_time_usec: float = 0.0
+    num_warps: int = 0
+    total_faults: int = 0
+
+    @property
+    def batch_time_usec(self) -> float:
+        """Aggregate batch servicing time (Table 4's "Batch" column)."""
+        return sum(r.duration for r in self.records)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.records)
+
+
+class Engine:
+    """Owns the full simulated stack and runs kernels against it."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        trace: Optional[EventTrace] = None,
+        clock: Optional[SimClock] = None,
+        host_vm: Optional[HostVm] = None,
+        dma: Optional[DmaMapper] = None,
+    ) -> None:
+        """``clock``/``host_vm``/``dma`` may be shared across engines — the
+        multi-GPU coordinator passes one host-side state to every device's
+        engine (one host OS, many GPUs, as in real UVM)."""
+        config.validate()
+        self.config = config
+        self.cost = CostModel().apply_overrides(config.cost_overrides)
+        self.clock = clock if clock is not None else SimClock()
+        self.trace = trace if trace is not None else EventTrace(enabled=False)
+        self.device = GpuDevice(
+            config.gpu,
+            copy_bandwidth_bytes_per_usec=self.cost.link_bandwidth_bytes_per_usec,
+            copy_latency_usec=self.cost.transfer_latency_usec,
+        )
+        self.host_vm = host_vm if host_vm is not None else HostVm()
+        self.host_cpu = HostCpu(config.host)
+        self.dma = dma if dma is not None else DmaMapper(self.cost)
+        self.rng = spawn_rng(config.seed, "engine")
+        self.driver = UvmDriver(
+            config=config,
+            device=self.device,
+            clock=self.clock,
+            host_vm=self.host_vm,
+            dma=self.dma,
+            cost_model=self.cost,
+            rng=spawn_rng(config.seed, "driver-jitter"),
+            trace=self.trace,
+        )
+        #: page → warps blocked on it.
+        self._waiters: Dict[int, List[WarpState]] = {}
+        self._warps: Dict[int, WarpState] = {}
+        self._prefetch_queue: List[Tuple[int, int]] = []  # (sm_id, page)
+        self._uid = 0
+        self._last_retire_at = 0.0
+        self._window_start = 0.0
+        #: Hit-aware eviction policies need warps to report in-memory hits.
+        self._hit_aware_eviction = config.driver.eviction_policy == "access-counter"
+
+
+    # -------------------------------------------------------------- helpers
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    # ---------------------------------------------------------- host phases
+
+    def host_touch(
+        self,
+        pages: Iterable[int],
+        thread_of: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        """A CPU phase touches managed ``pages`` (global page ids).
+
+        Device-resident pages migrate back (CPU-side faulting), and the
+        pages become host-mapped — arming the next GPU touch of their blocks
+        with an ``unmap_mapping_range()`` cost (§4.4).  ``thread_of`` maps a
+        global page id to the touching CPU thread (default: thread 0).
+        """
+        pages = list(pages)
+        if not pages:
+            return
+        if thread_of is None:
+            thread_of = lambda page: 0
+        is_remote = self.driver.is_remote_mapped
+        resident = [
+            p
+            for p in pages
+            if self.device.page_table.is_resident(p) and not is_remote(p)
+        ]
+        if resident:
+            resident.sort()
+            self.clock.advance(
+                self.device.copy_engine.device_to_host(contiguous_runs(resident))
+            )
+            self.device.page_table.unmap_pages(resident)
+            for page in resident:
+                block = self.driver.vablocks.get_for_page(page)
+                block.resident_pages.discard(page)
+            self.host_vm.mark_valid(resident)
+        self.host_vm.cpu_touch(pages, thread_of)
+        self.clock.advance(self.host_cpu.touch_cost_usec(len(pages)))
+
+    # -------------------------------------------------------------- launch
+
+    def launch(self, kernel: KernelLaunch) -> LaunchResult:
+        """Run a kernel to completion; returns its launch summary."""
+        device = self.device
+        device.reset_scheduling()
+        self._waiters.clear()
+        self._prefetch_queue.clear()
+
+        occupancy = kernel.occupancy or self.config.gpu.max_warps_per_sm
+        for sm in device.sms:
+            sm.occupancy_limit = min(occupancy, self.config.gpu.max_warps_per_sm)
+        for i, program in enumerate(kernel.programs):
+            device.sms[i % len(device.sms)].enqueue(program)
+
+        start_time = self.clock.now
+        first_record = len(self.driver.log)
+        compute_total = 0.0
+        driver_slept = True
+        guard_rounds = 0
+        max_rounds = 1_000_000
+        self._last_retire_at = self.clock.now
+
+        while True:
+            guard_rounds += 1
+            if guard_rounds > max_rounds:  # pragma: no cover - safety net
+                raise DeadlockError("engine exceeded round limit")
+            progressed, compute = self._gpu_round(burst=driver_slept)
+            compute_total += compute
+            if len(device.fault_buffer) == 0:
+                if device.idle:
+                    break
+                if not progressed:
+                    # Warps may all be mid-compute: jump to the earliest
+                    # phase completion (the driver sleeps meanwhile, §2.2).
+                    next_ready = self._next_ready_time()
+                    if next_ready is None or next_ready <= self.clock.now:
+                        raise DeadlockError(
+                            "no faults outstanding and no warp can progress"
+                        )
+                    self.clock.advance_to(next_ready)
+                # Worker found no new faults and went to sleep (§2.2).
+                driver_slept = True
+                continue
+            outcome = self.driver.service_next_batch(slept=driver_slept)
+            driver_slept = False
+            self._apply_outcome(outcome)
+
+        # Wait out trailing compute of the last-retired warps.
+        self.clock.advance_to(self._last_retire_at)
+        records = self.driver.log.records[first_record:]
+        return LaunchResult(
+            name=kernel.name,
+            kernel_time_usec=self.clock.now - start_time,
+            records=records,
+            compute_time_usec=compute_total,
+            num_warps=len(kernel.programs),
+            total_faults=sum(r.num_faults_raw for r in records),
+        )
+
+    # ------------------------------------------------------------ GPU round
+
+    def _gpu_round(self, burst: bool) -> Tuple[bool, float]:
+        """One fault-generation window; returns (progressed, compute_usec)."""
+        device = self.device
+        cfg = self.config.gpu
+        resident = device.page_table.resident
+        progressed = False
+
+        # Throttle windows: the per-SM quota is the fault *rate* times the
+        # window length — the time since the previous window (≈ the last
+        # batch's service time, or the wake latency after a sleep).  A
+        # sleeping driver leaves a long window (burst up to the µTLB cap).
+        window = max(0.0, self.clock.now - self._window_start)
+        self._window_start = self.clock.now
+        rate_quota = int(
+            cfg.sm_fault_rate_limit * max(1.0, window / cfg.fault_window_unit_usec)
+        )
+        if burst:
+            rate_quota = cfg.utlb_outstanding_limit
+        quota = max(1, min(rate_quota, cfg.utlb_outstanding_limit))
+        for sm in device.sms:
+            sm.rate_limit = quota
+            sm.new_window(burst, cfg.utlb_outstanding_limit)
+
+        # Activate queued programs and advance newly-activated warps.
+        # Successive blocks start with a small launch skew (per-SM wave):
+        # blocks do not begin in perfect lockstep on real hardware.
+        stagger = self.cost.launch_stagger_usec
+        track_hits = self._hit_aware_eviction
+        for sm in device.sms:
+            activated = sm.activate_pending(self._next_uid)
+            for i, warp in enumerate(activated):
+                self._warps[warp.uid] = warp
+                warp.track_hits = track_hits
+                progressed = True
+                skew = (i * len(device.sms) + sm.sm_id) * stagger
+                warp.ready_at = self.clock.now + skew
+                self._advance_warp(warp)
+
+        # Prefetch-instruction faults: bypass scoreboard, µTLB cap, throttle.
+        t = self.clock.now + self.cost.refault_latency_usec
+        interval = self.cost.fault_arrival_interval_usec
+        if self._prefetch_queue:
+            for sm_id, page in self._prefetch_queue:
+                if page in resident:
+                    continue
+                fault = device.gmmu.deliver(
+                    page, AccessType.PREFETCH, sm_id, warp_uid=0, timestamp=t
+                )
+                if fault is not None:
+                    t += interval
+                    progressed = True
+            self._prefetch_queue.clear()
+
+        # Throttled round-robin issuance across SMs (fair buffer order).
+        # Warps still computing a completed phase (ready_at in the future)
+        # issue nothing this window — the desynchronization that keeps
+        # application batches below the synthetic ceiling (Table 2).
+        now = self.clock.now
+        issuers: List[Tuple] = []
+        for sm in device.sms:
+            utlb = device.utlbs[sm.utlb_id]
+            warps = [w for w in sm.active if w.has_issuable and w.ready_at <= now]
+            if warps and sm.budget > 0:
+                issuers.append((sm, utlb, warps, [0]))
+        while issuers:
+            next_issuers = []
+            for sm, utlb, warps, cursor in issuers:
+                issued_here = False
+                # One fault per SM per pass → round-robin interleaving.
+                while cursor[0] < len(warps):
+                    warp = warps[cursor[0]]
+                    if not warp.has_issuable:
+                        cursor[0] += 1
+                        continue
+                    if sm.budget <= 0:
+                        break
+                    merged_ahead = warp.peek_page() in utlb.pending_pages
+                    if not merged_ahead and utlb.available <= 0:
+                        break
+                    occs = warp.take_issuable(1)
+                    if not occs:
+                        cursor[0] += 1
+                        continue
+                    page, access = occs[0]
+                    if page in utlb.pending_pages:
+                        # Same-page miss merges into the existing µTLB entry
+                        # (occasionally a spurious duplicate is emitted).
+                        if utlb.request(page):
+                            sm.consume_budget(1)
+                            fault = device.gmmu.deliver(
+                                page, access, sm.sm_id, warp.uid, timestamp=t
+                            )
+                            if fault is not None:
+                                t += interval
+                        progressed = True
+                        issued_here = True
+                        break
+                    utlb.request(page)
+                    sm.consume_budget(1)
+                    fault = device.gmmu.deliver(
+                        page, access, sm.sm_id, warp.uid, timestamp=t
+                    )
+                    if fault is None:
+                        # HW buffer full: roll back the µTLB entry so the
+                        # re-demand does not merge against a phantom.
+                        utlb.cancel(page)
+                        warp.requeue(page, access)
+                        sm.budget = 0
+                    else:
+                        t += interval
+                        progressed = True
+                    issued_here = True
+                    break
+                if (
+                    issued_here
+                    and sm.budget > 0
+                    and utlb.available > 0
+                    and any(w.has_issuable for w in warps)
+                ):
+                    next_issuers.append((sm, utlb, warps, cursor))
+            issuers = next_issuers
+
+        # Compute accounting: warps run their phases concurrently; their
+        # busy intervals are tracked per warp via ready_at, so the round's
+        # wall time only needs the fault-arrival span here.  Only advance
+        # when faults were actually delivered — otherwise the idle round
+        # must not skip past warps' ready times.
+        compute = 0.0
+        for sm in device.sms:
+            compute += sm.compute_backlog_usec
+            sm.compute_backlog_usec = 0.0
+        if len(device.fault_buffer) > 0:
+            self.clock.advance_to(t)
+        return progressed, compute
+
+    def _next_ready_time(self) -> Optional[float]:
+        """Earliest future phase-completion among active warps."""
+        best: Optional[float] = None
+        now = self.clock.now
+        for sm in self.device.sms:
+            for warp in sm.active:
+                if warp.ready_at > now and (best is None or warp.ready_at < best):
+                    best = warp.ready_at
+        return best
+
+    def _advance_warp(self, warp: WarpState) -> None:
+        """Advance a runnable warp; register waits and prefetch demands."""
+        sm = self.device.sms[warp.sm_id]
+        result = warp.advance(self.device.page_table.resident)
+        sm.compute_backlog_usec += result.compute_usec
+        if result.hit_pages:
+            # Access-counter eviction policies observe in-memory hits.
+            eviction = self.driver.eviction
+            for block_id in {vablock_of_page(p) for p in result.hit_pages}:
+                eviction.on_access_hit(block_id)
+        if result.compute_usec > 0.0:
+            # The warp is busy computing the phases it just completed; its
+            # next faults only issue once the compute retires.
+            warp.ready_at = max(warp.ready_at, self.clock.now) + result.compute_usec
+        for page in result.prefetches:
+            self._prefetch_queue.append((warp.sm_id, page))
+        if result.finished:
+            # Trailing compute of the final phases still occupies the GPU.
+            self._last_retire_at = max(self._last_retire_at, warp.ready_at)
+            sm.retire(warp)
+            return
+        for page in result.new_waits:
+            self._waiters.setdefault(page, []).append(warp)
+
+    # -------------------------------------------------------- batch results
+
+    def _apply_outcome(self, outcome: ServiceOutcome) -> None:
+        """Apply a batch's effects to blocked warps."""
+        unblocked: List[WarpState] = []
+        seen: Set[int] = set()
+        waiters = self._waiters
+        for page in outcome.serviced_pages:
+            blocked = waiters.pop(page, None)
+            if not blocked:
+                continue
+            for warp in blocked:
+                if warp.finished:
+                    continue
+                if warp.on_pages_resident((page,)) and warp.uid not in seen:
+                    seen.add(warp.uid)
+                    unblocked.append(warp)
+        for warp in unblocked:
+            if not warp.blocked and not warp.finished:
+                self._advance_warp(warp)
+        # Flushed/unserviced faults: the µTLB replays still-needed misses.
+        for fault in outcome.dropped_faults:
+            self._requeue_fault(fault)
+        for fault in outcome.unserviced_faults:
+            self._requeue_fault(fault)
+
+    def _requeue_fault(self, fault) -> None:
+        warp = self._warps.get(fault.warp_uid)
+        if warp is not None and not warp.finished:
+            warp.requeue(fault.page, fault.access)

@@ -1,0 +1,33 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component (random-access workloads, cost jitter, host
+first-touch interleaving) draws from a generator derived from the single
+``SystemConfig.seed`` through named streams, so adding a new consumer never
+perturbs the draws of existing ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Root generator for ``seed``."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(seed: int, stream: str) -> np.random.Generator:
+    """Independent generator for the named ``stream`` under ``seed``.
+
+    The stream name is hashed (stable across processes and Python versions,
+    unlike ``hash()``) and combined with the seed via ``SeedSequence``.
+
+    >>> a = spawn_rng(0, "workload")
+    >>> b = spawn_rng(0, "jitter")
+    >>> bool((a.random(8) == b.random(8)).all())
+    False
+    """
+    tag = zlib.crc32(stream.encode("utf-8"))
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(tag,)))

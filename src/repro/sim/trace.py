@@ -1,0 +1,68 @@
+"""Lightweight event trace for debugging and fine-grain figures.
+
+The paper's per-fault instrumentation (as opposed to per-batch) records the
+origin SM, address, access type, and arrival timestamp of every fault pulled
+from the GPU fault buffer (used for Figs 3-5, 16c, 17c).  ``EventTrace`` is
+the in-simulator equivalent: an append-only list of small tuples with
+category filters, cheap enough to leave enabled for the microbenchmarks and
+disabled (``enabled=False``) for the large sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single trace record.
+
+    Attributes:
+        time: simulated timestamp (µs).
+        category: short event class, e.g. ``"fault"``, ``"batch"``,
+            ``"evict"``, ``"replay"``, ``"prefetch"``.
+        payload: category-specific tuple (kept as a tuple, not a dict, to
+            stay allocation-light on the hot path).
+    """
+
+    time: float
+    category: str
+    payload: Tuple
+
+
+class EventTrace:
+    """Append-only trace with category filtering."""
+
+    def __init__(self, enabled: bool = True, categories: Optional[set] = None) -> None:
+        self.enabled = enabled
+        #: When non-None, only these categories are recorded.
+        self.categories = categories
+        self._events: List[TraceEvent] = []
+
+    def emit(self, time: float, category: str, *payload) -> None:
+        """Record one event (no-op when disabled or filtered out)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self._events.append(TraceEvent(time, category, payload))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, idx):
+        return self._events[idx]
+
+    def select(self, category: str, predicate: Optional[Callable[[TraceEvent], bool]] = None) -> List[TraceEvent]:
+        """All events of ``category`` (optionally filtered by ``predicate``)."""
+        out = [e for e in self._events if e.category == category]
+        if predicate is not None:
+            out = [e for e in out if predicate(e)]
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,191 @@
+"""Run validation: invariant checks over a simulated system and its log.
+
+A production simulator needs a way to *prove a run made sense*.  This module
+checks the cross-cutting invariants the design guarantees — residency
+consistency between the driver's VABlock state and the GPU page table,
+physical-memory accounting, fault conservation through the hardware buffer,
+and per-record timing sanity — and reports violations instead of silently
+producing plausible-looking numbers.
+
+Use :func:`validate_system` after any run::
+
+    violations = validate_system(system)
+    assert not violations, "\\n".join(str(v) for v in violations)
+
+The engine's own tests run these checks on every property-test workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .api import UvmSystem
+from .core.batch_record import BatchRecord
+from .units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.detail}"
+
+
+# --------------------------------------------------------------- system state
+
+
+def check_residency_consistency(system: UvmSystem) -> List[Violation]:
+    """Driver block state and GPU page table must agree exactly."""
+    out: List[Violation] = []
+    pt = system.engine.device.page_table
+    driver = system.engine.driver
+    block_pages = set()
+    for block in driver.vablocks.blocks():
+        for page in block.resident_pages:
+            block_pages.add(page)
+            if not pt.is_resident(page):
+                out.append(
+                    Violation(
+                        "residency",
+                        f"page {page} in block {block.block_id} residency "
+                        "but absent from the GPU page table",
+                    )
+                )
+        block_pages.update(block.remote_pages)
+    for page in pt.resident:
+        if page not in block_pages:
+            out.append(
+                Violation(
+                    "residency",
+                    f"page {page} mapped on the GPU but tracked by no VABlock",
+                )
+            )
+    return out
+
+
+def check_memory_accounting(system: UvmSystem) -> List[Violation]:
+    """Chunk usage must equal allocated blocks; capacity must hold."""
+    out: List[Violation] = []
+    driver = system.engine.driver
+    chunks = system.engine.device.chunks
+    allocated_blocks = [b for b in driver.vablocks.blocks() if b.is_gpu_allocated]
+    if len(allocated_blocks) != chunks.used_chunks:
+        out.append(
+            Violation(
+                "memory",
+                f"{len(allocated_blocks)} GPU-allocated blocks vs "
+                f"{chunks.used_chunks} used chunks",
+            )
+        )
+    chunk_ids = [b.gpu_chunk for b in allocated_blocks]
+    if len(chunk_ids) != len(set(chunk_ids)):
+        out.append(Violation("memory", "two blocks share a physical chunk"))
+    migrated = driver.vablocks.total_resident_pages()
+    capacity = system.config.gpu.memory_bytes // PAGE_SIZE
+    if migrated > capacity:
+        out.append(
+            Violation(
+                "memory",
+                f"{migrated} resident pages exceed capacity {capacity}",
+            )
+        )
+    return out
+
+
+def check_fault_conservation(system: UvmSystem) -> List[Violation]:
+    """Every pushed fault was fetched, flushed, or still sits in the buffer."""
+    out: List[Violation] = []
+    buf = system.engine.device.fault_buffer
+    fetched = sum(r.num_faults_raw for r in system.records)
+    balance = buf.total_pushed - buf.total_flush_dropped - len(buf)
+    if fetched != balance:
+        out.append(
+            Violation(
+                "conservation",
+                f"fetched {fetched} != pushed {buf.total_pushed} - flushed "
+                f"{buf.total_flush_dropped} - residual {len(buf)}",
+            )
+        )
+    return out
+
+
+def check_host_state(system: UvmSystem) -> List[Violation]:
+    """Host-mapped pages of GPU-resident data only under read-mostly."""
+    out: List[Violation] = []
+    host_vm = system.engine.host_vm
+    driver = system.engine.driver
+    for block in driver.vablocks.blocks():
+        if block.read_mostly:
+            continue
+        overlap = host_vm.mapped & block.resident_pages
+        if overlap:
+            sample = next(iter(overlap))
+            out.append(
+                Violation(
+                    "host-state",
+                    f"page {sample} is GPU-resident and host-mapped without "
+                    "read-mostly duplication",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------- batch records
+
+
+def check_records(records: Iterable[BatchRecord]) -> List[Violation]:
+    """Per-record and cross-record log sanity."""
+    out: List[Violation] = []
+    prev_end = None
+    for r in records:
+        if r.t_end < r.t_start:
+            out.append(Violation("timing", f"batch {r.batch_id} ends before it starts"))
+        if prev_end is not None and r.t_start < prev_end - 1e-6:
+            out.append(
+                Violation("timing", f"batch {r.batch_id} overlaps its predecessor")
+            )
+        prev_end = r.t_end
+        if r.num_faults_unique > r.num_faults_raw:
+            out.append(
+                Violation("counts", f"batch {r.batch_id}: unique exceeds raw faults")
+            )
+        if r.num_faults_raw > 0 and (
+            r.num_faults_unique + r.duplicate_count != r.num_faults_raw
+        ):
+            out.append(
+                Violation(
+                    "counts",
+                    f"batch {r.batch_id}: unique+dups != raw",
+                )
+            )
+        if r.vablock_fault_counts is not None and r.num_faults_unique:
+            if int(r.vablock_fault_counts.sum()) != r.num_faults_unique:
+                out.append(
+                    Violation(
+                        "counts",
+                        f"batch {r.batch_id}: per-block fault counts do not "
+                        "sum to the unique count",
+                    )
+                )
+        if r.bytes_h2d != r.pages_migrated_h2d * PAGE_SIZE:
+            out.append(
+                Violation("counts", f"batch {r.batch_id}: bytes/pages mismatch")
+            )
+    return out
+
+
+def validate_system(system: UvmSystem, include_records: bool = True) -> List[Violation]:
+    """Run every invariant check; returns all violations found."""
+    out: List[Violation] = []
+    out.extend(check_residency_consistency(system))
+    out.extend(check_memory_accounting(system))
+    out.extend(check_fault_conservation(system))
+    out.extend(check_host_state(system))
+    if include_records:
+        out.extend(check_records(system.records))
+    return out

@@ -1,0 +1,70 @@
+"""Workload models: page-granularity access patterns of the paper's apps.
+
+Table 1 of the paper lists the benchmarks used in its evaluation; each has a
+model here that generates the same page-access structure (phase ordering,
+locality, spatial spread, host first-touch) the real kernels exhibit:
+
+=============== =============================================== ===========
+Workload        Model                                           Module
+=============== =============================================== ===========
+vecadd          Listing 1: page-strided vector add, one warp    microbench
+prefetch kernel Fig 5: prefetch.global.L2 upfront               microbench
+Regular         independent per-SM streaming (Tables 2/3)       synthetic
+Random          uniform random pages, no locality (Tables 2/3)  synthetic
+stream          BabelStream triad, grid-stride lockstep         stream
+sgemm/dgemm     cuBLAS-style tiled GEMM with k-panel reuse      sgemm
+cufft           radix-2 butterfly passes with strided partners  fft
+Gauss-Seidel    red-black stencil sweeps, narrow row frontier   gauss_seidel
+HPGMG-FV        geometric multigrid V-cycles + host phases      hpgmg
+=============== =============================================== ===========
+"""
+
+from .base import Workload, pages_of_byte_range
+from .microbench import CoalescedVecAdd, PrefetchVectorKernel, VecAddPageStride
+from .synthetic import RandomAccess, RegularStream
+from .stream import StreamTriad
+from .sgemm import Gemm, Sgemm, Dgemm
+from .fft import CuFft
+from .gauss_seidel import GaussSeidel
+from .hpgmg import Hpgmg
+from .pointer_chase import PointerChase
+from .graph import BfsWorkload, SpmvWorkload
+
+#: Named workload factories at CLI-friendly default scales
+#: (``uvm-repro breakdown <name>`` etc.).
+WORKLOAD_REGISTRY = {
+    "vecadd": VecAddPageStride,
+    "prefetch-kernel": PrefetchVectorKernel,
+    "regular": lambda: RegularStream(nbytes=24 << 20),
+    "random": lambda: RandomAccess(nbytes=24 << 20),
+    "stream": lambda: StreamTriad(nbytes=12 << 20),
+    "sgemm": lambda: Sgemm(n=1536, tile=256),
+    "dgemm": lambda: Dgemm(n=1024, tile=256),
+    "cufft": lambda: CuFft(nbytes=32 << 20),
+    "gauss-seidel": lambda: GaussSeidel(n=1024),
+    "hpgmg": lambda: Hpgmg(n=1024, levels=3, cycles=1),
+    "pointer-chase": PointerChase,
+    "bfs": lambda: BfsWorkload(num_nodes=1 << 14),
+    "spmv": lambda: SpmvWorkload(n=1 << 14),
+}
+
+__all__ = [
+    "Workload",
+    "pages_of_byte_range",
+    "VecAddPageStride",
+    "CoalescedVecAdd",
+    "PrefetchVectorKernel",
+    "RegularStream",
+    "RandomAccess",
+    "StreamTriad",
+    "Gemm",
+    "Sgemm",
+    "Dgemm",
+    "CuFft",
+    "GaussSeidel",
+    "Hpgmg",
+    "PointerChase",
+    "BfsWorkload",
+    "SpmvWorkload",
+    "WORKLOAD_REGISTRY",
+]

@@ -1,0 +1,240 @@
+"""Graph and sparse workloads: BFS and SpMV.
+
+The paper's related work fights UVM's worst case — irregular access — with
+remote mappings and reordering (Gera et al. [17], EMOGI [26], UVMBench
+[18]).  These two workloads generate that pattern from *real* seeded data
+structures, so their page offsets are genuine adjacency/sparsity offsets:
+
+* :class:`BfsWorkload` — level-synchronous BFS over a random graph in CSR
+  form: each level gathers the frontier's adjacency segments (clustered
+  reads into ``col_idx``) and scatters visited flags (random writes).
+* :class:`SpmvWorkload` — CSR ``y = A·x``: streaming reads of the matrix
+  arrays plus a random gather into ``x`` — the classic mixed
+  regular/irregular pattern.
+
+Both expose the structures they built (``graph_csr`` / ``matrix_csr``) so
+the app layer can run the actual algorithm over the same data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..api import UvmSystem
+from ..gpu.warp import KernelLaunch, Phase, WarpProgram
+from ..sim.rng import spawn_rng
+from ..units import PAGE_SIZE
+from .base import Workload, pages_of_byte_range
+
+
+def random_csr_graph(
+    num_nodes: int, avg_degree: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A seeded random directed graph in CSR form (row_ptr, col_idx)."""
+    rng = spawn_rng(seed, "csr-graph")
+    degrees = rng.poisson(avg_degree, size=num_nodes).astype(np.int64)
+    degrees = np.maximum(degrees, 1)
+    row_ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=row_ptr[1:])
+    col_idx = rng.integers(0, num_nodes, size=int(row_ptr[-1]), dtype=np.int64)
+    return row_ptr, col_idx
+
+
+class BfsWorkload(Workload):
+    """Level-synchronous BFS over a random CSR graph."""
+
+    name = "bfs"
+
+    def __init__(
+        self,
+        num_nodes: int = 1 << 15,
+        avg_degree: int = 8,
+        num_programs: int = 16,
+        max_levels: int = 6,
+        source: int = 0,
+        seed: int = 7,
+        host_init: bool = True,
+        compute_usec_per_node: float = 0.02,
+    ):
+        self.num_nodes = num_nodes
+        self.avg_degree = avg_degree
+        self.num_programs = num_programs
+        self.max_levels = max_levels
+        self.source = source
+        self.seed = seed
+        self.host_init = host_init
+        self.compute_usec_per_node = compute_usec_per_node
+        self.row_ptr, self.col_idx = random_csr_graph(num_nodes, avg_degree, seed)
+
+    @property
+    def graph_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.row_ptr, self.col_idx
+
+    def required_bytes(self) -> int:
+        return (
+            self.row_ptr.nbytes + self.col_idx.nbytes + 2 * 4 * self.num_nodes
+        )
+
+    def _bfs_levels(self) -> List[np.ndarray]:
+        """Frontier node sets per level (the access pattern's skeleton)."""
+        visited = np.zeros(self.num_nodes, dtype=bool)
+        frontier = np.array([self.source], dtype=np.int64)
+        visited[self.source] = True
+        levels = []
+        for _ in range(self.max_levels):
+            if frontier.size == 0:
+                break
+            levels.append(frontier)
+            neighbours = np.concatenate(
+                [
+                    self.col_idx[self.row_ptr[v] : self.row_ptr[v + 1]]
+                    for v in frontier
+                ]
+            ) if frontier.size else np.empty(0, dtype=np.int64)
+            fresh = np.unique(neighbours[~visited[neighbours]])
+            visited[fresh] = True
+            frontier = fresh
+        return levels
+
+    def steps(self, system: UvmSystem) -> List:
+        row_alloc = system.managed_alloc(self.row_ptr.nbytes, "row_ptr")
+        col_alloc = system.managed_alloc(self.col_idx.nbytes, "col_idx")
+        dist_alloc = system.managed_alloc(4 * self.num_nodes, "dist")
+
+        levels = self._bfs_levels()
+        programs: List[List[Phase]] = [[] for _ in range(self.num_programs)]
+        for frontier in levels:
+            chunks = np.array_split(frontier, self.num_programs)
+            for k, chunk in enumerate(chunks):
+                if chunk.size == 0:
+                    continue
+                reads: List[int] = []
+                writes: List[int] = []
+                for v in chunk:
+                    v = int(v)
+                    # Gather the adjacency segment of v.
+                    reads.extend(
+                        pages_of_byte_range(row_alloc, 8 * v, 8 * (v + 2))
+                    )
+                    b0 = int(self.row_ptr[v]) * 8
+                    b1 = int(self.row_ptr[v + 1]) * 8
+                    reads.extend(pages_of_byte_range(col_alloc, b0, max(b1, b0 + 1)))
+                    # Scatter distance updates for the discovered neighbours
+                    # (sampled: the page of each neighbour's dist entry).
+                    for u in self.col_idx[self.row_ptr[v] : self.row_ptr[v + 1]][:4]:
+                        writes.extend(
+                            pages_of_byte_range(dist_alloc, 4 * int(u), 4 * int(u) + 4)
+                        )
+                programs[k].append(
+                    Phase.of(
+                        reads,
+                        writes,
+                        compute_usec=self.compute_usec_per_node * chunk.size,
+                    )
+                )
+        kernel = KernelLaunch(
+            self.name,
+            [WarpProgram(ph, label=f"bfs{k}") for k, ph in enumerate(programs) if ph],
+        )
+        steps: List = []
+        if self.host_init:
+            steps.append(lambda s: s.host_touch(row_alloc))
+            steps.append(lambda s: s.host_touch(col_alloc))
+        steps.append(kernel)
+        return steps
+
+
+def random_csr_matrix(
+    n: int, nnz_per_row: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A seeded random sparse matrix in CSR form (row_ptr, col_idx, values)."""
+    rng = spawn_rng(seed, "csr-matrix")
+    row_ptr = np.arange(0, (n + 1) * nnz_per_row, nnz_per_row, dtype=np.int64)
+    col_idx = rng.integers(0, n, size=n * nnz_per_row, dtype=np.int64)
+    values = rng.standard_normal(n * nnz_per_row)
+    return row_ptr, col_idx, values
+
+
+class SpmvWorkload(Workload):
+    """CSR sparse matrix-vector product ``y = A·x``."""
+
+    name = "spmv"
+
+    def __init__(
+        self,
+        n: int = 1 << 15,
+        nnz_per_row: int = 16,
+        num_programs: int = 16,
+        rows_per_phase: int = 256,
+        seed: int = 11,
+        host_init: bool = True,
+        compute_usec_per_row: float = 0.01,
+    ):
+        self.n = n
+        self.nnz_per_row = nnz_per_row
+        self.num_programs = num_programs
+        self.rows_per_phase = rows_per_phase
+        self.seed = seed
+        self.host_init = host_init
+        self.compute_usec_per_row = compute_usec_per_row
+        self.row_ptr, self.col_idx, self.values = random_csr_matrix(
+            n, nnz_per_row, seed
+        )
+
+    @property
+    def matrix_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.row_ptr, self.col_idx, self.values
+
+    def required_bytes(self) -> int:
+        return (
+            self.row_ptr.nbytes
+            + self.col_idx.nbytes
+            + self.values.nbytes
+            + 2 * 8 * self.n
+        )
+
+    def steps(self, system: UvmSystem) -> List:
+        col_alloc = system.managed_alloc(self.col_idx.nbytes, "col_idx")
+        val_alloc = system.managed_alloc(self.values.nbytes, "values")
+        x_alloc = system.managed_alloc(8 * self.n, "x")
+        y_alloc = system.managed_alloc(8 * self.n, "y")
+
+        rows_per_prog = self.n // self.num_programs
+        programs: List[WarpProgram] = []
+        for k in range(self.num_programs):
+            phases: List[Phase] = []
+            start = k * rows_per_prog
+            stop = self.n if k == self.num_programs - 1 else start + rows_per_prog
+            for lo in range(start, stop, self.rows_per_phase):
+                hi = min(lo + self.rows_per_phase, stop)
+                reads: List[int] = []
+                # Streaming reads: the rows' nonzeros (col_idx + values).
+                b0 = int(self.row_ptr[lo]) * 8
+                b1 = int(self.row_ptr[hi]) * 8
+                reads.extend(pages_of_byte_range(col_alloc, b0, max(b1, b0 + 1)))
+                reads.extend(pages_of_byte_range(val_alloc, b0, max(b1, b0 + 1)))
+                # Irregular gather into x: sample the distinct pages the
+                # rows' column indices hit.
+                cols = self.col_idx[self.row_ptr[lo] : self.row_ptr[hi]]
+                pages = {int(c) * 8 // PAGE_SIZE for c in cols[:: max(1, len(cols) // 64)]}
+                for pg in sorted(pages):
+                    reads.append(x_alloc.page(pg))
+                writes = pages_of_byte_range(y_alloc, 8 * lo, 8 * hi)
+                phases.append(
+                    Phase.of(
+                        reads,
+                        writes,
+                        compute_usec=self.compute_usec_per_row * (hi - lo),
+                    )
+                )
+            programs.append(WarpProgram(phases, label=f"spmv{k}"))
+        kernel = KernelLaunch(self.name, programs)
+        steps: List = []
+        if self.host_init:
+            steps.append(lambda s: s.host_touch(col_alloc))
+            steps.append(lambda s: s.host_touch(val_alloc))
+            steps.append(lambda s: s.host_touch(x_alloc))
+        steps.append(kernel)
+        return steps

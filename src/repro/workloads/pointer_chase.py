@@ -1,0 +1,70 @@
+"""Pointer chase: the worst case for batched fault servicing.
+
+A linked-list traversal makes every access *data-dependent on the previous
+one* — the register scoreboard serializes them completely, so each fault
+ships alone: one fault, one batch, one replay round-trip, repeat.  This is
+the extreme endpoint of the paper's §6 "Driver Serialization" discussion
+(the GPU is stalled during every driver turn-around), and the pattern
+graph-traversal papers in the related work ([17, 26, 28]) fight with
+remote-mapping tricks.
+
+The chase's node order is a seeded permutation, so consecutive hops land on
+random pages (no 64 KiB-upgrade locality for the prefetcher to exploit).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..api import UvmSystem
+from ..gpu.warp import KernelLaunch, Phase, WarpProgram
+from ..sim.rng import spawn_rng
+from ..units import PAGE_SIZE
+from .base import Workload
+
+
+class PointerChase(Workload):
+    """Serial dependent-page traversal (one page per hop)."""
+
+    name = "pointer-chase"
+
+    def __init__(
+        self,
+        num_pages: int = 256,
+        hops: int = 128,
+        num_chains: int = 1,
+        seed: int = 99,
+        host_init: bool = True,
+        compute_usec_per_hop: float = 0.2,
+    ):
+        if hops > num_pages:
+            raise ValueError("hops cannot exceed the page pool")
+        self.num_pages = num_pages
+        self.hops = hops
+        self.num_chains = num_chains
+        self.seed = seed
+        self.host_init = host_init
+        self.compute_usec_per_hop = compute_usec_per_hop
+
+    def required_bytes(self) -> int:
+        return self.num_pages * PAGE_SIZE
+
+    def steps(self, system: UvmSystem) -> List:
+        data = system.managed_alloc(self.num_pages * PAGE_SIZE, "list")
+        rng = spawn_rng(self.seed, "pointer-chase")
+        programs = []
+        for chain in range(self.num_chains):
+            order = rng.permutation(self.num_pages)[: self.hops]
+            # One phase per hop: the next load's address comes from the
+            # previous load's data — total scoreboard serialization.
+            phases = [
+                Phase.of([data.page(int(p))], compute_usec=self.compute_usec_per_hop)
+                for p in order
+            ]
+            programs.append(WarpProgram(phases, label=f"chain{chain}"))
+        kernel = KernelLaunch(self.name, programs)
+        steps: List = []
+        if self.host_init:
+            steps.append(lambda s: s.host_touch(data))
+        steps.append(kernel)
+        return steps

@@ -1,0 +1,73 @@
+"""BabelStream triad (paper Table 1: "stream — Memory bandwidth
+(triad-only)").
+
+The CUDA BabelStream triad kernel ``a[i] = b[i] + scalar * c[i]`` uses a
+grid-stride loop: the whole grid sweeps the arrays together, so the faulting
+frontier at any instant is a narrow moving window — few VABlocks per batch
+with many faults each (Table 3: 3.93 blocks/batch, 15.4 faults/block), and
+a flat batch-size time series (Fig 8, stream's "simple" profile).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..api import UvmSystem
+from ..gpu.warp import KernelLaunch, WarpProgram
+from ..units import PAGE_SIZE
+from .base import Workload, lockstep_programs
+
+
+class StreamTriad(Workload):
+    """Grid-stride triad over three equal arrays."""
+
+    name = "stream"
+
+    def __init__(
+        self,
+        nbytes: int = 16 << 20,
+        num_programs: int = 24,
+        window_pages: int = 24,
+        host_init: bool = True,
+        compute_usec_per_page: float = 5.0,
+        sweeps: int = 1,
+    ):
+        if window_pages % num_programs:
+            raise ValueError("window_pages must divide evenly among programs")
+        self.nbytes = nbytes
+        self.num_programs = num_programs
+        self.window_pages = window_pages
+        self.host_init = host_init
+        self.compute_usec_per_page = compute_usec_per_page
+        #: BabelStream repeats the triad many times; > 1 makes working-set
+        #: reuse visible (oversubscription refaults evicted pages, Fig 1).
+        self.sweeps = sweeps
+
+    def required_bytes(self) -> int:
+        return 3 * self.nbytes
+
+    def steps(self, system: UvmSystem) -> List:
+        npages = self.nbytes // PAGE_SIZE
+        a = system.managed_alloc(self.nbytes, "a")  # written
+        b = system.managed_alloc(self.nbytes, "b")  # read
+        c = system.managed_alloc(self.nbytes, "c")  # read
+        programs = lockstep_programs(
+            [b, c],
+            [a],
+            npages,
+            self.num_programs,
+            self.window_pages,
+            compute_usec_per_page=self.compute_usec_per_page,
+        )
+        if self.sweeps > 1:
+            programs = [
+                WarpProgram(tuple(p.phases) * self.sweeps, label=p.label)
+                for p in programs
+            ]
+        kernel = KernelLaunch(self.name, programs)
+        steps: List = []
+        if self.host_init:
+            steps.append(lambda s: s.host_touch(b))
+            steps.append(lambda s: s.host_touch(c))
+        steps.append(kernel)
+        return steps

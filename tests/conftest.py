@@ -1,0 +1,57 @@
+"""Shared fixtures: small, fast system configurations for unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig, default_config
+from repro.api import UvmSystem
+from repro.units import MB
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A scaled-down system: 8 SMs, 16 MiB device memory, no jitter.
+
+    Jitter is disabled so unit tests can assert exact component sums.
+    """
+    cfg = default_config()
+    cfg.gpu.num_sms = 8
+    cfg.gpu.memory_bytes = 16 * MB
+    cfg.cost_overrides = {"jitter_frac": 0.0}
+    cfg.validate()
+    return cfg
+
+
+@pytest.fixture
+def small_system(small_config) -> UvmSystem:
+    return UvmSystem(small_config)
+
+
+@pytest.fixture
+def system_factory():
+    """Factory building a UvmSystem from keyword overrides.
+
+    >>> system = system_factory(prefetch_enabled=False, gpu_mem_mb=8)
+    """
+
+    def make(
+        gpu_mem_mb: int = 16,
+        num_sms: int = 8,
+        host_threads: int = 1,
+        trace: bool = False,
+        jitter: bool = False,
+        seed: int = 0,
+        **driver_kw,
+    ) -> UvmSystem:
+        cfg = default_config(**driver_kw)
+        cfg.gpu.num_sms = num_sms
+        cfg.gpu.memory_bytes = gpu_mem_mb * MB
+        cfg.host.num_threads = host_threads
+        cfg.seed = seed
+        if not jitter:
+            cfg.cost_overrides = {"jitter_frac": 0.0}
+        cfg.validate()
+        return UvmSystem(cfg, trace=trace)
+
+    return make

@@ -1,0 +1,113 @@
+"""Determinism guarantees, JSONL round-trips, and experiment smoke runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    fig01_latency,
+    fig03_vecadd_batches,
+    fig04_vecadd_timing,
+    fig05_prefetch_warp,
+    run_experiment,
+)
+from repro.api import UvmSystem
+from repro.config import default_config
+from repro.core.instrumentation import BatchLog
+from repro.units import MB
+from repro.workloads import Sgemm, StreamTriad
+
+
+def make_system(seed=0, **kw):
+    cfg = default_config(**kw)
+    cfg.gpu.memory_bytes = 32 * MB
+    cfg.seed = seed
+    return UvmSystem(cfg)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_records(self):
+        logs = []
+        for _ in range(2):
+            system = make_system(seed=3)
+            res = StreamTriad(nbytes=4 * MB).run(system)
+            logs.append(
+                [(r.num_faults_raw, round(r.duration, 9), r.num_vablocks) for r in res.records]
+            )
+        assert logs[0] == logs[1]
+
+    def test_different_seed_changes_jitter_not_structure(self):
+        runs = []
+        for seed in (0, 1):
+            system = make_system(seed=seed)
+            res = StreamTriad(nbytes=4 * MB).run(system)
+            runs.append(res)
+        sizes0 = [r.num_faults_raw for r in runs[0].records]
+        sizes1 = [r.num_faults_raw for r in runs[1].records]
+        assert sizes0 == sizes1  # structure identical
+        assert runs[0].batch_time_usec != runs[1].batch_time_usec  # jitter differs
+
+    def test_sgemm_deterministic(self):
+        times = set()
+        for _ in range(2):
+            system = make_system(seed=9)
+            res = Sgemm(n=512, tile=128).run(system)
+            times.add(round(res.kernel_time_usec, 6))
+        assert len(times) == 1
+
+
+class TestJsonlRoundTrip:
+    def test_full_run_roundtrip(self, tmp_path):
+        system = make_system()
+        res = StreamTriad(nbytes=4 * MB).run(system)
+        log = res.batch_log()
+        path = tmp_path / "run.jsonl"
+        log.to_jsonl(path)
+        loaded = BatchLog.from_jsonl(path)
+        assert len(loaded) == len(log)
+        assert loaded.total_batch_time == pytest.approx(log.total_batch_time)
+        assert loaded.total_faults_raw == log.total_faults_raw
+        for orig, back in zip(log, loaded):
+            assert orig.num_vablocks == back.num_vablocks
+            assert (orig.sm_fault_counts == back.sm_fault_counts).all()
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig01", "fig03", "fig04", "fig05", "tab02", "fig06", "fig07",
+            "fig08", "fig09", "tab03", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "tab04", "fig16", "fig17",
+            "ablation_dup_adaptive", "ablation_driver_parallel",
+            "ablation_async_unmap", "ablation_prefetch_scope",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestMicrobenchExperiments:
+    """The cheap experiments run in CI; assertions mirror the paper."""
+
+    def test_fig01_orderings(self):
+        result = fig01_latency(nbytes_per_array=2 * MB)
+        assert result.data["uvm_slowdown"] > 1.5
+        assert result.data["oversub_slowdown"] > result.data["uvm_slowdown"]
+
+    def test_fig03_first_batch(self):
+        result = fig03_vecadd_batches()
+        assert result.data["first_batch_size"] == 56
+        # Batch 0 contains all 32 A-page reads and 24 B-page reads.
+        comp = result.data["composition"][0]
+        assert comp["A"] == 32 and comp["B"] == 24 and comp["C"] == 0
+
+    def test_fig04_arrivals_fast(self):
+        result = fig04_vecadd_timing()
+        assert result.data["mean_span_over_service"] < 0.5
+
+    def test_fig05_fills_batch(self):
+        result = fig05_prefetch_warp()
+        assert result.data["max_batch"] == 256
+        assert result.data["dropped"] == 44

@@ -1,0 +1,140 @@
+"""Integration tests for §4's driver-workload findings (Figs 6-11)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fits import fit_time_vs_bytes
+from repro.analysis.stats import duplicate_summary, per_sm_stats, vablock_stats
+from repro.api import UvmSystem
+from repro.config import default_config
+from repro.units import MB
+from repro.workloads import GaussSeidel, Hpgmg, RegularStream, Sgemm, StreamTriad
+
+
+def make_system(prefetch=False, gpu_mem_mb=64, host_threads=1, **kw):
+    cfg = default_config(prefetch_enabled=prefetch, **kw)
+    cfg.gpu.memory_bytes = gpu_mem_mb * MB
+    cfg.host.num_threads = host_threads
+    return UvmSystem(cfg)
+
+
+@pytest.fixture(scope="module")
+def sgemm_run():
+    system = make_system()
+    return Sgemm(n=1024, tile=256).run(system)
+
+
+class TestDataMovement:
+    def test_batch_time_rises_with_bytes(self, sgemm_run):
+        """Fig 6: positive linear trend of batch time vs bytes migrated."""
+        fit, x, y = fit_time_vs_bytes(sgemm_run.records)
+        assert fit.slope > 0
+        assert fit.n > 10
+
+    def test_transfer_is_minority_cost(self, sgemm_run):
+        """Fig 7: migration takes at most ~25-30 % of any batch."""
+        fracs = [r.transfer_fraction for r in sgemm_run.records if r.duration > 0]
+        assert np.mean(fracs) < 0.25
+        assert max(fracs) < 0.40
+
+    def test_management_exceeds_transfer_total(self, sgemm_run):
+        total = sum(r.duration for r in sgemm_run.records)
+        transfer = sum(r.time_transfer_h2d + r.time_transfer_d2h for r in sgemm_run.records)
+        assert transfer < 0.3 * total
+
+
+class TestDuplicates:
+    def test_sgemm_has_heavy_duplication(self, sgemm_run):
+        """Fig 8: panel sharing makes sgemm duplicate-rich."""
+        d = duplicate_summary(sgemm_run.records)
+        assert d.dup_fraction > 0.3
+        assert d.dup_cross_utlb > 0  # data sharing among blocks
+
+    def test_stream_has_moderate_duplication(self):
+        system = make_system()
+        res = StreamTriad(nbytes=8 * MB).run(system)
+        d = duplicate_summary(res.records)
+        assert 0.05 < d.dup_fraction < 0.7
+
+    def test_larger_batch_cap_fewer_batches(self):
+        """Fig 9: the batch-size tradeoff tips toward larger caps.
+
+        Needs a problem big enough that steady-state generation exceeds the
+        default cap (the fig09 experiment's n=1536)."""
+        results = {}
+        for cap in (256, 1024):
+            system = make_system(batch_size=cap)
+            res = Sgemm(n=1536, tile=256).run(system)
+            results[cap] = res
+        assert results[1024].num_batches < results[256].num_batches
+        assert results[1024].batch_time_usec <= results[256].batch_time_usec * 1.05
+
+    def test_unique_per_batch_saturates(self):
+        """Fig 9: unique faults per batch hit a generation ceiling."""
+        means = {}
+        for cap in (256, 4096):
+            system = make_system(batch_size=cap)
+            res = Sgemm(n=1024, tile=256).run(system)
+            means[cap] = np.mean([r.num_faults_unique for r in res.records])
+        assert means[4096] < cap  # far below the cap: generation-limited
+
+
+class TestAccessPattern:
+    def test_regular_spreads_over_blocks(self):
+        """Table 3: per-SM streaming touches many VABlocks per batch."""
+        system = make_system(gpu_mem_mb=96)
+        res = RegularStream(nbytes=80 * MB, num_programs=80).run(system)
+        stats = vablock_stats(res.records)
+        assert stats.vablocks_per_batch > 10
+
+    def test_stencil_stays_local(self):
+        """Table 3: Gauss-Seidel's narrow frontier touches ~2 blocks."""
+        system = make_system()
+        res = GaussSeidel(n=1024).run(system)
+        stats = vablock_stats(res.records)
+        assert stats.vablocks_per_batch < 5
+
+    def test_per_sm_ceiling(self):
+        """Table 2: per-SM contribution never exceeds batch/num_sms."""
+        system = make_system(gpu_mem_mb=96)
+        res = RegularStream(nbytes=80 * MB, num_programs=80).run(system)
+        stats = per_sm_stats(res.records, 80)
+        assert stats.max <= 256 / 80 + 1e-9
+
+    def test_apps_below_synthetic_ceiling(self):
+        """Table 2 ordering: application kernels contribute fewer
+        faults/SM/batch than saturating synthetic streams."""
+        sys_reg = make_system(gpu_mem_mb=96)
+        reg = per_sm_stats(
+            RegularStream(nbytes=80 * MB, num_programs=80).run(sys_reg).records, 80
+        )
+        sys_gs = make_system()
+        gs = per_sm_stats(GaussSeidel(n=1024).run(sys_gs).records, 80)
+        assert gs.mean < reg.mean
+
+
+class TestHostInteraction:
+    def test_multithreaded_init_slower(self):
+        """Fig 11: default-OpenMP first-touch inflates unmap cost ~2x."""
+        times = {}
+        for threads in (1, 64):
+            system = make_system(prefetch=True, host_threads=threads)
+            res = Hpgmg(n=1024, levels=3, cycles=2).run(system)
+            times[threads] = res.kernel_time_usec
+        assert times[64] > 1.4 * times[1]
+
+    def test_unmap_on_fault_path(self):
+        """§4.4: host-initialized data pays unmap when the GPU touches it."""
+        system = make_system()
+        res = StreamTriad(nbytes=4 * MB).run(system)
+        assert sum(r.unmap_calls for r in res.records) > 0
+        assert sum(r.time_unmap for r in res.records) > 0
+
+    def test_unmap_fraction_higher_with_threads(self):
+        fracs = {}
+        for threads in (1, 64):
+            system = make_system(prefetch=True, host_threads=threads)
+            res = Hpgmg(n=1024, levels=3, cycles=2).run(system)
+            recs = [r for r in res.records if r.duration > 0]
+            fracs[threads] = np.mean([r.unmap_fraction for r in recs])
+        assert fracs[64] > fracs[1]

@@ -1,0 +1,46 @@
+"""Every registered workload runs end-to-end and leaves a valid system.
+
+This is the suite-wide contract for the CLI surface (`uvm-repro breakdown`
+/ `export` / `compare` accept any registry name) and the broadest
+integration coverage: all workloads × {prefetch on, off} × the invariant
+validator.
+"""
+
+import pytest
+
+from repro import UvmSystem, default_config
+from repro.units import MB
+from repro.validate import validate_system
+from repro.workloads import WORKLOAD_REGISTRY
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_REGISTRY))
+@pytest.mark.parametrize("prefetch", [False, True], ids=["pf-off", "pf-on"])
+def test_registry_workload_runs_and_validates(name, prefetch):
+    cfg = default_config(prefetch_enabled=prefetch)
+    cfg.gpu.memory_bytes = 64 * MB
+    if name in ("regular", "random"):
+        cfg.gpu.memory_bytes = 96 * MB  # their default arrays are larger
+    system = UvmSystem(cfg)
+    workload = WORKLOAD_REGISTRY[name]()
+    result = workload.run(system)
+    assert result.num_batches >= (0 if prefetch else 1)
+    assert system.engine.device.idle
+    violations = validate_system(system)
+    assert violations == [], f"{name}: " + "; ".join(str(v) for v in violations)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_REGISTRY))
+def test_registry_workload_deterministic(name):
+    """Two identical runs produce identical batch structures."""
+    def run_once():
+        cfg = default_config(prefetch_enabled=False)
+        cfg.gpu.memory_bytes = 96 * MB
+        system = UvmSystem(cfg)
+        result = WORKLOAD_REGISTRY[name]().run(system)
+        return [
+            (r.num_faults_raw, r.num_faults_unique, r.num_vablocks)
+            for r in result.records
+        ]
+
+    assert run_once() == run_once()

@@ -1,0 +1,132 @@
+"""Property-based tests for multi-GPU ownership and the hint APIs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import UvmSystem, default_config
+from repro.gpu.warp import KernelLaunch, Phase, WarpProgram
+from repro.multigpu import MultiGpuSystem
+from repro.units import MB, PAGE_SIZE
+
+
+def mg_config():
+    cfg = default_config(prefetch_enabled=False)
+    cfg.gpu.num_sms = 4
+    cfg.gpu.memory_bytes = 8 * MB
+    cfg.cost_overrides = {"jitter_frac": 0.0}
+    return cfg
+
+
+def kernel_for(alloc, offsets, name="k"):
+    pages = [alloc.page(o) for o in sorted(set(offsets))]
+    return KernelLaunch(name, [WarpProgram([Phase.of(pages)])])
+
+
+launch_plan = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),  # device
+        st.sets(st.integers(min_value=0, max_value=255), min_size=1, max_size=24),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestMultiGpuOwnershipProps:
+    @given(launch_plan)
+    @settings(max_examples=25, deadline=None)
+    def test_single_owner_invariant(self, plan):
+        """No page is ever resident on two devices at once."""
+        mg = MultiGpuSystem(num_devices=2, config=mg_config())
+        alloc = mg.managed_alloc(1 * MB)
+        mg.host_touch(alloc)
+        for i, (device, offsets) in enumerate(plan):
+            mg.launch(device, kernel_for(alloc, offsets, f"k{i}"))
+            for page in alloc.pages():
+                on = [
+                    d.device_id
+                    for d in mg.devices
+                    if d.engine.device.page_table.is_resident(page)
+                ]
+                assert len(on) <= 1, f"page {page} on devices {on}"
+
+    @given(launch_plan)
+    @settings(max_examples=25, deadline=None)
+    def test_owner_map_matches_residency(self, plan):
+        """The coordinator's owner map agrees with device page tables."""
+        mg = MultiGpuSystem(num_devices=2, config=mg_config())
+        alloc = mg.managed_alloc(1 * MB)
+        mg.host_touch(alloc)
+        for i, (device, offsets) in enumerate(plan):
+            mg.launch(device, kernel_for(alloc, offsets, f"k{i}"))
+        for page, owner in mg._owner.items():
+            assert mg.devices[owner].engine.device.page_table.is_resident(page)
+
+    @given(launch_plan, st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_clock_monotonic_and_stats_consistent(self, plan, peer):
+        mg = MultiGpuSystem(num_devices=2, config=mg_config(), peer_enabled=peer)
+        alloc = mg.managed_alloc(1 * MB)
+        mg.host_touch(alloc)
+        last = mg.clock.now
+        for i, (device, offsets) in enumerate(plan):
+            mg.launch(device, kernel_for(alloc, offsets, f"k{i}"))
+            assert mg.clock.now >= last
+            last = mg.clock.now
+        stats = mg.peer_stats
+        if peer:
+            assert stats.bounce_pages == 0
+        else:
+            assert stats.peer_pages == 0
+
+
+class TestHintProps:
+    @given(
+        st.sets(st.integers(min_value=0, max_value=511), min_size=1, max_size=64)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mem_prefetch_exact_residency(self, offsets):
+        """Bulk migration makes exactly the hinted pages resident."""
+        cfg = default_config(prefetch_enabled=False)
+        cfg.gpu.num_sms = 4
+        cfg.gpu.memory_bytes = 8 * MB
+        system = UvmSystem(cfg)
+        alloc = system.managed_alloc(2 * MB)
+        pages = [alloc.page(o) for o in offsets]
+        system.engine.driver.bulk_migrate(pages)
+        pt = system.engine.device.page_table
+        for off in range(alloc.num_pages):
+            page = alloc.page(off)
+            assert pt.is_resident(page) == (off in offsets)
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=511), min_size=1, max_size=64),
+        st.sets(st.integers(min_value=0, max_value=511), min_size=1, max_size=64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_prefetch_then_kernel_no_faults_on_covered(self, hinted, touched):
+        cfg = default_config(prefetch_enabled=False)
+        cfg.gpu.num_sms = 4
+        cfg.gpu.memory_bytes = 8 * MB
+        system = UvmSystem(cfg)
+        alloc = system.managed_alloc(2 * MB)
+        system.host_touch(alloc)
+        system.engine.driver.bulk_migrate([alloc.page(o) for o in hinted])
+        kernel = kernel_for(alloc, touched)
+        res = system.launch(kernel)
+        uncovered = touched - hinted
+        faults = sum(r.num_faults_unique for r in res.records)
+        assert faults == len(uncovered)
+
+    @given(st.sets(st.integers(min_value=0, max_value=511), min_size=1, max_size=64))
+    @settings(max_examples=20, deadline=None)
+    def test_accessed_by_consumes_no_chunks(self, offsets):
+        cfg = default_config(prefetch_enabled=False)
+        cfg.gpu.num_sms = 4
+        cfg.gpu.memory_bytes = 8 * MB
+        system = UvmSystem(cfg)
+        alloc = system.managed_alloc(2 * MB)
+        system.engine.driver.advise_accessed_by([alloc.page(o) for o in offsets])
+        assert system.engine.device.chunks.used_chunks == 0
+        pt = system.engine.device.page_table
+        assert all(pt.is_resident(alloc.page(o)) for o in offsets)

@@ -1,0 +1,102 @@
+"""Property-based tests: the radix tree must behave exactly like a dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.hostos.radix_tree import RadixTree
+
+keys = st.integers(min_value=0, max_value=1 << 30)
+values = st.integers(min_value=1, max_value=1 << 20)
+
+
+@given(st.lists(st.tuples(keys, values)))
+def test_insert_lookup_matches_dict(pairs):
+    tree = RadixTree()
+    model = {}
+    for k, v in pairs:
+        tree.insert(k, v)
+        model[k] = v
+    assert len(tree) == len(model)
+    for k, v in model.items():
+        assert tree.lookup(k) == v
+
+
+@given(st.lists(st.tuples(keys, values)), st.lists(keys))
+def test_delete_matches_dict(pairs, deletions):
+    tree = RadixTree()
+    model = {}
+    for k, v in pairs:
+        tree.insert(k, v)
+        model[k] = v
+    for k in deletions:
+        assert tree.delete(k) == model.pop(k, None)
+    for k, v in model.items():
+        assert tree.lookup(k) == v
+    assert len(tree) == len(model)
+
+
+@given(st.lists(st.tuples(keys, values), min_size=1))
+def test_items_sorted_and_complete(pairs):
+    tree = RadixTree()
+    model = {}
+    for k, v in pairs:
+        tree.insert(k, v)
+        model[k] = v
+    items = list(tree.items())
+    assert items == sorted(model.items())
+
+
+@given(st.lists(keys, unique=True))
+def test_delete_all_frees_all_nodes(key_list):
+    tree = RadixTree()
+    for k in key_list:
+        tree.insert(k, k + 1)
+    for k in key_list:
+        tree.delete(k)
+    assert tree.nodes_live == 0
+    assert len(tree) == 0
+
+
+@given(st.lists(st.tuples(keys, values)))
+def test_node_accounting_consistent(pairs):
+    tree = RadixTree()
+    for k, v in pairs:
+        tree.insert(k, v)
+    assert 0 <= tree.nodes_live <= tree.nodes_allocated
+
+
+class RadixTreeMachine(RuleBasedStateMachine):
+    """Stateful comparison against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = RadixTree()
+        self.model = {}
+
+    @rule(k=keys, v=values)
+    def insert(self, k, v):
+        was_new = k not in self.model
+        assert self.tree.insert(k, v) == was_new
+        self.model[k] = v
+
+    @rule(k=keys)
+    def delete(self, k):
+        assert self.tree.delete(k) == self.model.pop(k, None)
+
+    @rule(k=keys)
+    def lookup(self, k):
+        assert self.tree.lookup(k) == self.model.get(k)
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def empty_tree_has_no_nodes(self):
+        if not self.model:
+            assert self.tree.nodes_live == 0
+
+
+TestRadixTreeStateful = RadixTreeMachine.TestCase
+TestRadixTreeStateful.settings = settings(max_examples=30, stateful_step_count=40)

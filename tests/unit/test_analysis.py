@@ -1,0 +1,234 @@
+"""Unit tests for analysis statistics, fits, time series, and report text."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fits import (
+    fit_time_vs_bytes,
+    linear_fit,
+    partial_fit_blocks_given_bytes,
+)
+from repro.analysis.report import (
+    ascii_hist,
+    ascii_series,
+    ascii_table,
+    format_usec_stats,
+)
+from repro.analysis.stats import (
+    SummaryStats,
+    batch_size_summary,
+    duplicate_summary,
+    per_sm_stats,
+    vablock_stats,
+)
+from repro.analysis.timeseries import (
+    batch_series,
+    eviction_groups,
+    moving_mean,
+    phase_segments,
+    split_levels,
+)
+from repro.core.batch_record import BatchRecord
+
+
+def record(batch_id=0, **kwargs):
+    r = BatchRecord(batch_id=batch_id)
+    for k, v in kwargs.items():
+        setattr(r, k, v)
+    return r
+
+
+class TestSummaryStats:
+    def test_of_values(self):
+        s = SummaryStats.of([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.count == 3
+
+    def test_empty(self):
+        s = SummaryStats.of([])
+        assert s.count == 0 and s.mean == 0.0
+
+    def test_single_value_std_zero(self):
+        assert SummaryStats.of([5.0]).std == 0.0
+
+    def test_row_format(self):
+        assert SummaryStats.of([1.0, 2.0]).row() == ["1.50", "0.71", "1.00", "2.00"]
+
+
+class TestPerSmStats:
+    def test_ceiling(self):
+        recs = [record(num_faults_raw=256) for _ in range(4)]
+        s = per_sm_stats(recs, num_sms=80)
+        assert s.mean == pytest.approx(3.2)
+        assert s.max == pytest.approx(3.2)
+
+    def test_mixed(self):
+        recs = [record(num_faults_raw=80), record(num_faults_raw=160)]
+        s = per_sm_stats(recs, num_sms=80)
+        assert s.mean == pytest.approx(1.5)
+
+
+class TestVablockStats:
+    def test_pooled_counts(self):
+        recs = [
+            record(num_vablocks=2, vablock_fault_counts=np.array([3, 7])),
+            record(num_vablocks=1, vablock_fault_counts=np.array([10])),
+        ]
+        s = vablock_stats(recs)
+        assert s.vablocks_per_batch == pytest.approx(1.5)
+        assert s.faults_per_vablock.min == 3
+        assert s.faults_per_vablock.max == 10
+
+    def test_skips_empty_batches(self):
+        recs = [record(num_vablocks=0), record(num_vablocks=4, vablock_fault_counts=np.array([1, 1, 1, 1]))]
+        assert vablock_stats(recs).vablocks_per_batch == 4.0
+
+
+class TestDuplicateSummary:
+    def test_fraction(self):
+        recs = [record(num_faults_raw=10, num_faults_unique=6, dup_same_utlb=3, dup_cross_utlb=1)]
+        d = duplicate_summary(recs)
+        assert d.dup_total == 4
+        assert d.dup_fraction == pytest.approx(0.4)
+
+    def test_empty(self):
+        assert duplicate_summary([]).dup_fraction == 0.0
+
+
+class TestBatchSizeSummary:
+    def test_summary(self):
+        recs = [
+            record(num_faults_raw=100, num_faults_unique=60, t_start=0, t_end=50),
+            record(num_faults_raw=200, num_faults_unique=120, t_start=50, t_end=150),
+        ]
+        s = batch_size_summary(recs)
+        assert s.num_batches == 2
+        assert s.raw_sizes.mean == 150
+        assert s.mean_unique_per_batch == 90
+        assert s.total_batch_time_usec == 150
+
+
+class TestFits:
+    def test_perfect_line(self):
+        fit = linear_fit([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_degenerate_x(self):
+        fit = linear_fit([5, 5, 5], [1, 2, 3])
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(2.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+    def test_fit_time_vs_bytes_filters_zero(self):
+        recs = [
+            record(bytes_h2d=0, t_start=0, t_end=99),
+            record(bytes_h2d=4096, t_start=0, t_end=10),
+            record(bytes_h2d=8192, t_start=0, t_end=15),
+        ]
+        fit, x, y = fit_time_vs_bytes(recs)
+        assert fit.n == 2
+        assert fit.slope > 0
+
+    def test_partial_fit_isolates_blocks(self):
+        # duration = 1e-3*bytes + 10*blocks: residual fit must find ~10/block.
+        recs = []
+        rng = np.random.default_rng(0)
+        for i in range(50):
+            nbytes = int(rng.integers(1, 100)) * 4096
+            blocks = int(rng.integers(1, 10))
+            recs.append(
+                record(
+                    bytes_h2d=nbytes,
+                    num_vablocks=blocks,
+                    t_start=0.0,
+                    t_end=1e-3 * nbytes + 10.0 * blocks,
+                )
+            )
+        fit = partial_fit_blocks_given_bytes(recs)
+        assert fit.slope == pytest.approx(10.0, rel=0.25)
+
+    def test_partial_fit_needs_samples(self):
+        assert partial_fit_blocks_given_bytes([]) is None
+
+
+class TestTimeseries:
+    def test_batch_series(self):
+        recs = [record(num_faults_raw=i) for i in (1, 2, 3)]
+        assert batch_series(recs, "num_faults_raw").tolist() == [1, 2, 3]
+
+    def test_batch_series_property(self):
+        recs = [record(t_start=0, t_end=5)]
+        assert batch_series(recs, "duration").tolist() == [5.0]
+
+    def test_moving_mean(self):
+        assert moving_mean([1, 2, 3, 4], 2).tolist() == [1.0, 1.5, 2.5, 3.5]
+
+    def test_moving_mean_window_one(self):
+        assert moving_mean([1, 2], 1).tolist() == [1, 2]
+
+    def test_eviction_groups(self):
+        recs = [record(evictions=0), record(evictions=2), record(evictions=0)]
+        groups = eviction_groups(recs)
+        assert len(groups[0]) == 2
+        assert len(groups[2]) == 1
+
+    def test_split_levels_two_clusters(self):
+        levels = split_levels([1.0, 1.1, 5.0, 5.2])
+        assert len(levels) == 2
+        assert levels[0][1] == 2 and levels[1][1] == 2
+
+    def test_split_levels_single_cluster(self):
+        assert len(split_levels([1.0, 1.2, 1.4])) == 1
+
+    def test_split_levels_empty(self):
+        assert split_levels([]) == []
+
+    def test_phase_segments(self):
+        assert phase_segments([0, 5, 6, 0, 0, 7, 8, 9], threshold=1) == [(1, 3), (5, 8)]
+
+    def test_phase_segments_min_len(self):
+        assert phase_segments([0, 5, 0], threshold=1, min_len=2) == []
+
+    def test_phase_segments_tail(self):
+        assert phase_segments([0, 5, 6], threshold=1) == [(1, 3)]
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        out = ascii_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_ascii_table_title(self):
+        out = ascii_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_ascii_hist(self):
+        out = ascii_hist([1, 1, 1, 5], bins=2, label="h")
+        assert "h" in out
+        assert "#" in out
+
+    def test_ascii_hist_empty(self):
+        assert "(no data)" in ascii_hist([], label="x")
+
+    def test_ascii_series(self):
+        out = ascii_series([1, 2, 3, 4], width=4)
+        assert "|" in out
+
+    def test_ascii_series_empty(self):
+        assert "(no data)" in ascii_series([], label="s")
+
+    def test_format_usec_stats(self):
+        out = format_usec_stats([1.0, 2.0, 1000.0])
+        assert "mean=" in out and "max=" in out
+
+    def test_format_usec_stats_empty(self):
+        assert format_usec_stats([]) == "(no data)"

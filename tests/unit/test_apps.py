@@ -1,0 +1,194 @@
+"""Unit tests for the real-numerics applications (correctness of the math)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import _bit_reverse_indices, iterative_fft
+from repro.apps.gauss_seidel import gauss_seidel_poisson, gs_sweep, residual_norm
+from repro.apps.gemm import blocked_gemm
+from repro.apps.multigrid import (
+    MultigridPoisson,
+    prolong_bilinear,
+    restrict_full_weighting,
+)
+from repro.apps.triad import triad
+
+
+class TestBlockedGemm:
+    @pytest.mark.parametrize("n,tile", [(8, 4), (16, 8), (32, 32), (64, 16)])
+    def test_matches_numpy(self, n, tile):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((n, n)).astype(np.float64)
+        b = rng.standard_normal((n, n)).astype(np.float64)
+        assert np.allclose(blocked_gemm(a, b, tile), a @ b, atol=1e-10)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            blocked_gemm(np.ones((4, 8)), np.ones((8, 4)), 4)
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            blocked_gemm(np.ones((8, 8)), np.ones((8, 8)), 3)
+
+    def test_identity(self):
+        eye = np.eye(8)
+        m = np.arange(64.0).reshape(8, 8)
+        assert np.allclose(blocked_gemm(eye, m, 4), m)
+
+
+class TestTriad:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal(1000)
+        c = rng.standard_normal(1000)
+        assert np.allclose(triad(b, c, 0.4, chunk=64), b + 0.4 * c)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            triad(np.ones(4), np.ones(5), 1.0)
+
+    def test_chunk_boundaries(self):
+        b = np.arange(10.0)
+        c = np.ones(10)
+        assert np.allclose(triad(b, c, 2.0, chunk=3), b + 2.0)
+
+
+class TestFft:
+    def test_bit_reverse_small(self):
+        assert _bit_reverse_indices(8).tolist() == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_bit_reverse_is_involution(self):
+        rev = _bit_reverse_indices(64)
+        assert (rev[rev] == np.arange(64)).all()
+
+    @pytest.mark.parametrize("n", [2, 4, 16, 128, 1024])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(iterative_fft(x), np.fft.fft(x), atol=1e-9)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            iterative_fft(np.ones(6))
+
+    def test_linearity(self):
+        rng = np.random.default_rng(3)
+        x, y = rng.standard_normal(64), rng.standard_normal(64)
+        assert np.allclose(
+            iterative_fft(x + 2 * y), iterative_fft(x) + 2 * iterative_fft(y)
+        )
+
+
+class TestGaussSeidel:
+    def test_residual_decreases(self):
+        rng = np.random.default_rng(4)
+        f = rng.standard_normal((32, 32))
+        _, history = gauss_seidel_poisson(f, sweeps=5)
+        assert history[-1] < history[0]
+        # Monotone non-increasing for this SPD system.
+        assert all(b <= a * 1.0001 for a, b in zip(history, history[1:]))
+
+    def test_zero_rhs_fixed_point(self):
+        u = np.zeros((16, 16))
+        f = np.zeros((16, 16))
+        gs_sweep(u, f, 1.0)
+        assert np.allclose(u, 0.0)
+
+    def test_boundary_untouched(self):
+        rng = np.random.default_rng(5)
+        f = rng.standard_normal((16, 16))
+        u, _ = gauss_seidel_poisson(f, sweeps=3)
+        assert np.allclose(u[0, :], 0) and np.allclose(u[-1, :], 0)
+        assert np.allclose(u[:, 0], 0) and np.allclose(u[:, -1], 0)
+
+    def test_residual_norm_of_exact_zero(self):
+        u = np.zeros((8, 8))
+        f = np.zeros((8, 8))
+        assert residual_norm(u, f, 1.0) == 0.0
+
+
+class TestMultigrid:
+    def test_restriction_shape_and_mean(self):
+        fine = np.ones((16, 16))
+        coarse = restrict_full_weighting(fine)
+        assert coarse.shape == (8, 8)
+        # Interior coarse points average ones to one.
+        assert np.allclose(coarse[2:-2, 2:-2], 1.0)
+
+    def test_prolongation_shape(self):
+        assert prolong_bilinear(np.ones((8, 8))).shape == (16, 16)
+
+    def test_prolongation_interpolates(self):
+        coarse = np.zeros((4, 4))
+        coarse[1, 1] = 4.0
+        fine = prolong_bilinear(coarse)
+        assert fine[2, 2] == 4.0
+        assert fine[3, 2] == 2.0  # halfway between 4 and 0
+        assert fine[3, 3] == 1.0  # centre of the 4-0-0-0 cell
+
+    def test_v_cycle_contracts(self):
+        rng = np.random.default_rng(6)
+        f = rng.standard_normal((64, 64))
+        solver = MultigridPoisson(levels=3)
+        _, history = solver.solve(f, cycles=3)
+        assert history[1] < 0.25 * history[0]
+        assert history[3] < history[1]
+
+    def test_multigrid_beats_plain_gs(self):
+        rng = np.random.default_rng(7)
+        f = rng.standard_normal((64, 64))
+        _, gs_hist = gauss_seidel_poisson(f, sweeps=8)
+        _, mg_hist = MultigridPoisson(levels=3, pre_smooth=2, post_smooth=2).solve(
+            f, cycles=2
+        )
+        # 2 V-cycles (≈8 smoother applications) reduce far more than 8 sweeps.
+        assert mg_hist[-1] < gs_hist[-1]
+
+
+class TestManagedRuns:
+    def test_run_managed_gemm(self, system_factory):
+        from repro.apps.gemm import run_managed_gemm
+
+        result = run_managed_gemm(n=128, tile=64, system=system_factory())
+        assert result.max_abs_error < 1e-2
+        assert result.run.num_batches >= 1
+
+    def test_run_managed_triad(self, system_factory):
+        from repro.apps.triad import run_managed_triad
+
+        result = run_managed_triad(nbytes=1 << 20, system=system_factory())
+        assert result.max_abs_error == 0.0
+        assert result.run.total_faults > 0
+
+    def test_run_managed_fft(self, system_factory):
+        from repro.apps.fft import run_managed_fft
+
+        result = run_managed_fft(nbytes=1 << 20, system=system_factory())
+        assert result.max_abs_error < 1e-6
+
+    def test_run_managed_gauss_seidel(self, system_factory):
+        from repro.apps.gauss_seidel import run_managed_gauss_seidel
+
+        result = run_managed_gauss_seidel(n=512, sweeps=2, system=system_factory())
+        assert result.max_abs_error == 0.0  # residual decreased
+        assert result.residual_history[-1] < result.residual_history[0]
+
+    def test_run_managed_multigrid(self, system_factory):
+        from repro.apps.multigrid import run_managed_multigrid
+
+        result = run_managed_multigrid(n=512, levels=2, cycles=1, system=system_factory())
+        assert result.max_abs_error == 0.0
+
+    def test_run_managed_bfs(self, system_factory):
+        from repro.apps.graph import run_managed_bfs
+
+        result = run_managed_bfs(num_nodes=1024, system=system_factory())
+        assert result.max_abs_error == 0.0  # matches networkx everywhere
+        assert result.run.total_faults > 0
+
+    def test_run_managed_spmv(self, system_factory):
+        from repro.apps.graph import run_managed_spmv
+
+        result = run_managed_spmv(n=1024, system=system_factory())
+        assert result.max_abs_error < 1e-9  # matches scipy.sparse
+        assert result.run.num_batches > 0

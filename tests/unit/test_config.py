@@ -1,0 +1,127 @@
+"""Unit tests for configuration validation and helpers."""
+
+import pytest
+
+from repro.config import (
+    DriverConfig,
+    GpuConfig,
+    HostConfig,
+    SystemConfig,
+    default_config,
+)
+from repro.errors import ConfigError
+from repro.units import MB, VABLOCK_SIZE
+
+
+class TestGpuConfig:
+    def test_defaults_model_titan_v(self):
+        cfg = GpuConfig()
+        assert cfg.num_sms == 80
+        assert cfg.utlb_outstanding_limit == 56
+        assert cfg.warp_size == 32
+
+    def test_num_utlbs_pairs_sms(self):
+        assert GpuConfig(num_sms=80, sms_per_utlb=2).num_utlbs == 40
+
+    def test_num_utlbs_rounds_up(self):
+        assert GpuConfig(num_sms=5, sms_per_utlb=2).num_utlbs == 3
+
+    def test_utlb_of_sm(self):
+        cfg = GpuConfig(sms_per_utlb=2)
+        assert cfg.utlb_of_sm(0) == 0
+        assert cfg.utlb_of_sm(1) == 0
+        assert cfg.utlb_of_sm(2) == 1
+
+    def test_num_vablocks(self):
+        assert GpuConfig(memory_bytes=64 * MB).num_vablocks == 32
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_sms", 0),
+            ("sms_per_utlb", 0),
+            ("utlb_outstanding_limit", 0),
+            ("sm_fault_rate_limit", -1),
+            ("fault_buffer_entries", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        cfg = GpuConfig(**{field: value})
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_memory_must_hold_a_vablock(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(memory_bytes=VABLOCK_SIZE // 2).validate()
+
+    def test_memory_must_be_block_multiple(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(memory_bytes=VABLOCK_SIZE + 1).validate()
+
+
+class TestDriverConfig:
+    def test_default_batch_size(self):
+        assert DriverConfig().batch_size == 256
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigError):
+            DriverConfig(batch_size=0).validate()
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.5, 1.5])
+    def test_invalid_threshold(self, threshold):
+        with pytest.raises(ConfigError):
+            DriverConfig(prefetch_threshold=threshold).validate()
+
+    def test_threshold_one_is_valid(self):
+        DriverConfig(prefetch_threshold=1.0).validate()
+
+    def test_invalid_service_threads(self):
+        with pytest.raises(ConfigError):
+            DriverConfig(service_threads=0).validate()
+
+    def test_invalid_prefetch_scope(self):
+        with pytest.raises(ConfigError):
+            DriverConfig(prefetch_scope_blocks=0).validate()
+
+
+class TestHostConfig:
+    def test_defaults(self):
+        cfg = HostConfig()
+        assert cfg.num_threads == 1
+        assert cfg.num_cores == 64
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigError):
+            HostConfig(num_threads=0).validate()
+
+
+class TestSystemConfig:
+    def test_default_validates(self):
+        SystemConfig().validate()
+
+    def test_replace_copies_deeply(self):
+        base = SystemConfig()
+        clone = base.replace(seed=42)
+        clone.gpu.num_sms = 7
+        assert base.gpu.num_sms == 80
+        assert clone.seed == 42
+        assert base.seed == 0
+
+    def test_replace_unknown_field(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().replace(bogus=1)
+
+
+class TestDefaultConfig:
+    def test_driver_overrides(self):
+        cfg = default_config(prefetch_enabled=False, batch_size=512)
+        assert not cfg.driver.prefetch_enabled
+        assert cfg.driver.batch_size == 512
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ConfigError):
+            default_config(nonsense=True)
+
+    def test_returns_validated(self):
+        cfg = default_config()
+        cfg.validate()  # should not raise

@@ -1,0 +1,96 @@
+"""Unit tests for the LRU VABlock eviction policy (§5.1, §5.4)."""
+
+import pytest
+
+from repro.core.eviction import LruEvictionPolicy
+from repro.errors import OutOfDeviceMemory
+
+
+class TestOrdering:
+    def test_victim_is_earliest_allocated(self):
+        lru = LruEvictionPolicy()
+        for block in (1, 2, 3):
+            lru.on_gpu_allocated(block)
+        assert lru.pick_victim(set()) == 1
+
+    def test_fault_service_refreshes(self):
+        lru = LruEvictionPolicy()
+        for block in (1, 2, 3):
+            lru.on_gpu_allocated(block)
+        lru.on_fault_service(1)
+        assert lru.pick_victim(set()) == 2
+
+    def test_reallocation_moves_to_mru(self):
+        lru = LruEvictionPolicy()
+        lru.on_gpu_allocated(1)
+        lru.on_gpu_allocated(2)
+        lru.on_gpu_allocated(1)  # re-allocated
+        assert lru.pick_victim(set()) == 2
+
+    def test_dense_access_degenerates_to_fifo(self):
+        """§5.4: with no hit information, LRU = earliest allocated."""
+        lru = LruEvictionPolicy()
+        for block in range(10):
+            lru.on_gpu_allocated(block)
+        order = []
+        while len(lru):
+            victim = lru.pick_victim(set())
+            order.append(victim)
+            lru.on_evicted(victim)
+        assert order == list(range(10))
+
+    def test_lru_order_iterator(self):
+        lru = LruEvictionPolicy()
+        for block in (5, 3, 9):
+            lru.on_gpu_allocated(block)
+        assert list(lru.lru_order()) == [5, 3, 9]
+
+
+class TestExclusion:
+    def test_exclude_skips(self):
+        lru = LruEvictionPolicy()
+        lru.on_gpu_allocated(1)
+        lru.on_gpu_allocated(2)
+        assert lru.pick_victim({1}) == 2
+
+    def test_all_excluded_returns_none(self):
+        lru = LruEvictionPolicy()
+        lru.on_gpu_allocated(1)
+        assert lru.pick_victim({1}) is None
+
+    def test_require_victim_raises(self):
+        lru = LruEvictionPolicy()
+        with pytest.raises(OutOfDeviceMemory):
+            lru.require_victim(set())
+
+    def test_require_victim_raises_when_pinned(self):
+        lru = LruEvictionPolicy()
+        lru.on_gpu_allocated(1)
+        with pytest.raises(OutOfDeviceMemory):
+            lru.require_victim({1})
+
+
+class TestBookkeeping:
+    def test_eviction_removes_and_counts(self):
+        lru = LruEvictionPolicy()
+        lru.on_gpu_allocated(1)
+        lru.on_evicted(1)
+        assert 1 not in lru
+        assert lru.total_evictions == 1
+        assert len(lru) == 0
+
+    def test_fault_service_on_absent_block_harmless(self):
+        lru = LruEvictionPolicy()
+        lru.on_fault_service(42)  # never allocated
+        assert len(lru) == 0
+
+    def test_evict_absent_block_still_counts(self):
+        lru = LruEvictionPolicy()
+        lru.on_evicted(42)
+        assert lru.total_evictions == 1
+
+    def test_contains(self):
+        lru = LruEvictionPolicy()
+        lru.on_gpu_allocated(7)
+        assert 7 in lru
+        assert 8 not in lru

@@ -1,0 +1,113 @@
+"""Unit tests for BatchRecord and the BatchLog JSONL store."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_record import BatchRecord
+from repro.core.instrumentation import BatchLog
+
+
+def record(batch_id=0, **kwargs):
+    r = BatchRecord(batch_id=batch_id)
+    for k, v in kwargs.items():
+        setattr(r, k, v)
+    return r
+
+
+class TestBatchRecord:
+    def test_duration(self):
+        r = record(t_start=10.0, t_end=25.0)
+        assert r.duration == 15.0
+
+    def test_service_time_sums_components(self):
+        r = record(time_fetch=5.0, time_unmap=10.0, time_replay=2.0)
+        assert r.service_time == pytest.approx(17.0)
+
+    def test_transfer_fraction(self):
+        r = record(t_start=0.0, t_end=100.0, time_transfer_h2d=20.0, time_transfer_d2h=5.0)
+        assert r.transfer_fraction == pytest.approx(0.25)
+
+    def test_fraction_zero_duration(self):
+        assert record().transfer_fraction == 0.0
+        assert record().unmap_fraction == 0.0
+        assert record().dma_fraction == 0.0
+
+    def test_unmap_fraction(self):
+        r = record(t_start=0.0, t_end=50.0, time_unmap=25.0)
+        assert r.unmap_fraction == pytest.approx(0.5)
+
+    def test_dma_fraction(self):
+        r = record(t_start=0.0, t_end=50.0, time_dma=10.0)
+        assert r.dma_fraction == pytest.approx(0.2)
+
+    def test_duplicate_count(self):
+        r = record(dup_same_utlb=3, dup_cross_utlb=4)
+        assert r.duplicate_count == 7
+
+    def test_to_dict_serializes_arrays(self):
+        r = record(sm_fault_counts=np.array([1, 2], dtype=np.int32))
+        d = r.to_dict()
+        assert d["sm_fault_counts"] == [1, 2]
+        assert "duration" in d
+
+    def test_roundtrip(self):
+        r = record(
+            batch_id=7,
+            t_start=1.0,
+            t_end=2.0,
+            num_faults_raw=10,
+            sm_fault_counts=np.array([1, 2, 3], dtype=np.int32),
+            vablock_fault_counts=np.array([5], dtype=np.int32),
+        )
+        back = BatchRecord.from_dict(r.to_dict())
+        assert back.batch_id == 7
+        assert back.num_faults_raw == 10
+        assert (back.sm_fault_counts == r.sm_fault_counts).all()
+        assert back.duration == r.duration
+
+
+class TestBatchLog:
+    def test_append_iter_index(self):
+        log = BatchLog()
+        log.append(record(0))
+        log.append(record(1))
+        assert len(log) == 2
+        assert [r.batch_id for r in log] == [0, 1]
+        assert log[1].batch_id == 1
+
+    def test_aggregates(self):
+        log = BatchLog.from_records(
+            [
+                record(0, t_start=0, t_end=10, num_faults_raw=5, num_faults_unique=4,
+                       bytes_h2d=100, evictions=1),
+                record(1, t_start=10, t_end=30, num_faults_raw=3, num_faults_unique=3,
+                       bytes_h2d=50, evictions=0),
+            ]
+        )
+        assert log.total_batch_time == pytest.approx(30.0)
+        assert log.total_faults_raw == 8
+        assert log.total_faults_unique == 7
+        assert log.total_bytes_h2d == 150
+        assert log.total_evictions == 1
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = BatchLog.from_records(
+            [
+                record(0, num_faults_raw=5, sm_fault_counts=np.array([1, 4], dtype=np.int32)),
+                record(1, num_faults_raw=9),
+            ]
+        )
+        path = tmp_path / "batches.jsonl"
+        log.to_jsonl(path)
+        loaded = BatchLog.from_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded[0].num_faults_raw == 5
+        assert (loaded[0].sm_fault_counts == np.array([1, 4])).all()
+        assert loaded[1].sm_fault_counts is None
+
+    def test_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "batches.jsonl"
+        log = BatchLog.from_records([record(0)])
+        log.to_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(BatchLog.from_jsonl(path)) == 1

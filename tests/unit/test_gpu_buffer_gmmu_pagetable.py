@@ -1,0 +1,125 @@
+"""Unit tests for the fault buffer, GMMU routing, and GPU page table."""
+
+import pytest
+
+from repro.gpu.fault import AccessType, Fault
+from repro.gpu.fault_buffer import FaultBuffer
+from repro.gpu.gmmu import Gmmu
+from repro.gpu.page_table import GpuPageTable
+
+
+def fault(page=1, access=AccessType.READ, sm=0, ts=0.0):
+    return Fault(page, access, sm, sm // 2, warp_uid=1, timestamp=ts)
+
+
+class TestFaultBuffer:
+    def test_push_and_len(self):
+        buf = FaultBuffer(4)
+        assert buf.push(fault(1))
+        assert len(buf) == 1
+
+    def test_overflow_drops(self):
+        buf = FaultBuffer(2)
+        assert buf.push(fault(1))
+        assert buf.push(fault(2))
+        assert not buf.push(fault(3))
+        assert buf.total_overflow_dropped == 1
+        assert len(buf) == 2
+
+    def test_fetch_fifo_order(self):
+        buf = FaultBuffer(8)
+        for p in (10, 11, 12):
+            buf.push(fault(p))
+        fetched = buf.fetch(2)
+        assert [f.page for f in fetched] == [10, 11]
+        assert len(buf) == 1
+
+    def test_fetch_more_than_present(self):
+        buf = FaultBuffer(8)
+        buf.push(fault(1))
+        assert len(buf.fetch(100)) == 1
+
+    def test_flush_returns_dropped(self):
+        buf = FaultBuffer(8)
+        for p in range(3):
+            buf.push(fault(p))
+        buf.fetch(1)
+        dropped = buf.flush()
+        assert [f.page for f in dropped] == [1, 2]
+        assert buf.total_flush_dropped == 2
+        assert len(buf) == 0
+
+    def test_counters(self):
+        buf = FaultBuffer(2)
+        buf.push(fault(1))
+        buf.push(fault(2))
+        buf.push(fault(3))  # overflow
+        assert buf.total_pushed == 2
+
+
+class TestGmmu:
+    def test_deliver_sets_utlb_from_sm(self):
+        gmmu = Gmmu(FaultBuffer(8), sms_per_utlb=2)
+        f = gmmu.deliver(7, AccessType.READ, sm_id=5, warp_uid=1, timestamp=1.0)
+        assert f.utlb_id == 2
+
+    def test_interrupt_latched_on_first_fault(self):
+        gmmu = Gmmu(FaultBuffer(8), sms_per_utlb=2)
+        assert not gmmu.interrupt_pending
+        gmmu.deliver(1, AccessType.READ, 0, 1, 5.0)
+        assert gmmu.interrupt_pending
+        assert gmmu.first_arrival == 5.0
+
+    def test_first_arrival_not_overwritten(self):
+        gmmu = Gmmu(FaultBuffer(8), sms_per_utlb=2)
+        gmmu.deliver(1, AccessType.READ, 0, 1, 5.0)
+        gmmu.deliver(2, AccessType.READ, 0, 1, 6.0)
+        assert gmmu.first_arrival == 5.0
+
+    def test_acknowledge_clears(self):
+        gmmu = Gmmu(FaultBuffer(8), sms_per_utlb=2)
+        gmmu.deliver(1, AccessType.READ, 0, 1, 5.0)
+        gmmu.acknowledge()
+        assert not gmmu.interrupt_pending
+        assert gmmu.first_arrival is None
+
+    def test_full_buffer_returns_none(self):
+        gmmu = Gmmu(FaultBuffer(1), sms_per_utlb=2)
+        assert gmmu.deliver(1, AccessType.READ, 0, 1, 0.0) is not None
+        assert gmmu.deliver(2, AccessType.READ, 0, 1, 0.0) is None
+
+
+class TestGpuPageTable:
+    def test_map_and_query(self):
+        pt = GpuPageTable()
+        added = pt.map_pages([1, 2, 3])
+        assert added == 3
+        assert pt.is_resident(2)
+        assert not pt.is_resident(4)
+
+    def test_remap_counts_once(self):
+        pt = GpuPageTable()
+        pt.map_pages([1, 2])
+        assert pt.map_pages([2, 3]) == 1
+        assert pt.total_mapped == 3
+
+    def test_unmap(self):
+        pt = GpuPageTable()
+        pt.map_pages([1, 2, 3])
+        removed = pt.unmap_pages([2, 99])
+        assert removed == 1
+        assert not pt.is_resident(2)
+        assert len(pt) == 2
+
+    def test_len(self):
+        pt = GpuPageTable()
+        pt.map_pages(range(10))
+        assert len(pt) == 10
+
+
+class TestFaultRecord:
+    def test_flags(self):
+        f = fault(access=AccessType.PREFETCH)
+        assert f.is_prefetch and not f.is_write
+        w = fault(access=AccessType.WRITE)
+        assert w.is_write and not w.is_prefetch

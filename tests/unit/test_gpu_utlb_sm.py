@@ -1,0 +1,141 @@
+"""Unit tests for µTLB merge/cap semantics and SM throttle accounting."""
+
+import pytest
+
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.utlb import UTlb
+from repro.gpu.warp import Phase, WarpProgram
+
+
+class TestUTlbCapacity:
+    def test_new_pages_take_slots(self):
+        tlb = UTlb(0, limit=3)
+        for page in (1, 2, 3):
+            assert tlb.request(page)
+        assert tlb.outstanding == 3
+        assert tlb.available == 0
+
+    def test_available_decrements(self):
+        tlb = UTlb(0, limit=56)
+        tlb.request(1)
+        assert tlb.available == 55
+
+    def test_replay_clears_everything(self):
+        tlb = UTlb(0, limit=4)
+        tlb.request(1)
+        tlb.request(2)
+        tlb.replay()
+        assert tlb.outstanding == 0
+        assert not tlb.pending_pages
+        assert tlb.total_replays == 1
+
+    def test_paper_limit_default_matches(self):
+        # The cap measured in §3.2 is 56.
+        tlb = UTlb(0, limit=56)
+        for page in range(56):
+            tlb.request(page)
+        assert tlb.available == 0
+
+
+class TestUTlbMerging:
+    def test_same_page_merges(self):
+        tlb = UTlb(0, limit=8)
+        assert tlb.request(5) is True  # new entry
+        assert tlb.request(5) is False  # merged
+        assert tlb.outstanding == 1
+        assert tlb.total_merged == 1
+
+    def test_spurious_reissue_cadence(self):
+        tlb = UTlb(0, limit=8)
+        tlb.request(5)
+        emitted = [tlb.request(5) for _ in range(UTlb.SPURIOUS_PERIOD * 2)]
+        # Every SPURIOUS_PERIOD-th merge emits a duplicate entry.
+        assert emitted.count(True) == 2
+        assert tlb.total_spurious == 2
+
+    def test_merge_does_not_consume_slot(self):
+        tlb = UTlb(0, limit=2)
+        tlb.request(1)
+        tlb.request(2)
+        assert tlb.available == 0
+        # Merge still possible at zero availability.
+        assert tlb.request(1) in (True, False)
+        assert tlb.outstanding == 2
+
+    def test_after_replay_page_is_new_again(self):
+        tlb = UTlb(0, limit=8)
+        tlb.request(5)
+        tlb.replay()
+        assert tlb.request(5) is True
+        assert tlb.outstanding == 1
+
+
+class TestSmScheduling:
+    def make_sm(self, occupancy=2):
+        return StreamingMultiprocessor(0, 0, rate_limit=4, occupancy_limit=occupancy)
+
+    def prog(self):
+        return WarpProgram([Phase.of([1])])
+
+    def test_enqueue_and_activate(self):
+        sm = self.make_sm(occupancy=2)
+        for _ in range(3):
+            sm.enqueue(self.prog())
+        uid = iter(range(100))
+        activated = sm.activate_pending(lambda: next(uid))
+        assert len(activated) == 2
+        assert len(sm.queued) == 1
+
+    def test_activate_respects_occupancy(self):
+        sm = self.make_sm(occupancy=1)
+        sm.enqueue(self.prog())
+        sm.enqueue(self.prog())
+        activated = sm.activate_pending(lambda: 1)
+        assert len(activated) == 1
+
+    def test_retire_frees_slot(self):
+        sm = self.make_sm(occupancy=1)
+        sm.enqueue(self.prog())
+        sm.enqueue(self.prog())
+        uid = iter(range(100))
+        [warp] = sm.activate_pending(lambda: next(uid))
+        sm.retire(warp)
+        assert len(sm.activate_pending(lambda: next(uid))) == 1
+
+    def test_idle(self):
+        sm = self.make_sm()
+        assert sm.idle
+        sm.enqueue(self.prog())
+        assert not sm.idle
+
+
+class TestSmThrottle:
+    def test_steady_window_budget(self):
+        sm = StreamingMultiprocessor(0, 0, rate_limit=4, occupancy_limit=8)
+        sm.new_window(burst=False, burst_limit=56)
+        assert sm.budget == 4
+
+    def test_burst_window_budget(self):
+        sm = StreamingMultiprocessor(0, 0, rate_limit=4, occupancy_limit=8)
+        sm.new_window(burst=True, burst_limit=56)
+        assert sm.budget == 56
+
+    def test_consume_budget_granted(self):
+        sm = StreamingMultiprocessor(0, 0, rate_limit=4, occupancy_limit=8)
+        sm.new_window(burst=False, burst_limit=56)
+        assert sm.consume_budget(3) == 3
+        assert sm.budget == 1
+
+    def test_consume_budget_clamped(self):
+        sm = StreamingMultiprocessor(0, 0, rate_limit=4, occupancy_limit=8)
+        sm.new_window(burst=False, burst_limit=56)
+        assert sm.consume_budget(10) == 4
+        assert sm.budget == 0
+
+    def test_total_faults_counted(self):
+        sm = StreamingMultiprocessor(0, 0, rate_limit=4, occupancy_limit=8)
+        sm.new_window(burst=False, burst_limit=56)
+        sm.consume_budget(2)
+        sm.new_window(burst=False, burst_limit=56)
+        sm.consume_budget(1)
+        assert sm.total_faults == 3

@@ -1,0 +1,194 @@
+"""Unit tests for the warp execution model (scoreboard semantics)."""
+
+import pytest
+
+from repro.gpu.fault import AccessType
+from repro.gpu.warp import (
+    AdvanceResult,
+    KernelLaunch,
+    Phase,
+    WarpProgram,
+    WarpState,
+)
+
+
+def make_warp(phases, uid=1, sm=0):
+    return WarpState(WarpProgram(tuple(phases)), uid=uid, sm_id=sm)
+
+
+class TestPhase:
+    def test_of_builds_tuples(self):
+        p = Phase.of([1, 2], [3], [4], compute_usec=1.0)
+        assert p.reads == (1, 2)
+        assert p.writes == (3,)
+        assert p.prefetches == (4,)
+
+    def test_pages_excludes_prefetches(self):
+        p = Phase.of([1], [2], [99])
+        assert p.pages == {1, 2}
+
+    def test_duplicate_reads_preserved(self):
+        p = Phase.of([5, 5, 6])
+        assert p.reads == (5, 5, 6)
+
+    def test_frozen(self):
+        p = Phase.of([1])
+        with pytest.raises(AttributeError):
+            p.reads = (2,)
+
+
+class TestWarpProgram:
+    def test_total_accesses(self):
+        prog = WarpProgram([Phase.of([1, 2], [3]), Phase.of([4])])
+        assert prog.total_accesses == 4
+
+    def test_touched_pages(self):
+        prog = WarpProgram([Phase.of([1, 2], [3]), Phase.of([2], [5])])
+        assert prog.touched_pages == {1, 2, 3, 5}
+
+
+class TestKernelLaunch:
+    def test_aggregates(self):
+        k = KernelLaunch("k", [WarpProgram([Phase.of([1], [2])])])
+        assert k.total_accesses == 2
+        assert k.touched_pages == {1, 2}
+
+
+class TestScoreboard:
+    """Writes must wait for the phase's reads (paper §3.2, Listing 2)."""
+
+    def test_blocks_on_reads_first(self):
+        warp = make_warp([Phase.of([1, 2], [3])])
+        result = warp.advance(resident=set())
+        assert result.new_waits == {1, 2}
+        assert warp.blocked
+        # Writes are NOT demanded yet.
+        assert all(a == AccessType.READ for _, a in warp._unissued)
+
+    def test_writes_demand_after_reads_resident(self):
+        warp = make_warp([Phase.of([1], [2])])
+        warp.advance(resident=set())
+        assert warp.on_pages_resident([1])
+        result = warp.advance(resident={1})
+        assert result.new_waits == {2}
+        assert all(a == AccessType.WRITE for _, a in warp._unissued)
+
+    def test_finishes_when_all_resident(self):
+        warp = make_warp([Phase.of([1], [2])])
+        result = warp.advance(resident={1, 2})
+        assert result.finished
+        assert warp.finished
+
+    def test_compute_accrues_per_completed_phase(self):
+        warp = make_warp(
+            [Phase.of([1], compute_usec=3.0), Phase.of([2], compute_usec=4.0)]
+        )
+        result = warp.advance(resident={1, 2})
+        assert result.compute_usec == pytest.approx(7.0)
+
+    def test_multi_phase_blocks_at_first_missing(self):
+        warp = make_warp([Phase.of([1]), Phase.of([2])])
+        result = warp.advance(resident={1})
+        assert result.new_waits == {2}
+
+
+class TestPrefetchSemantics:
+    def test_prefetches_emitted_without_blocking(self):
+        warp = make_warp([Phase.of(prefetches=[1, 2, 3])])
+        result = warp.advance(resident=set())
+        assert result.prefetches == [1, 2, 3]
+        assert result.finished  # prefetch-only program completes immediately
+
+    def test_prefetch_emitted_once_per_phase(self):
+        warp = make_warp([Phase.of([9], prefetches=[1])])
+        r1 = warp.advance(resident=set())
+        assert r1.prefetches == [1]
+        warp.on_pages_resident([9])
+        r2 = warp.advance(resident={9})
+        assert r2.prefetches == []
+
+    def test_prefetch_requeue_is_dropped(self):
+        warp = make_warp([Phase.of([1])])
+        warp.advance(resident=set())
+        warp.requeue(1, AccessType.PREFETCH)
+        # Prefetch hints are never re-demanded.
+        assert len(warp._unissued) - warp._unissued_head == 1  # original read only
+
+
+class TestIssuance:
+    def test_take_issuable_respects_limit(self):
+        warp = make_warp([Phase.of([1, 2, 3, 4])])
+        warp.advance(resident=set())
+        occs = warp.take_issuable(2)
+        assert len(occs) == 2
+
+    def test_take_issuable_skips_satisfied(self):
+        warp = make_warp([Phase.of([1, 2])])
+        warp.advance(resident=set())
+        warp.on_pages_resident([1])  # page 1 resolved before issue
+        occs = warp.take_issuable(10)
+        assert occs == [(2, AccessType.READ)]
+
+    def test_duplicate_occurrences_issue_separately(self):
+        warp = make_warp([Phase.of([7, 7])])
+        warp.advance(resident=set())
+        occs = warp.take_issuable(10)
+        assert occs == [(7, AccessType.READ), (7, AccessType.READ)]
+
+    def test_peek_page(self):
+        warp = make_warp([Phase.of([3, 4])])
+        warp.advance(resident=set())
+        assert warp.peek_page() == 3
+
+    def test_peek_skips_satisfied(self):
+        warp = make_warp([Phase.of([3, 4])])
+        warp.advance(resident=set())
+        warp.on_pages_resident([3])
+        assert warp.peek_page() == 4
+
+    def test_peek_none_when_drained(self):
+        warp = make_warp([Phase.of([3])])
+        warp.advance(resident=set())
+        warp.take_issuable(1)
+        assert warp.peek_page() is None
+
+    def test_requeue_re_demands(self):
+        warp = make_warp([Phase.of([5])])
+        warp.advance(resident=set())
+        warp.take_issuable(1)
+        assert not warp.has_issuable
+        warp.requeue(5, AccessType.READ)
+        assert warp.has_issuable
+
+    def test_requeue_ignored_when_satisfied(self):
+        warp = make_warp([Phase.of([5])])
+        warp.advance(resident=set())
+        warp.take_issuable(1)
+        warp.on_pages_resident([5])
+        warp.requeue(5, AccessType.READ)
+        assert not warp.has_issuable
+
+    def test_faults_issued_counter(self):
+        warp = make_warp([Phase.of([1, 2, 3])])
+        warp.advance(resident=set())
+        warp.take_issuable(2)
+        assert warp.faults_issued == 2
+
+
+class TestNotification:
+    def test_partial_notification_stays_blocked(self):
+        warp = make_warp([Phase.of([1, 2])])
+        warp.advance(resident=set())
+        assert not warp.on_pages_resident([1])
+        assert warp.blocked
+
+    def test_full_notification_unblocks(self):
+        warp = make_warp([Phase.of([1, 2])])
+        warp.advance(resident=set())
+        assert warp.on_pages_resident([1, 2])
+        assert not warp.blocked
+
+    def test_unknown_page_notification_harmless(self):
+        warp = make_warp([Phase.of([1])])
+        warp.advance(resident=set())
+        assert not warp.on_pages_resident([999])

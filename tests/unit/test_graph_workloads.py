@@ -1,0 +1,131 @@
+"""Unit tests for the BFS/SpMV workloads and their numerics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.graph import bfs_distances, csr_spmv
+from repro.gpu.warp import KernelLaunch
+from repro.workloads.graph import (
+    BfsWorkload,
+    SpmvWorkload,
+    random_csr_graph,
+    random_csr_matrix,
+)
+
+
+class TestCsrBuilders:
+    def test_graph_shape(self):
+        row_ptr, col_idx = random_csr_graph(100, 4, seed=0)
+        assert row_ptr.size == 101
+        assert row_ptr[0] == 0
+        assert col_idx.size == row_ptr[-1]
+        assert (np.diff(row_ptr) >= 1).all()
+        assert col_idx.min() >= 0 and col_idx.max() < 100
+
+    def test_graph_deterministic(self):
+        a = random_csr_graph(50, 4, seed=1)
+        b = random_csr_graph(50, 4, seed=1)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+    def test_matrix_shape(self):
+        row_ptr, col_idx, values = random_csr_matrix(64, 4, seed=0)
+        assert row_ptr.size == 65
+        assert col_idx.size == values.size == 64 * 4
+
+
+class TestBfsNumerics:
+    def test_chain(self):
+        row_ptr = np.array([0, 1, 2, 2])
+        col_idx = np.array([1, 2])
+        assert bfs_distances(row_ptr, col_idx, 0).tolist() == [0, 1, 2]
+
+    def test_unreachable(self):
+        row_ptr = np.array([0, 0, 0])
+        col_idx = np.array([], dtype=np.int64)
+        assert bfs_distances(row_ptr, col_idx, 0).tolist() == [0, -1]
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        row_ptr, col_idx = random_csr_graph(300, 5, seed=3)
+        dist = bfs_distances(row_ptr, col_idx, 0)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(300))
+        for v in range(300):
+            for u in col_idx[row_ptr[v] : row_ptr[v + 1]]:
+                graph.add_edge(v, int(u))
+        ref = nx.single_source_shortest_path_length(graph, 0)
+        for node in range(300):
+            assert dist[node] == ref.get(node, -1)
+
+
+class TestSpmvNumerics:
+    def test_identity(self):
+        row_ptr = np.array([0, 1, 2])
+        col_idx = np.array([0, 1])
+        values = np.array([1.0, 1.0])
+        x = np.array([3.0, 4.0])
+        assert csr_spmv(row_ptr, col_idx, values, x).tolist() == [3.0, 4.0]
+
+    def test_empty_row(self):
+        row_ptr = np.array([0, 0, 1])
+        col_idx = np.array([0])
+        values = np.array([2.0])
+        x = np.array([5.0, 7.0])
+        assert csr_spmv(row_ptr, col_idx, values, x).tolist() == [0.0, 10.0]
+
+    def test_matches_scipy(self):
+        import scipy.sparse as sp
+
+        row_ptr, col_idx, values = random_csr_matrix(256, 8, seed=5)
+        x = np.random.default_rng(0).standard_normal(256)
+        mat = sp.csr_matrix((values, col_idx, row_ptr), shape=(256, 256))
+        assert np.allclose(csr_spmv(row_ptr, col_idx, values, x), mat @ x)
+
+
+class TestWorkloadStructure:
+    def test_bfs_levels_nonempty(self):
+        wl = BfsWorkload(num_nodes=512, avg_degree=4, max_levels=4)
+        levels = wl._bfs_levels()
+        assert levels and levels[0].tolist() == [0]
+        # Frontiers grow initially on a random graph.
+        assert levels[1].size >= 1
+
+    def test_bfs_builds_kernel(self, small_system):
+        wl = BfsWorkload(num_nodes=512, avg_degree=4, num_programs=4)
+        kernels = [s for s in wl.steps(small_system) if isinstance(s, KernelLaunch)]
+        assert len(kernels) == 1
+        assert kernels[0].programs
+
+    def test_bfs_runs(self, system_factory):
+        system = system_factory(prefetch_enabled=False)
+        res = BfsWorkload(num_nodes=512, avg_degree=4, num_programs=4).run(system)
+        assert res.total_faults > 0
+
+    def test_spmv_builds_programs(self, small_system):
+        wl = SpmvWorkload(n=1024, nnz_per_row=4, num_programs=4)
+        kernels = [s for s in wl.steps(small_system) if isinstance(s, KernelLaunch)]
+        assert len(kernels[0].programs) == 4
+
+    def test_spmv_reads_and_writes_right_arrays(self, small_system):
+        wl = SpmvWorkload(n=1024, nnz_per_row=4, num_programs=4)
+        [kernel] = [s for s in wl.steps(small_system) if isinstance(s, KernelLaunch)]
+        col, val, x, y = small_system.allocations
+        y_pages = set(y.pages())
+        for prog in kernel.programs:
+            for ph in prog.phases:
+                assert set(ph.writes) <= y_pages
+
+    def test_spmv_runs_oversubscribed(self, system_factory):
+        system = system_factory(prefetch_enabled=False, gpu_mem_mb=4)
+        res = SpmvWorkload(n=1 << 14, nnz_per_row=8, num_programs=4).run(system)
+        assert res.num_batches > 0
+
+    def test_spmv_gather_is_irregular(self, system_factory):
+        """The x-gather spreads reads over many VABlocks per batch."""
+        from repro.analysis.stats import vablock_stats
+
+        system = system_factory(prefetch_enabled=False, gpu_mem_mb=64)
+        res = SpmvWorkload(n=1 << 15, nnz_per_row=8, num_programs=16).run(system)
+        stats = vablock_stats(res.records)
+        assert stats.vablocks_per_batch > 1.5

@@ -1,0 +1,150 @@
+"""Unit tests for the Linux-style radix tree."""
+
+import pytest
+
+from repro.hostos.radix_tree import MAP_SIZE, RadixTree
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        assert RadixTree().lookup(0) is None
+
+    def test_insert_and_lookup(self):
+        t = RadixTree()
+        assert t.insert(5, "x")
+        assert t.lookup(5) == "x"
+
+    def test_contains(self):
+        t = RadixTree()
+        t.insert(7, 1)
+        assert 7 in t
+        assert 8 not in t
+
+    def test_replace_returns_false(self):
+        t = RadixTree()
+        t.insert(5, "a")
+        assert not t.insert(5, "b")
+        assert t.lookup(5) == "b"
+        assert len(t) == 1
+
+    def test_len_counts_distinct(self):
+        t = RadixTree()
+        for k in (1, 2, 3, 2):
+            t.insert(k, k)
+        assert len(t) == 3
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            RadixTree().insert(-1, "x")
+        with pytest.raises(ValueError):
+            RadixTree().lookup(-1)
+
+    def test_none_value_rejected(self):
+        with pytest.raises(ValueError):
+            RadixTree().insert(0, None)
+
+    def test_key_zero(self):
+        t = RadixTree()
+        t.insert(0, "zero")
+        assert t.lookup(0) == "zero"
+
+
+class TestHeightGrowth:
+    def test_single_level(self):
+        t = RadixTree()
+        t.insert(MAP_SIZE - 1, "x")
+        assert t.height == 1
+
+    def test_grows_for_large_keys(self):
+        t = RadixTree()
+        t.insert(MAP_SIZE, "x")  # needs 2 levels
+        assert t.height == 2
+        assert t.lookup(MAP_SIZE) == "x"
+
+    def test_growth_preserves_existing(self):
+        t = RadixTree()
+        t.insert(1, "small")
+        t.insert(MAP_SIZE ** 3, "huge")
+        assert t.lookup(1) == "small"
+        assert t.lookup(MAP_SIZE ** 3) == "huge"
+        assert t.height == 4
+
+    def test_lookup_beyond_height(self):
+        t = RadixTree()
+        t.insert(1, "x")
+        assert t.lookup(MAP_SIZE ** 2) is None
+
+
+class TestNodeAccounting:
+    def test_first_insert_allocates_one_node(self):
+        t = RadixTree()
+        t.insert(0, "x")
+        assert t.nodes_allocated == 1
+        assert t.nodes_live == 1
+
+    def test_dense_leaf_shares_node(self):
+        t = RadixTree()
+        for k in range(MAP_SIZE):
+            t.insert(k, k)
+        assert t.nodes_allocated == 1
+
+    def test_block_of_512_pages_node_count(self):
+        # 512 consecutive keys = 8 leaves + 1 root (height 2).
+        t = RadixTree()
+        for k in range(512):
+            t.insert(k, k)
+        assert t.nodes_allocated == 9
+
+    def test_sparse_keys_allocate_paths(self):
+        t = RadixTree()
+        t.insert(0, "a")
+        before = t.nodes_allocated
+        t.insert(MAP_SIZE * MAP_SIZE - 1, "b")  # distant key, new path
+        assert t.nodes_allocated > before
+
+
+class TestDelete:
+    def test_delete_returns_value(self):
+        t = RadixTree()
+        t.insert(5, "x")
+        assert t.delete(5) == "x"
+        assert t.lookup(5) is None
+        assert len(t) == 0
+
+    def test_delete_missing(self):
+        assert RadixTree().delete(5) is None
+
+    def test_delete_frees_empty_nodes(self):
+        t = RadixTree()
+        t.insert(MAP_SIZE * 3, "x")
+        live_before = t.nodes_live
+        t.delete(MAP_SIZE * 3)
+        assert t.nodes_live < live_before
+
+    def test_delete_keeps_siblings(self):
+        t = RadixTree()
+        t.insert(1, "a")
+        t.insert(2, "b")
+        t.delete(1)
+        assert t.lookup(2) == "b"
+
+    def test_delete_all_empties_tree(self):
+        t = RadixTree()
+        keys = [0, 100, 5000]
+        for k in keys:
+            t.insert(k, k)
+        for k in keys:
+            t.delete(k)
+        assert t.nodes_live == 0
+        assert t.height == 0
+
+
+class TestIteration:
+    def test_items_sorted(self):
+        t = RadixTree()
+        for k in (300, 5, 70, 7000):
+            t.insert(k, k * 2)
+        assert list(t.items()) == [(5, 10), (70, 140), (300, 600), (7000, 14000)]
+
+    def test_items_empty(self):
+        assert list(RadixTree().items()) == []

@@ -1,0 +1,258 @@
+"""Unit tests for workload builders: structure of the generated programs."""
+
+import pytest
+
+from repro.gpu.warp import KernelLaunch
+from repro.units import MB, PAGE_SIZE
+from repro.workloads import (
+    CoalescedVecAdd,
+    CuFft,
+    Dgemm,
+    GaussSeidel,
+    Hpgmg,
+    PrefetchVectorKernel,
+    RandomAccess,
+    RegularStream,
+    Sgemm,
+    StreamTriad,
+    VecAddPageStride,
+)
+from repro.workloads.base import (
+    independent_programs,
+    lockstep_programs,
+    pages_of_byte_range,
+)
+
+
+def kernel_steps(workload, system):
+    return [s for s in workload.steps(system) if isinstance(s, KernelLaunch)]
+
+
+class TestHelpers:
+    def test_pages_of_byte_range_within_page(self, small_system):
+        alloc = small_system.managed_alloc(4 * PAGE_SIZE)
+        assert pages_of_byte_range(alloc, 10, 20) == [alloc.page(0)]
+
+    def test_pages_of_byte_range_crossing(self, small_system):
+        alloc = small_system.managed_alloc(4 * PAGE_SIZE)
+        assert pages_of_byte_range(alloc, 4000, 4200) == [alloc.page(0), alloc.page(1)]
+
+    def test_pages_of_byte_range_empty(self, small_system):
+        alloc = small_system.managed_alloc(4 * PAGE_SIZE)
+        assert pages_of_byte_range(alloc, 100, 100) == []
+
+    def test_lockstep_shapes(self, small_system):
+        a = small_system.managed_alloc(64 * PAGE_SIZE)
+        b = small_system.managed_alloc(64 * PAGE_SIZE)
+        progs = lockstep_programs([a], [b], 64, num_programs=4, window_pages=8)
+        assert len(progs) == 4
+        assert all(len(p.phases) == 8 for p in progs)
+
+    def test_lockstep_overlap_creates_sharing(self, small_system):
+        a = small_system.managed_alloc(64 * PAGE_SIZE)
+        progs = lockstep_programs([a], [], 64, 4, 8, overlap_pages=1)
+        # Program k's reads overlap program k+1's first page.
+        reads0 = set(progs[0].phases[0].reads)
+        reads1 = set(progs[1].phases[0].reads)
+        assert reads0 & reads1
+
+    def test_lockstep_validates_divisibility(self, small_system):
+        a = small_system.managed_alloc(64 * PAGE_SIZE)
+        with pytest.raises(ValueError):
+            lockstep_programs([a], [], 64, 3, 8)
+
+    def test_independent_regions_disjoint(self, small_system):
+        a = small_system.managed_alloc(64 * PAGE_SIZE)
+        progs = independent_programs([a], [], 64, 4, pages_per_phase=4)
+        footprints = [p.touched_pages for p in progs]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not footprints[i] & footprints[j]
+
+    def test_independent_requires_enough_pages(self, small_system):
+        a = small_system.managed_alloc(4 * PAGE_SIZE)
+        with pytest.raises(ValueError):
+            independent_programs([a], [], 2, 4, 1)
+
+
+class TestMicrobench:
+    def test_vecadd_matches_listing1(self, small_system):
+        wl = VecAddPageStride()
+        [kernel] = kernel_steps(wl, small_system)
+        assert len(kernel.programs) == 1  # one warp
+        prog = kernel.programs[0]
+        assert len(prog.phases) == 3  # three additions
+        for phase in prog.phases:
+            assert len(phase.reads) == 64  # 32 a + 32 b
+            assert len(phase.writes) == 32
+
+    def test_vecadd_required_bytes(self):
+        assert VecAddPageStride().required_bytes() == 3 * 96 * PAGE_SIZE
+
+    def test_coalesced_has_type1_duplicate_sources(self, small_system):
+        wl = CoalescedVecAdd(num_warps=2, pages_per_warp=2)
+        [kernel] = kernel_steps(wl, small_system)
+        reads = kernel.programs[0].phases[0].reads
+        # Each page appears twice (two lanes per page).
+        assert len(reads) == 2 * len(set(reads))
+
+    def test_prefetch_kernel_only_prefetches(self, small_system):
+        wl = PrefetchVectorKernel(pages_per_vector=10)
+        [kernel] = kernel_steps(wl, small_system)
+        phase = kernel.programs[0].phases[0]
+        assert len(phase.prefetches) == 30
+        assert not phase.reads and not phase.writes
+
+    def test_prefetch_kernel_touch_after(self, small_system):
+        wl = PrefetchVectorKernel(pages_per_vector=10, touch_after=True)
+        [kernel] = kernel_steps(wl, small_system)
+        assert len(kernel.programs[0].phases) == 2
+
+
+class TestSynthetic:
+    def test_regular_read_only_by_default(self, small_system):
+        wl = RegularStream(nbytes=2 * MB, num_programs=4)
+        [kernel] = kernel_steps(wl, small_system)
+        assert all(not ph.writes for p in kernel.programs for ph in p.phases)
+
+    def test_regular_with_output(self, small_system):
+        wl = RegularStream(nbytes=2 * MB, num_programs=4, write_output=True)
+        [kernel] = kernel_steps(wl, small_system)
+        assert any(ph.writes for p in kernel.programs for ph in p.phases)
+
+    def test_random_is_deterministic(self, system_factory):
+        draws = []
+        for _ in range(2):
+            system = system_factory()
+            wl = RandomAccess(nbytes=2 * MB, num_programs=2, accesses_per_program=16)
+            [kernel] = kernel_steps(wl, system)
+            draws.append(
+                tuple(p - system.allocations[0].start_page
+                      for prog in kernel.programs
+                      for ph in prog.phases
+                      for p in ph.reads)
+            )
+        assert draws[0] == draws[1]
+
+    def test_random_within_bounds(self, small_system):
+        wl = RandomAccess(nbytes=2 * MB, num_programs=2, accesses_per_program=64)
+        [kernel] = kernel_steps(wl, small_system)
+        alloc = small_system.allocations[0]
+        for prog in kernel.programs:
+            assert prog.touched_pages <= set(alloc.pages())
+
+
+class TestStream:
+    def test_three_arrays(self, small_system):
+        wl = StreamTriad(nbytes=1 * MB)
+        wl.steps(small_system)
+        assert [a.name for a in small_system.allocations] == ["a", "b", "c"]
+
+    def test_triad_access_shape(self, small_system):
+        wl = StreamTriad(nbytes=1 * MB, num_programs=8, window_pages=8)
+        [kernel] = kernel_steps(wl, small_system)
+        a, b, c = small_system.allocations
+        phase = kernel.programs[0].phases[0]
+        # Reads from b and c; writes to a.
+        assert set(phase.writes) <= set(a.pages())
+        assert set(phase.reads) <= set(b.pages()) | set(c.pages())
+
+    def test_sweeps_duplicate_phases(self, small_system):
+        wl = StreamTriad(nbytes=1 * MB, num_programs=8, window_pages=8, sweeps=3)
+        [kernel] = kernel_steps(wl, small_system)
+        base = StreamTriad(nbytes=1 * MB, num_programs=8, window_pages=8)
+        # 3 sweeps => 3x phases per program (fresh system to rebuild).
+        assert len(kernel.programs[0].phases) % 3 == 0
+
+
+class TestGemm:
+    def test_tile_must_divide(self):
+        with pytest.raises(ValueError):
+            Sgemm(n=100, tile=64)
+
+    def test_program_per_tile(self, small_system):
+        wl = Sgemm(n=512, tile=256)
+        [kernel] = kernel_steps(wl, small_system)
+        assert len(kernel.programs) == 4  # (512/256)^2
+
+    def test_reads_from_a_and_b_only(self, small_system):
+        wl = Sgemm(n=512, tile=256)
+        [kernel] = kernel_steps(wl, small_system)
+        a, b, c = small_system.allocations
+        ab = set(a.pages()) | set(b.pages())
+        cset = set(c.pages())
+        for prog in kernel.programs:
+            for ph in prog.phases:
+                assert set(ph.reads) <= ab
+                assert set(ph.writes) <= cset
+
+    def test_every_c_page_written(self, small_system):
+        wl = Sgemm(n=512, tile=128)
+        [kernel] = kernel_steps(wl, small_system)
+        c = small_system.allocations[2]
+        written = set()
+        for prog in kernel.programs:
+            for ph in prog.phases:
+                written |= set(ph.writes)
+        assert written == set(c.pages())
+
+    def test_dgemm_uses_8_byte_elems(self):
+        assert Dgemm(n=512, tile=256).required_bytes() == 2 * Sgemm(n=512, tile=256).required_bytes()
+
+
+class TestFft:
+    def test_requires_power_of_two_pages(self):
+        with pytest.raises(ValueError):
+            CuFft(nbytes=3 * MB)
+
+    def test_reads_include_twiddles(self, small_system):
+        wl = CuFft(nbytes=1 * MB, num_programs=4)
+        [kernel] = kernel_steps(wl, small_system)
+        data, twiddle = small_system.allocations
+        tw = set(twiddle.pages())
+        assert any(
+            set(ph.reads) & tw for p in kernel.programs for ph in p.phases
+        )
+
+    def test_every_data_page_touched(self, small_system):
+        wl = CuFft(nbytes=1 * MB, num_programs=4)
+        [kernel] = kernel_steps(wl, small_system)
+        data = small_system.allocations[0]
+        touched = set()
+        for prog in kernel.programs:
+            touched |= prog.touched_pages
+        assert set(data.pages()) <= touched
+
+
+class TestStencils:
+    def test_gauss_seidel_validates_row_alignment(self):
+        with pytest.raises(ValueError):
+            GaussSeidel(n=1000)  # 8*1000 not page-aligned
+
+    def test_gauss_seidel_phase_structure(self, small_system):
+        wl = GaussSeidel(n=512, sweeps=1, num_programs=4, band_rows=8)
+        [kernel] = kernel_steps(wl, small_system)
+        u, f = small_system.allocations
+        phase = kernel.programs[0].phases[0]
+        assert set(phase.writes) <= set(u.pages())
+        assert set(phase.reads) & set(f.pages())
+
+    def test_hpgmg_level_hierarchy_allocated(self, small_system):
+        wl = Hpgmg(n=512, levels=2, cycles=1, num_programs=4, band_rows=8)
+        wl.steps(small_system)
+        names = [a.name for a in small_system.allocations]
+        assert names == ["u0", "f0", "u1", "f1"]
+
+    def test_hpgmg_one_kernel_per_cycle(self, small_system):
+        wl = Hpgmg(n=512, levels=2, cycles=2, num_programs=4, band_rows=8)
+        kernels = kernel_steps(wl, small_system)
+        assert len(kernels) == 2
+
+    def test_hpgmg_required_bytes(self):
+        wl = Hpgmg(n=512, levels=2)
+        expected = 2 * 8 * (512 * 512 + 256 * 256)
+        assert wl.required_bytes() == expected
+
+    def test_hpgmg_too_many_levels(self):
+        with pytest.raises(ValueError):
+            Hpgmg(n=512, levels=30)
