@@ -119,7 +119,11 @@ class UvmSystem:
     ) -> None:
         self.config = config if config is not None else default_config()
         self.config.validate()
-        event_trace = EventTrace(enabled=trace, categories=trace_categories)
+        event_trace = EventTrace(
+            enabled=trace,
+            categories=trace_categories,
+            max_events=self.config.obs.trace_max_events,
+        )
         self.engine = Engine(self.config, trace=event_trace)
         self._next_page = 0
         self._allocations: List[ManagedAllocation] = []
@@ -137,6 +141,38 @@ class UvmSystem:
     @property
     def trace(self) -> EventTrace:
         return self.engine.trace
+
+    @property
+    def obs(self):
+        """The engine's :class:`~repro.obs.Observability` facade."""
+        return self.engine.obs
+
+    @property
+    def metrics(self):
+        """The run's :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.engine.obs.metrics
+
+    @property
+    def spans(self):
+        """The run's :class:`~repro.obs.spans.SpanProfiler`."""
+        return self.engine.obs.spans
+
+    def metrics_snapshot(self) -> dict:
+        """Current metric values as a plain nested dict."""
+        return self.engine.obs.metrics.snapshot()
+
+    def prometheus_metrics(self) -> str:
+        """Current metric values in Prometheus text exposition format."""
+        return self.engine.obs.metrics.to_prometheus()
+
+    def export_chrome_trace(self, path):
+        """Write the accumulated Chrome trace JSON to ``path``.
+
+        Requires ``config.obs.chrome_trace = True`` before any work runs;
+        load the file in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``.
+        """
+        return self.engine.obs.chrome.write(path)
 
     @property
     def records(self) -> List[BatchRecord]:

@@ -8,7 +8,12 @@ Subcommands:
 * ``breakdown <workload>`` — run a workload and attribute its batch time to
   fault-path components (the paper's central decomposition);
 * ``export <workload> --out DIR`` — run a workload and dump its per-batch
-  timeline / scatter / per-SM CSVs for external plotting.
+  timeline / scatter / per-SM CSVs for external plotting (``--trace`` adds
+  the Chrome trace JSON);
+* ``trace <workload> --out FILE`` — run a workload with the Chrome-trace
+  recorder on and write a Perfetto-loadable timeline;
+* ``metrics <workload>`` — run a workload and print its metrics registry
+  (Prometheus text, or ``--json`` for the snapshot dict).
 """
 
 from __future__ import annotations
@@ -45,6 +50,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the driver prefetcher")
         p.add_argument("--gpu-mb", type=int, default=64,
                        help="device memory in MiB (default 64)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the simulation seed")
 
     bd = sub.add_parser("breakdown", help="cost attribution for a workload run")
     add_workload_args(bd)
@@ -52,12 +59,31 @@ def build_parser() -> argparse.ArgumentParser:
     ex = sub.add_parser("export", help="dump a workload run's data as CSV")
     add_workload_args(ex)
     ex.add_argument("--out", default="export", help="output directory")
+    ex.add_argument("--trace", action="store_true",
+                    help="also record and write the Chrome trace JSON")
+
+    tr = sub.add_parser(
+        "trace", help="record a workload as a Chrome/Perfetto trace"
+    )
+    add_workload_args(tr)
+    tr.add_argument("--out", default="trace.json",
+                    help="output trace file (default trace.json)")
+
+    mt = sub.add_parser(
+        "metrics", help="run a workload and print its metrics registry"
+    )
+    add_workload_args(mt)
+    mt.add_argument("--json", action="store_true",
+                    help="print the snapshot dict as JSON instead of "
+                         "Prometheus text")
 
     cmp_p = sub.add_parser(
         "compare", help="A/B a workload: prefetch on vs off (or custom caps)"
     )
     cmp_p.add_argument("workload", help="workload name (see `list`)")
     cmp_p.add_argument("--gpu-mb", type=int, default=64)
+    cmp_p.add_argument("--seed", type=int, default=None,
+                       help="override the simulation seed")
     cmp_p.add_argument(
         "--batch-sizes",
         nargs=2,
@@ -68,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_workload(args):
+def _run_workload(args, chrome_trace: bool = False):
     from .api import UvmSystem
     from .config import default_config
     from .units import MB
@@ -83,6 +109,10 @@ def _run_workload(args):
         return None, None
     cfg = default_config(prefetch_enabled=not args.no_prefetch)
     cfg.gpu.memory_bytes = args.gpu_mb * MB
+    if getattr(args, "seed", None) is not None:
+        cfg.seed = args.seed
+    if chrome_trace:
+        cfg.obs.chrome_trace = True
     system = UvmSystem(cfg)
     result = WORKLOAD_REGISTRY[args.workload]().run(system)
     return system, result
@@ -136,6 +166,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         def cfg(**kw):
             c = default_config(**kw)
             c.gpu.memory_bytes = args.gpu_mb * MB
+            if args.seed is not None:
+                c.seed = args.seed
             return c
 
         if args.batch_sizes:
@@ -167,7 +199,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             export_sm_histogram,
         )
 
-        system, result = _run_workload(args)
+        system, result = _run_workload(args, chrome_trace=args.trace)
         if system is None:
             return 2
         out = Path(args.out)
@@ -176,8 +208,34 @@ def main(argv: Optional[List[str]] = None) -> int:
             export_scatter(result.records, out / f"{args.workload}_time_vs_bytes.csv"),
             export_sm_histogram(result.records, out / f"{args.workload}_sm_faults.csv"),
         ]
+        if args.trace:
+            paths.append(system.export_chrome_trace(out / f"{args.workload}_trace.json"))
         for path in paths:
             print(f"wrote {path}")
+        return 0
+
+    if args.command == "trace":
+        system, result = _run_workload(args, chrome_trace=True)
+        if system is None:
+            return 2
+        path = system.export_chrome_trace(args.out)
+        chrome = system.obs.chrome
+        print(
+            f"wrote {path} ({len(chrome)} events, {chrome.num_tracks} tracks, "
+            f"{result.num_batches} batches, {result.total_faults} faults)"
+        )
+        return 0
+
+    if args.command == "metrics":
+        import json as _json
+
+        system, result = _run_workload(args)
+        if system is None:
+            return 2
+        if args.json:
+            print(_json.dumps(system.metrics_snapshot(), indent=2, sort_keys=True))
+        else:
+            print(system.prometheus_metrics(), end="")
         return 0
 
     if args.command == "run":
@@ -187,18 +245,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
                 return 2
         for exp_id in args.experiments:
-            t0 = time.time()
+            t0 = time.perf_counter()
             result = run_experiment(exp_id)
             print(result.render())
-            print(f"[{exp_id} completed in {time.time() - t0:.1f}s]\n")
+            print(f"[{exp_id} completed in {time.perf_counter() - t0:.1f}s]\n")
         return 0
 
     if args.command == "all":
         for exp_id in EXPERIMENTS:
-            t0 = time.time()
+            t0 = time.perf_counter()
             result = run_experiment(exp_id)
             print(result.render())
-            print(f"[{exp_id} completed in {time.time() - t0:.1f}s]\n")
+            print(f"[{exp_id} completed in {time.perf_counter() - t0:.1f}s]\n")
         return 0
 
     parser.print_help()

@@ -166,12 +166,53 @@ class HostConfig:
 
 
 @dataclass
+class ObsConfig:
+    """Observability settings (the :mod:`repro.obs` layer).
+
+    Metrics and spans are cheap enough to default on; the Chrome trace
+    retains one event per phase/fault/transfer and defaults off for sweeps.
+    """
+
+    #: Aggregate counters/gauges/histograms (``MetricsRegistry``).
+    metrics: bool = True
+    #: Sim-vs-wall phase spans (``SpanProfiler``).
+    spans: bool = True
+    #: Chrome trace-event timeline capture (``ChromeTraceBuilder``).
+    chrome_trace: bool = False
+    #: NDJSON structured-log path for batch records + trace events
+    #: (None = no sink).
+    ndjson_path: Optional[str] = None
+    #: Ring-buffer cap for :class:`~repro.sim.trace.EventTrace`
+    #: (None = unbounded, the pre-cap behaviour).
+    trace_max_events: Optional[int] = None
+    #: Retention cap for chrome-trace events (drops, never grows unbounded).
+    chrome_max_events: int = 1_000_000
+    #: Retention cap for completed spans (None = unbounded).
+    max_spans: Optional[int] = None
+
+    def disabled(self) -> "ObsConfig":
+        """A copy with every instrument off (perf-sensitive sweeps)."""
+        return dataclasses.replace(
+            self, metrics=False, spans=False, chrome_trace=False, ndjson_path=None
+        )
+
+    def validate(self) -> None:
+        if self.trace_max_events is not None and self.trace_max_events <= 0:
+            raise ConfigError("trace_max_events must be positive or None")
+        if self.chrome_max_events <= 0:
+            raise ConfigError("chrome_max_events must be positive")
+        if self.max_spans is not None and self.max_spans <= 0:
+            raise ConfigError("max_spans must be positive or None")
+
+
+@dataclass
 class SystemConfig:
     """Aggregate configuration for one simulated system instance."""
 
     gpu: GpuConfig = field(default_factory=GpuConfig)
     driver: DriverConfig = field(default_factory=DriverConfig)
     host: HostConfig = field(default_factory=HostConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
     #: Seed for all stochastic components (workload shuffles, jitter).
     seed: int = 0
     #: Cost-model overrides, applied as attribute assignments on the default
@@ -182,6 +223,7 @@ class SystemConfig:
         self.gpu.validate()
         self.driver.validate()
         self.host.validate()
+        self.obs.validate()
 
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a deep-copied config with top-level fields replaced."""
@@ -190,6 +232,7 @@ class SystemConfig:
             gpu=dataclasses.replace(self.gpu),
             driver=dataclasses.replace(self.driver),
             host=dataclasses.replace(self.host),
+            obs=dataclasses.replace(self.obs),
             cost_overrides=dict(self.cost_overrides),
         )
         for key, value in kwargs.items():

@@ -47,6 +47,16 @@ from ..gpu.fault import Fault
 from ..hostos.cost_model import CostModel
 from ..hostos.dma import DmaMapper
 from ..hostos.host_vm import HostVm
+from ..obs import Observability
+from ..obs.chrome_trace import (
+    PID_DRIVER,
+    PID_EVICTION,
+    PID_SM,
+    TID_BATCH,
+    TID_PHASE,
+    TID_VABLOCK,
+)
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS
 from ..sim.clock import SimClock
 from ..sim.trace import EventTrace
 from .batch import AssembledBatch, BlockWork, assemble_batch
@@ -86,6 +96,7 @@ class UvmDriver:
         cost_model: CostModel,
         rng: Optional[np.random.Generator] = None,
         trace: Optional[EventTrace] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -96,6 +107,7 @@ class UvmDriver:
         self.cost = cost_model
         self.rng = rng
         self.trace = trace
+        self.obs = obs if obs is not None else Observability(config.obs, clock)
         self.vablocks = VABlockManager()
         self.prefetcher = make_prefetcher(
             config.driver.prefetch_policy,
@@ -108,6 +120,39 @@ class UvmDriver:
         self._current_batch_size = config.driver.batch_size
         #: Unmap work deferred off the fault path (async-unmap ablation).
         self.async_unmap_backlog_usec = 0.0
+        # Observability: cached metric handles (no-op instruments when the
+        # registry is disabled, so the hot path never branches on config).
+        metrics = self.obs.metrics
+        self._m_batches = metrics.counter(
+            "uvm_batches_total", "Batches through the servicing path", labels=("kind",)
+        )
+        self._m_faults = metrics.counter(
+            "uvm_faults_total", "Faults fetched from the HW buffer", labels=("kind",)
+        )
+        self._m_pages = metrics.counter(
+            "uvm_pages_total", "Pages handled on the fault path", labels=("op",)
+        )
+        self._m_bytes = metrics.counter(
+            "uvm_bytes_total", "Bytes migrated over the interconnect", labels=("dir",)
+        )
+        self._m_hostos = metrics.counter(
+            "uvm_hostos_total", "Host-OS operations on the fault path", labels=("op",)
+        )
+        self._m_batch_usec = metrics.histogram(
+            "uvm_batch_service_usec", "Batch servicing time (simulated µs)"
+        )
+        self._m_batch_faults = metrics.histogram(
+            "uvm_batch_faults", "Raw faults per batch", buckets=DEFAULT_COUNT_BUCKETS
+        )
+        self.eviction.attach_obs(self.obs)
+        #: Simulated timestamp where the current VABlock's service started on
+        #: the trace timeline (per-block costs apply to the clock only after
+        #: the block loop, so the timeline is laid out from this cursor).
+        self._block_cursor = 0.0
+        #: Elapsed cost within the current block (kept current by ``spend``).
+        self._block_elapsed = 0.0
+        #: Per-block (attr, µs) phase marks for trace slices; None = off.
+        self._phase_marks: Optional[List[Tuple[str, float]]] = None
 
     # ----------------------------------------------------------- allocation
 
@@ -136,10 +181,16 @@ class UvmDriver:
         outcome = ServiceOutcome(record=record)
         block_costs: List[float] = []
         pinned: Set[int] = set()
+        chrome_on = self.obs.chrome.enabled
+        self._block_cursor = self.clock.now
         for block_id, block_pages in by_block.items():
             pinned.add(block_id)
             work = BlockWork(block_id=block_id, pages=block_pages, hinted=True)
+            t_block = self._block_cursor
+            self._phase_marks = [] if chrome_on else None
             cost, deferred = self._service_block(work, record, outcome, pinned)
+            self._emit_block_obs(work, t_block, cost, record)
+            self._block_cursor = t_block + cost
             block_costs.append(cost)
             if deferred:
                 pinned.discard(block_id)
@@ -150,6 +201,7 @@ class UvmDriver:
         self._advance_block_phase(block_costs)
         record.t_end = self.clock.now
         self.log.append(record)
+        self._finish_record_obs(record)
         return record
 
     def advise_read_mostly(self, pages) -> None:
@@ -187,6 +239,7 @@ class UvmDriver:
                     )
         record.t_end = self.clock.now
         self.log.append(record)
+        self._finish_record_obs(record)
         return record
 
     def is_remote_mapped(self, page: int) -> bool:
@@ -221,15 +274,20 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, slept_before=slept)
         self._batch_id += 1
         record.t_start = self.clock.now
+        spans = self.obs.spans
+        chrome = self.obs.chrome
+        chrome_on = chrome.enabled
 
         # 1. Wake + interrupt acknowledge.
         if slept:
-            record.time_wake = self._spend(self.cost.interrupt_wake_usec)
+            with spans.span("driver.wake", batch=record.batch_id):
+                record.time_wake = self._spend(self.cost.interrupt_wake_usec)
         self.device.gmmu.acknowledge()
 
         # 2. Fetch.
-        faults = self.device.fault_buffer.fetch(self.effective_batch_size)
-        record.time_fetch = self._spend(self.cost.fetch_cost(len(faults)))
+        with spans.span("driver.fetch", batch=record.batch_id):
+            faults = self.device.fault_buffer.fetch(self.effective_batch_size)
+            record.time_fetch = self._spend(self.cost.fetch_cost(len(faults)))
 
         if self.trace is not None:
             # Per-fault instrumentation (the paper's first driver variant):
@@ -245,10 +303,24 @@ class UvmDriver:
                     f.sm_id,
                     f.warp_uid,
                 )
+        if chrome_on:
+            # Fault instants on the issuing SM's trace row, at buffer-arrival
+            # time (the paper's per-fault arrival instrumentation, Fig 4).
+            pid_sm = self.obs.pid(PID_SM)
+            for f in faults:
+                chrome.instant(
+                    "fault",
+                    "fault",
+                    ts=f.timestamp,
+                    pid=pid_sm,
+                    tid=f.sm_id,
+                    args={"page": f.page, "batch": record.batch_id},
+                )
 
         # 3. Preprocess / dedup.
-        batch = assemble_batch(faults, self.device.config.num_sms)
-        record.time_preprocess = self._spend(self.cost.preprocess_cost(len(faults)))
+        with spans.span("driver.preprocess", batch=record.batch_id):
+            batch = assemble_batch(faults, self.device.config.num_sms)
+            record.time_preprocess = self._spend(self.cost.preprocess_cost(len(faults)))
         if faults:
             record.t_first_fault = faults[0].timestamp
             record.t_last_fault = faults[-1].timestamp
@@ -272,9 +344,14 @@ class UvmDriver:
         outcome = ServiceOutcome(record=record)
         block_costs: List[float] = []
         pinned: set = set()
+        self._block_cursor = self.clock.now
         for work in batch.blocks:
             pinned.add(work.block_id)
+            t_block = self._block_cursor
+            self._phase_marks = [] if chrome_on else None
             cost, deferred = self._service_block(work, record, outcome, pinned)
+            self._emit_block_obs(work, t_block, cost, record)
+            self._block_cursor = t_block + cost
             block_costs.append(cost)
             if deferred:
                 pinned.discard(work.block_id)
@@ -284,10 +361,20 @@ class UvmDriver:
         self._advance_block_phase(block_costs)
 
         # 5. Replay: flush buffer (drop), clear µTLB waiting, push replay.
-        outcome.dropped_faults = self.device.fault_buffer.flush()
-        record.dropped_at_flush = len(outcome.dropped_faults)
-        record.time_replay = self._spend(self.cost.replay_usec)
-        self.device.replay_all()
+        with spans.span("driver.replay", batch=record.batch_id):
+            outcome.dropped_faults = self.device.fault_buffer.flush()
+            record.dropped_at_flush = len(outcome.dropped_faults)
+            record.time_replay = self._spend(self.cost.replay_usec)
+            self.device.replay_all()
+        if chrome_on:
+            chrome.instant(
+                "replay",
+                "replay",
+                ts=self.clock.now,
+                pid=self.obs.pid(PID_DRIVER),
+                tid=TID_BATCH,
+                args={"batch": record.batch_id, "dropped": record.dropped_at_flush},
+            )
 
         # Pages evicted by later blocks of this batch are not serviced.
         resident = self.device.page_table.resident
@@ -301,6 +388,7 @@ class UvmDriver:
         self.log.append(record)
         if self.trace is not None:
             self.trace.emit(record.t_end, "batch", record.batch_id, record.num_faults_raw)
+        self._finish_record_obs(record)
         self._update_adaptive(record)
         return outcome
 
@@ -326,12 +414,17 @@ class UvmDriver:
                 f"faults target VABlock {work.block_id} outside any managed allocation"
             )
         total = 0.0
+        marks = self._phase_marks
+        self._block_elapsed = 0.0
 
         def spend(usec: float, attr: str) -> float:
             nonlocal total
             jittered = self.cost.jitter(self.rng, usec)
             setattr(record, attr, getattr(record, attr) + jittered)
             total += jittered
+            self._block_elapsed = total
+            if marks is not None:
+                marks.append((attr, jittered))
             return jittered
 
         spend(self.cost.vablock_base_usec, "time_block_base")
@@ -429,6 +522,9 @@ class UvmDriver:
                 "time_migrate_prep",
             )
             runs = contiguous_runs(transfer_pages)
+            # Place the CE trace slice where this block's work actually sits
+            # on the timeline (the clock itself advances after the loop).
+            self.device.copy_engine.ts_hint = self._block_cursor + total
             spend(self.device.copy_engine.host_to_device(runs), "time_transfer_h2d")
             record.pages_migrated_h2d += len(transfer_pages)
             record.bytes_h2d += len(transfer_pages) * 4096
@@ -464,11 +560,15 @@ class UvmDriver:
         victim_id = self.eviction.require_victim(exclude)
         victim = self.vablocks.get(victim_id)
         pages = sorted(victim.resident_pages)
-        spend(self.cost.evict_restart_usec, "time_eviction")
-        spend(self.cost.pagetable_cost(len(pages)), "time_eviction")
+        evict_t0 = self._block_cursor + self._block_elapsed
+        evict_usec = spend(self.cost.evict_restart_usec, "time_eviction")
+        evict_usec += spend(self.cost.pagetable_cost(len(pages)), "time_eviction")
         if pages:
             runs = contiguous_runs(pages)
-            spend(self.device.copy_engine.device_to_host(runs), "time_transfer_d2h")
+            self.device.copy_engine.ts_hint = self._block_cursor + self._block_elapsed
+            evict_usec += spend(
+                self.device.copy_engine.device_to_host(runs), "time_transfer_d2h"
+            )
             record.bytes_d2h += len(pages) * 4096
             self.host_vm.mark_valid(pages)
             self.device.page_table.unmap_pages(pages)
@@ -484,6 +584,17 @@ class UvmDriver:
         record.evictions += 1
         record.pages_evicted += len(pages)
         outcome.evicted_pages.extend(pages)
+        self._m_pages.labels("evicted").inc(len(pages))
+        if self.obs.chrome.enabled:
+            self.obs.chrome.duration(
+                f"evict block {victim_id}",
+                "evict",
+                ts=evict_t0,
+                dur=evict_usec,
+                pid=self.obs.pid(PID_EVICTION),
+                tid=0,
+                args={"pages": len(pages), "batch": record.batch_id},
+            )
         if self.trace is not None:
             first = pages[0] if pages else victim.first_page
             last = pages[-1] if pages else victim.first_page
@@ -567,6 +678,112 @@ class UvmDriver:
             self.host_vm.invalidate(target)
             record.pages_prefetched += len(target)
             outcome.serviced_pages.extend(target)
+
+    # -------------------------------------------------------- observability
+
+    def _emit_block_obs(self, work: BlockWork, t_block: float, cost: float, record: BatchRecord) -> None:
+        """Log one serviced VABlock as a span plus trace slices.
+
+        Blocks are laid out serially from the clock time at the start of the
+        block loop (exactly the serial driver's timeline; under the
+        parallel-driver ablation the visualization shows total work, while
+        the clock advances by the critical path).
+        """
+        obs = self.obs
+        if obs.spans.enabled and cost > 0.0:
+            obs.spans.record(
+                "driver.vablock",
+                "driver",
+                sim_start=t_block,
+                sim_dur=cost,
+                depth=1,
+                block=work.block_id,
+                batch=record.batch_id,
+            )
+        marks = self._phase_marks
+        if marks is None:
+            return
+        self._phase_marks = None
+        if not marks:
+            return
+        chrome = obs.chrome
+        pid = obs.pid(PID_DRIVER)
+        chrome.duration(
+            f"vablock {work.block_id}",
+            "driver",
+            ts=t_block,
+            dur=cost,
+            pid=pid,
+            tid=TID_VABLOCK,
+            args={"batch": record.batch_id, "faults": len(work.pages)},
+        )
+        offset = t_block
+        for attr, usec in marks:
+            name = attr[5:] if attr.startswith("time_") else attr
+            chrome.duration(name, "driver", ts=offset, dur=usec, pid=pid, tid=TID_PHASE)
+            offset += usec
+
+    def _finish_record_obs(self, record: BatchRecord) -> None:
+        """Fold one finished batch into metrics, spans, trace, and sink."""
+        obs = self.obs
+        self._m_batches.labels("hinted" if record.hinted else "fault").inc()
+        self._m_faults.labels("raw").inc(record.num_faults_raw)
+        self._m_faults.labels("unique").inc(record.num_faults_unique)
+        self._m_faults.labels("duplicate").inc(record.duplicate_count)
+        self._m_faults.labels("dropped").inc(record.dropped_at_flush)
+        self._m_pages.labels("migrated_h2d").inc(record.pages_migrated_h2d)
+        self._m_pages.labels("populated").inc(record.pages_populated)
+        self._m_pages.labels("prefetched").inc(record.pages_prefetched)
+        self._m_pages.labels("unmapped").inc(record.pages_unmapped)
+        self._m_bytes.labels("h2d").inc(record.bytes_h2d)
+        self._m_bytes.labels("d2h").inc(record.bytes_d2h)
+        self._m_hostos.labels("unmap_calls").inc(record.unmap_calls)
+        self._m_hostos.labels("dma_mappings").inc(record.dma_mappings_created)
+        self._m_hostos.labels("radix_nodes").inc(record.radix_nodes_allocated)
+        self._m_batch_usec.observe(record.duration)
+        self._m_batch_faults.observe(record.num_faults_raw)
+        if obs.spans.enabled:
+            # The batch envelope as a manual span: reconciles against
+            # ``BatchRecord.duration``/``service_time`` in tests.
+            obs.spans.record(
+                "driver.batch",
+                "driver",
+                sim_start=record.t_start,
+                sim_dur=record.duration,
+                batch=record.batch_id,
+                hinted=record.hinted,
+            )
+        if obs.chrome.enabled:
+            kind = "hinted migration" if record.hinted else "batch"
+            obs.chrome.duration(
+                f"{kind} {record.batch_id}",
+                "driver",
+                ts=record.t_start,
+                dur=record.duration,
+                pid=obs.pid(PID_DRIVER),
+                tid=TID_BATCH,
+                args={
+                    "faults_raw": record.num_faults_raw,
+                    "faults_unique": record.num_faults_unique,
+                    "vablocks": record.num_vablocks,
+                    "pages_h2d": record.pages_migrated_h2d,
+                    "evictions": record.evictions,
+                },
+            )
+            if not record.hinted:
+                # The GPU is stalled while the driver services (§6): one
+                # aggregate stall slice on the SM process' summary row.
+                obs.chrome.duration(
+                    "stall (driver servicing)",
+                    "stall",
+                    ts=record.t_start,
+                    dur=record.duration,
+                    pid=obs.pid(PID_SM),
+                    tid=self.device.config.num_sms,
+                    args={"batch": record.batch_id},
+                )
+        if obs.sink is not None:
+            obs.sink.write_batch_record(record)
 
     # ------------------------------------------------------------ internals
 

@@ -35,6 +35,12 @@ class CopyEngine:
         "bytes_d2h",
         "transfers_h2d",
         "transfers_d2h",
+        "_obs",
+        "_clock",
+        "_pid",
+        "_m_bytes",
+        "_m_bursts",
+        "ts_hint",
     )
 
     def __init__(
@@ -50,6 +56,52 @@ class CopyEngine:
         self.bytes_d2h = 0
         self.transfers_h2d = 0
         self.transfers_d2h = 0
+        self._obs = None
+        self._clock = None
+        self._pid = 0
+        self._m_bytes = None
+        self._m_bursts = None
+        #: Timestamp to place the next burst at on the trace timeline; the
+        #: driver sets it before copies made while the clock is deferred
+        #: (per-VABlock costs apply to the clock only after the block loop).
+        self.ts_hint = None
+
+    # -------------------------------------------------------- observability
+
+    def attach_obs(self, obs, clock) -> None:
+        """Hook the copy engine into the observability layer: every burst
+        becomes a duration slice on the CE trace track and bumps the
+        ``uvm_ce_*`` metric families."""
+        from ..obs.chrome_trace import PID_COPY_ENGINE
+
+        self._obs = obs
+        self._clock = clock
+        self._pid = obs.pid(PID_COPY_ENGINE)
+        self._m_bytes = obs.metrics.counter(
+            "uvm_ce_bytes_total", "Bytes moved by the copy engines", labels=("dir",)
+        )
+        self._m_bursts = obs.metrics.counter(
+            "uvm_ce_bursts_total", "Copy-engine burst operations", labels=("dir",)
+        )
+
+    def _observe_burst(self, direction: str, nbytes: int, num_runs: int, cost: float) -> None:
+        obs = self._obs
+        if obs is None or nbytes == 0:
+            return
+        self._m_bytes.labels(direction).inc(nbytes)
+        self._m_bursts.labels(direction).inc()
+        if obs.chrome.enabled:
+            ts = self.ts_hint if self.ts_hint is not None else self._clock.now
+            self.ts_hint = None
+            obs.chrome.duration(
+                f"copy {direction}",
+                "ce",
+                ts=ts,
+                dur=cost,
+                pid=self._pid,
+                tid=0 if direction == "h2d" else 1,
+                args={"bytes": nbytes, "runs": num_runs},
+            )
 
     def cost_for_bytes(self, nbytes: int) -> float:
         """Time (µs) for one standalone transfer of ``nbytes``."""
@@ -76,17 +128,23 @@ class CopyEngine:
         pipelines the runs of one burst.
         """
         cost = self._burst_cost(run_lengths)
+        nbytes = 0
         for npages in run_lengths:
-            self.bytes_h2d += npages * PAGE_SIZE
+            nbytes += npages * PAGE_SIZE
             self.transfers_h2d += 1
+        self.bytes_h2d += nbytes
+        self._observe_burst("h2d", nbytes, len(run_lengths), cost)
         return cost
 
     def device_to_host(self, run_lengths: Sequence[int]) -> float:
         """Copy contiguous page runs device→host (eviction path)."""
         cost = self._burst_cost(run_lengths)
+        nbytes = 0
         for npages in run_lengths:
-            self.bytes_d2h += npages * PAGE_SIZE
+            nbytes += npages * PAGE_SIZE
             self.transfers_d2h += 1
+        self.bytes_d2h += nbytes
+        self._observe_burst("d2h", nbytes, len(run_lengths), cost)
         return cost
 
 

@@ -35,6 +35,8 @@ from ..gpu.copy_engine import contiguous_runs
 from ..gpu.warp import KernelLaunch
 from ..hostos.dma import DmaMapper
 from ..hostos.host_vm import HostVm
+from ..obs import Observability
+from ..obs.chrome_trace import PID_PEER
 from ..sim.clock import SimClock
 from ..sim.engine import Engine, LaunchResult
 from ..sim.trace import EventTrace
@@ -86,6 +88,19 @@ class MultiGpuSystem:
         self.peer_enabled = peer_enabled
         self.clock = SimClock()
         self.host_vm = HostVm()
+        #: One observability layer on the shared clock; each device gets a
+        #: scoped view so its trace tracks land on distinct pids.
+        self.obs = Observability(self.config.obs, self.clock)
+        self._m_peer_pages = self.obs.metrics.counter(
+            "uvm_peer_pages_total",
+            "Pages moved between devices",
+            labels=("mode",),
+        )
+        self._m_peer_usec = self.obs.metrics.counter(
+            "uvm_peer_time_usec_total",
+            "Simulated time spent on cross-device migration",
+            labels=("mode",),
+        )
         self.devices: List[DeviceHandle] = []
         for device_id in range(num_devices):
             cfg = self.config.replace(seed=self.config.seed + device_id)
@@ -95,6 +110,7 @@ class MultiGpuSystem:
                 clock=self.clock,
                 host_vm=self.host_vm,
                 dma=None,  # DMA/IOMMU mapping tables are per device
+                obs=self.obs.scoped(device_id * 10, f"GPU{device_id}"),
             )
             self.devices.append(DeviceHandle(device_id, engine))
         self.cost = self.devices[0].engine.cost
@@ -235,6 +251,7 @@ class MultiGpuSystem:
             block.resident_pages.discard(page)
         self.host_vm.mark_valid(resident)
 
+        t_migrate = self.clock.now
         if self.peer_enabled:
             # Direct D2D: charge the peer wire time, then install on the
             # destination with the host→device transfer replaced by it (the
@@ -251,6 +268,7 @@ class MultiGpuSystem:
             delta = peer_wire - record.time_transfer_h2d
             if delta > 0:
                 self.clock.advance(delta)
+            mode = "peer"
             self.peer_stats.peer_transfers += len(runs)
             self.peer_stats.peer_pages += len(resident)
             self.peer_stats.peer_usec += install + max(0.0, delta)
@@ -261,9 +279,22 @@ class MultiGpuSystem:
             self.clock.advance(usec)
             t0 = self.clock.now
             dst.driver.bulk_migrate(resident)
+            mode = "bounce"
             self.peer_stats.bounce_transfers += len(runs)
             self.peer_stats.bounce_pages += len(resident)
             self.peer_stats.bounce_usec += usec + (self.clock.now - t0)
+        self._m_peer_pages.labels(mode).inc(len(resident))
+        self._m_peer_usec.labels(mode).inc(self.clock.now - t_migrate)
+        if self.obs.chrome.enabled:
+            self.obs.chrome.duration(
+                f"migrate GPU{src_id}→GPU{dst_id} ({mode})",
+                "peer",
+                ts=t_migrate,
+                dur=self.clock.now - t_migrate,
+                pid=PID_PEER,
+                tid=0,
+                args={"pages": len(resident), "bytes": nbytes, "mode": mode},
+            )
         for page in resident:
             self._owner[page] = dst_id
 
@@ -275,3 +306,11 @@ class MultiGpuSystem:
         for handle in self.devices:
             records.extend(handle.driver.log.records)
         return sorted(records, key=lambda r: r.t_start)
+
+    def metrics_snapshot(self) -> dict:
+        """Merged metrics across every device (they share one registry)."""
+        return self.obs.metrics.snapshot()
+
+    def export_chrome_trace(self, path):
+        """Write the combined multi-device Chrome trace JSON to ``path``."""
+        return self.obs.chrome.write(path)

@@ -1,0 +1,143 @@
+"""Unified observability layer: metrics, spans, Chrome traces, NDJSON logs.
+
+One :class:`Observability` object per simulated system bundles the four
+instruments the fault-path analysis needs:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — run-level counters, gauges,
+  and histograms with labeled series (snapshot dict / Prometheus text);
+* :class:`~repro.obs.spans.SpanProfiler` — nested phase spans recording
+  simulated *and* host wall-clock time;
+* :class:`~repro.obs.chrome_trace.ChromeTraceBuilder` — the run as a
+  Perfetto/``chrome://tracing`` timeline;
+* :class:`~repro.obs.sinks.NdjsonSink` — structured per-batch / per-event
+  log lines (the paper's "system log", machine-readable).
+
+Enablement comes from :class:`~repro.config.ObsConfig`; every instrument is
+independently switchable and near-zero-cost when off.  Multi-GPU systems
+share one ``Observability`` across engines and give each device a scoped
+view (:meth:`Observability.scoped`) so its trace tracks land in a separate
+process group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .chrome_trace import (
+    ChromeTraceBuilder,
+    PID_COPY_ENGINE,
+    PID_DRIVER,
+    PID_EVICTION,
+    PID_KERNEL,
+    PID_PEER,
+    PID_SM,
+    TID_BATCH,
+    TID_PHASE,
+    TID_VABLOCK,
+)
+from .metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS_USEC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+)
+from .sinks import NdjsonSink, read_ndjson
+from .spans import NULL_SPAN, SpanProfiler, SpanRecord
+
+
+class Observability:
+    """Facade bundling one system's metrics, spans, trace, and log sink."""
+
+    def __init__(self, config, clock, pid_base: int = 0, label: str = "") -> None:
+        """``config`` is an :class:`~repro.config.ObsConfig`; ``clock`` the
+        system's shared :class:`~repro.sim.clock.SimClock`."""
+        self.config = config
+        self.clock = clock
+        self.pid_base = pid_base
+        self.label = label
+        self.metrics = MetricsRegistry(enabled=config.metrics)
+        self.spans = SpanProfiler(clock, enabled=config.spans, max_spans=config.max_spans)
+        self.chrome = ChromeTraceBuilder(
+            enabled=config.chrome_trace, max_events=config.chrome_max_events
+        )
+        self.sink: Optional[NdjsonSink] = (
+            NdjsonSink(config.ndjson_path) if config.ndjson_path else None
+        )
+        if self.chrome.enabled:
+            self.chrome.register_tracks(pid_base, label)
+
+    # ------------------------------------------------------------- scoping
+
+    def scoped(self, pid_base: int, label: str) -> "Observability":
+        """A per-device view sharing every instrument but with offset trace
+        pids, so multi-GPU devices render as separate process groups."""
+        view = object.__new__(Observability)
+        view.config = self.config
+        view.clock = self.clock
+        view.pid_base = pid_base
+        view.label = label
+        view.metrics = self.metrics
+        view.spans = self.spans
+        view.chrome = self.chrome
+        view.sink = self.sink
+        if view.chrome.enabled:
+            view.chrome.register_tracks(pid_base, label)
+        return view
+
+    def pid(self, subsystem_pid: int) -> int:
+        """Trace pid for a subsystem constant, offset for this device."""
+        return self.pid_base + subsystem_pid
+
+    # ---------------------------------------------------------- delegation
+
+    def span(self, name: str, category: str = "driver", **args):
+        """Shorthand for ``obs.spans.span(...)``."""
+        return self.spans.span(name, category, **args)
+
+    @property
+    def any_enabled(self) -> bool:
+        return (
+            self.metrics.enabled
+            or self.spans.enabled
+            or self.chrome.enabled
+            or self.sink is not None
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Flush and close the NDJSON sink (other instruments are in-memory)."""
+        if self.sink is not None:
+            self.sink.close()
+
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "DEFAULT_TIME_BUCKETS_USEC",
+    "DEFAULT_COUNT_BUCKETS",
+    "SpanProfiler",
+    "SpanRecord",
+    "NULL_SPAN",
+    "ChromeTraceBuilder",
+    "NdjsonSink",
+    "read_ndjson",
+    "PID_DRIVER",
+    "PID_COPY_ENGINE",
+    "PID_SM",
+    "PID_EVICTION",
+    "PID_PEER",
+    "PID_KERNEL",
+    "TID_BATCH",
+    "TID_VABLOCK",
+    "TID_PHASE",
+]

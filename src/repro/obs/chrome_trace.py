@@ -1,0 +1,225 @@
+"""Chrome trace-event export: the fault path on a Perfetto timeline.
+
+Renders a run as the Trace Event Format JSON consumed by Perfetto and
+``chrome://tracing``.  Track layout (one "process" per subsystem):
+
+* **UVM driver** (pid 1) — batch envelopes on one row, per-VABlock service
+  slices on a second, intra-block phases (alloc/DMA/unmap/transfer/...) on a
+  third; replay instants ride on the batch row;
+* **Copy engine** (pid 2) — one duration slice per copy-engine burst,
+  labeled with direction, bytes, and run count;
+* **SMs** (pid 3) — per-SM warp-compute ("run") slices, per-fault instant
+  events on the issuing SM's row, and an aggregate "stall" row covering
+  driver servicing windows (§6: the GPU is stalled while the driver works);
+* **Eviction** (pid 4) — one slice per VABlock eviction;
+* **Peer** (pid 5) — multi-GPU peer/bounce migrations;
+* **Kernels** (pid 6) — one envelope slice per kernel launch.
+
+Timestamps are simulated microseconds, which is exactly the unit the trace
+format expects, so simulated time maps 1:1 onto the viewer's timeline.
+Multi-GPU systems offset each device's pids by ``pid_base`` so devices show
+as separate process groups.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Subsystem process ids (offset by the device's ``pid_base`` in multi-GPU).
+PID_DRIVER = 1
+PID_COPY_ENGINE = 2
+PID_SM = 3
+PID_EVICTION = 4
+PID_PEER = 5
+PID_KERNEL = 6
+
+PROCESS_NAMES = {
+    PID_KERNEL: "Kernels",
+    PID_DRIVER: "UVM driver",
+    PID_COPY_ENGINE: "Copy engine",
+    PID_SM: "SMs",
+    PID_EVICTION: "Eviction",
+    PID_PEER: "Peer transfers",
+}
+
+#: Driver-process rows.
+TID_BATCH = 0
+TID_VABLOCK = 1
+TID_PHASE = 2
+
+DRIVER_THREAD_NAMES = {
+    TID_BATCH: "batches",
+    TID_VABLOCK: "vablocks",
+    TID_PHASE: "phases",
+}
+
+
+class ChromeTraceBuilder:
+    """Accumulates trace events and serializes Trace Event Format JSON."""
+
+    def __init__(self, enabled: bool = True, max_events: int = 1_000_000) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: List[dict] = []
+        #: (pid, tid) → thread name; pid → process name.
+        self._thread_names: Dict[Tuple[int, int], str] = {}
+        self._process_names: Dict[int, str] = {}
+
+    # ------------------------------------------------------------- emission
+
+    def _add(self, event: dict) -> bool:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return False
+        self._events.append(event)
+        return True
+
+    def duration(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: float,
+        pid: int,
+        tid: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        """A complete duration event (``ph: "X"``)."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._add(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        pid: int,
+        tid: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        """A thread-scoped instant event (``ph: "i"``)."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": ts,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._add(event)
+
+    def counter(self, name: str, ts: float, values: dict, pid: int, tid: int = 0) -> None:
+        """A counter-track sample (``ph: "C"``)."""
+        if not self.enabled:
+            return
+        self._add(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": ts,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(values),
+            }
+        )
+
+    # --------------------------------------------------------------- naming
+
+    def set_process_name(self, pid: int, name: str) -> None:
+        self._process_names[pid] = name
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        self._thread_names[(pid, tid)] = name
+
+    def register_tracks(self, pid_base: int = 0, label: str = "") -> None:
+        """Name the standard subsystem tracks for one device."""
+        prefix = f"{label} " if label else ""
+        for pid, name in PROCESS_NAMES.items():
+            self.set_process_name(pid_base + pid, prefix + name)
+        for tid, name in DRIVER_THREAD_NAMES.items():
+            self.set_thread_name(pid_base + PID_DRIVER, tid, name)
+
+    # --------------------------------------------------------------- export
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[dict]:
+        return list(self._events)
+
+    @property
+    def num_tracks(self) -> int:
+        """Distinct processes that actually carry events."""
+        return len({e["pid"] for e in self._events})
+
+    def _metadata_events(self) -> List[dict]:
+        out = []
+        for pid, name in sorted(self._process_names.items()):
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        for (pid, tid), name in sorted(self._thread_names.items()):
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        """The trace as a JSON-ready dict: metadata first, events by time."""
+        events = self._metadata_events()
+        events.extend(sorted(self._events, key=lambda e: (e["ts"], e["pid"], e["tid"])))
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": "uvm-repro",
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Serialize to ``path``; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

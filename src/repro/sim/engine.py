@@ -41,6 +41,8 @@ from ..hostos.cost_model import CostModel
 from ..hostos.cpu import HostCpu
 from ..hostos.dma import DmaMapper
 from ..hostos.host_vm import HostVm
+from ..obs import Observability
+from ..obs.chrome_trace import PID_SM
 from ..units import vablock_of_page
 from .clock import SimClock
 from .rng import spawn_rng
@@ -81,15 +83,18 @@ class Engine:
         clock: Optional[SimClock] = None,
         host_vm: Optional[HostVm] = None,
         dma: Optional[DmaMapper] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
-        """``clock``/``host_vm``/``dma`` may be shared across engines — the
-        multi-GPU coordinator passes one host-side state to every device's
-        engine (one host OS, many GPUs, as in real UVM)."""
+        """``clock``/``host_vm``/``dma``/``obs`` may be shared across
+        engines — the multi-GPU coordinator passes one host-side state (and
+        one observability layer, with per-device scoped trace tracks) to
+        every device's engine (one host OS, many GPUs, as in real UVM)."""
         config.validate()
         self.config = config
         self.cost = CostModel().apply_overrides(config.cost_overrides)
         self.clock = clock if clock is not None else SimClock()
         self.trace = trace if trace is not None else EventTrace(enabled=False)
+        self.obs = obs if obs is not None else Observability(config.obs, self.clock)
         self.device = GpuDevice(
             config.gpu,
             copy_bandwidth_bytes_per_usec=self.cost.link_bandwidth_bytes_per_usec,
@@ -99,6 +104,27 @@ class Engine:
         self.host_cpu = HostCpu(config.host)
         self.dma = dma if dma is not None else DmaMapper(self.cost)
         self.rng = spawn_rng(config.seed, "engine")
+        if self.obs.any_enabled:
+            self.device.copy_engine.attach_obs(self.obs, self.clock)
+        if self.obs.sink is not None and self.trace.sink is None:
+            self.trace.sink = self.obs.sink
+        #: Cached flag so the per-warp hot path never touches the builder.
+        self._chrome_on = self.obs.chrome.enabled
+        self._pid_sm = self.obs.pid(PID_SM)
+        if self._chrome_on:
+            for sm_id in range(config.gpu.num_sms):
+                self.obs.chrome.set_thread_name(self._pid_sm, sm_id, f"SM {sm_id}")
+            self.obs.chrome.set_thread_name(
+                self._pid_sm, config.gpu.num_sms, "all SMs (stall)"
+            )
+        metrics = self.obs.metrics
+        self._m_kernels = metrics.counter("uvm_kernels_total", "Kernel launches run")
+        self._m_kernel_usec = metrics.histogram(
+            "uvm_kernel_time_usec", "Kernel wall time (simulated µs)"
+        )
+        self._m_rounds = metrics.counter(
+            "uvm_engine_rounds_total", "GPU fault-generation rounds"
+        )
         self.driver = UvmDriver(
             config=config,
             device=self.device,
@@ -108,6 +134,7 @@ class Engine:
             cost_model=self.cost,
             rng=spawn_rng(config.seed, "driver-jitter"),
             trace=self.trace,
+            obs=self.obs,
         )
         #: page → warps blocked on it.
         self._waiters: Dict[int, List[WarpState]] = {}
@@ -145,29 +172,53 @@ class Engine:
             return
         if thread_of is None:
             thread_of = lambda page: 0
-        is_remote = self.driver.is_remote_mapped
-        resident = [
-            p
-            for p in pages
-            if self.device.page_table.is_resident(p) and not is_remote(p)
-        ]
-        if resident:
-            resident.sort()
-            self.clock.advance(
-                self.device.copy_engine.device_to_host(contiguous_runs(resident))
-            )
-            self.device.page_table.unmap_pages(resident)
-            for page in resident:
-                block = self.driver.vablocks.get_for_page(page)
-                block.resident_pages.discard(page)
-            self.host_vm.mark_valid(resident)
-        self.host_vm.cpu_touch(pages, thread_of)
-        self.clock.advance(self.host_cpu.touch_cost_usec(len(pages)))
+        with self.obs.span("engine.host_touch", "engine", pages=len(pages)):
+            is_remote = self.driver.is_remote_mapped
+            resident = [
+                p
+                for p in pages
+                if self.device.page_table.is_resident(p) and not is_remote(p)
+            ]
+            if resident:
+                resident.sort()
+                self.clock.advance(
+                    self.device.copy_engine.device_to_host(contiguous_runs(resident))
+                )
+                self.device.page_table.unmap_pages(resident)
+                for page in resident:
+                    block = self.driver.vablocks.get_for_page(page)
+                    block.resident_pages.discard(page)
+                self.host_vm.mark_valid(resident)
+            self.host_vm.cpu_touch(pages, thread_of)
+            self.clock.advance(self.host_cpu.touch_cost_usec(len(pages)))
 
     # -------------------------------------------------------------- launch
 
     def launch(self, kernel: KernelLaunch) -> LaunchResult:
         """Run a kernel to completion; returns its launch summary."""
+        t0 = self.clock.now
+        with self.obs.span("engine.launch", "engine", kernel=kernel.name):
+            result = self._launch(kernel)
+        self._m_kernels.inc()
+        self._m_kernel_usec.observe(result.kernel_time_usec)
+        if self._chrome_on:
+            from ..obs.chrome_trace import PID_KERNEL
+
+            self.obs.chrome.duration(
+                kernel.name or "kernel",
+                "kernel",
+                ts=t0,
+                dur=self.clock.now - t0,
+                pid=self.obs.pid(PID_KERNEL),
+                tid=0,
+                args={
+                    "faults": result.total_faults,
+                    "batches": result.num_batches,
+                },
+            )
+        return result
+
+    def _launch(self, kernel: KernelLaunch) -> LaunchResult:
         device = self.device
         device.reset_scheduling()
         self._waiters.clear()
@@ -214,6 +265,7 @@ class Engine:
 
         # Wait out trailing compute of the last-retired warps.
         self.clock.advance_to(self._last_retire_at)
+        self._m_rounds.inc(guard_rounds)
         records = self.driver.log.records[first_record:]
         return LaunchResult(
             name=kernel.name,
@@ -384,7 +436,18 @@ class Engine:
         if result.compute_usec > 0.0:
             # The warp is busy computing the phases it just completed; its
             # next faults only issue once the compute retires.
-            warp.ready_at = max(warp.ready_at, self.clock.now) + result.compute_usec
+            run_start = max(warp.ready_at, self.clock.now)
+            warp.ready_at = run_start + result.compute_usec
+            if self._chrome_on:
+                self.obs.chrome.duration(
+                    "run",
+                    "sm",
+                    ts=run_start,
+                    dur=result.compute_usec,
+                    pid=self._pid_sm,
+                    tid=warp.sm_id,
+                    args={"warp": warp.uid},
+                )
         for page in result.prefetches:
             self._prefetch_queue.append((warp.sm_id, page))
         if result.finished:

@@ -6,12 +6,21 @@ from the GPU fault buffer (used for Figs 3-5, 16c, 17c).  ``EventTrace`` is
 the in-simulator equivalent: an append-only list of small tuples with
 category filters, cheap enough to leave enabled for the microbenchmarks and
 disabled (``enabled=False``) for the large sweeps.
+
+Long-running captures can bound memory with ``max_events``: the trace then
+behaves as a ring buffer keeping the *newest* events (``dropped`` counts the
+overwritten ones).  Traces persist like :class:`~repro.core.instrumentation.BatchLog`
+via :meth:`to_jsonl` / :meth:`from_jsonl`, and can tee every event into an
+NDJSON sink (:class:`~repro.obs.sinks.NdjsonSink`) for live structured logs.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+import json
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -30,15 +39,43 @@ class TraceEvent:
     category: str
     payload: Tuple
 
+    def to_dict(self) -> dict:
+        return {"time": self.time, "category": self.category, "payload": list(self.payload)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        return cls(
+            time=float(data["time"]),
+            category=data["category"],
+            payload=tuple(data.get("payload", ())),
+        )
+
 
 class EventTrace:
-    """Append-only trace with category filtering."""
+    """Append-only trace with category filtering and an optional ring cap."""
 
-    def __init__(self, enabled: bool = True, categories: Optional[set] = None) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[set] = None,
+        max_events: Optional[int] = None,
+        sink=None,
+    ) -> None:
         self.enabled = enabled
         #: When non-None, only these categories are recorded.
         self.categories = categories
-        self._events: List[TraceEvent] = []
+        #: Ring-buffer capacity; None keeps every event (unbounded).
+        self.max_events = max_events
+        #: Events overwritten by the ring buffer since creation/clear.
+        self.dropped = 0
+        #: Optional NDJSON sink every recorded event is teed into.
+        self.sink = sink
+        if max_events is not None:
+            if max_events <= 0:
+                raise ValueError("max_events must be positive or None")
+            self._events = deque(maxlen=max_events)
+        else:
+            self._events: List[TraceEvent] = []
 
     def emit(self, time: float, category: str, *payload) -> None:
         """Record one event (no-op when disabled or filtered out)."""
@@ -46,7 +83,12 @@ class EventTrace:
             return
         if self.categories is not None and category not in self.categories:
             return
-        self._events.append(TraceEvent(time, category, payload))
+        events = self._events
+        if self.max_events is not None and len(events) == self.max_events:
+            self.dropped += 1
+        events.append(TraceEvent(time, category, payload))
+        if self.sink is not None:
+            self.sink.write_trace_event(time, category, payload)
 
     def __len__(self) -> int:
         return len(self._events)
@@ -55,6 +97,8 @@ class EventTrace:
         return iter(self._events)
 
     def __getitem__(self, idx):
+        if isinstance(self._events, deque) and isinstance(idx, slice):
+            return list(self._events)[idx]
         return self._events[idx]
 
     def select(self, category: str, predicate: Optional[Callable[[TraceEvent], bool]] = None) -> List[TraceEvent]:
@@ -66,3 +110,31 @@ class EventTrace:
 
     def clear(self) -> None:
         self._events.clear()
+        self.dropped = 0
+
+    # --------------------------------------------------------- serialization
+
+    def to_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write one JSON object per event to ``path`` (like ``BatchLog``)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for event in self._events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        return path
+
+    @classmethod
+    def from_jsonl(
+        cls,
+        path: Union[str, Path],
+        max_events: Optional[int] = None,
+    ) -> "EventTrace":
+        """Reload a persisted trace (payloads round-trip as tuples)."""
+        trace = cls(enabled=True, max_events=max_events)
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    event = TraceEvent.from_dict(json.loads(line))
+                    trace.emit(event.time, event.category, *event.payload)
+        return trace

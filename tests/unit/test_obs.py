@@ -1,0 +1,385 @@
+"""Unit tests for the observability layer (:mod:`repro.obs`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.config import ObsConfig
+from repro.errors import ConfigError
+from repro.obs import (
+    ChromeTraceBuilder,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NULL_SPAN,
+    NdjsonSink,
+    Observability,
+    PID_DRIVER,
+    SpanProfiler,
+    read_ndjson,
+)
+from repro.sim.clock import SimClock
+from repro.sim.trace import EventTrace
+
+
+# ---------------------------------------------------------------- metrics
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("batches", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.labels().snapshot() == 5.0
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("pages", labels=("op",))
+        fam.labels("h2d").inc(3)
+        fam.labels("d2h").inc(1)
+        assert fam.labels("h2d").snapshot() == 3.0
+        assert fam.labels("d2h").snapshot() == 1.0
+
+    def test_wrong_label_arity_raises(self):
+        fam = MetricsRegistry().counter("pages", labels=("op",))
+        with pytest.raises(ValueError):
+            fam.labels("a", "b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("resident")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.labels().snapshot() == 7.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_sum(self):
+        h = MetricsRegistry().histogram("t", buckets=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            h.observe(v)
+        snap = h.labels().snapshot()
+        les = [(b["le"], b["count"]) for b in snap["buckets"]]
+        assert les == [(10.0, 1), (100.0, 2), (float("inf"), 3)]
+        assert snap["sum"] == 555.0
+        assert snap["count"] == 3
+
+    def test_boundary_value_falls_in_its_bucket(self):
+        # Prometheus `le` is inclusive.
+        h = MetricsRegistry().histogram("t", buckets=(10.0, 100.0))
+        h.observe(10.0)
+        snap = h.labels().snapshot()
+        assert snap["buckets"][0]["count"] == 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().histogram("t", buckets=(10.0, 5.0))
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "first")
+        b = reg.counter("x", "second")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+
+    def test_disabled_registry_hands_out_null_instrument(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x", labels=("op",))
+        assert c is NULL_INSTRUMENT
+        assert c.labels("anything", "arity", "ignored") is c
+        c.inc()
+        c.set(5)
+        c.observe(1.0)
+        assert reg.snapshot() == {}
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help", labels=("k",)).labels("v").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(3.0)
+        text = json.dumps(reg.snapshot())
+        assert "Infinity" in text  # +Inf bucket survives the dump
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("uvm_pages_total", "Pages", labels=("op",)).labels("h2d").inc(3)
+        reg.histogram("uvm_usec", "Time", buckets=(10.0,)).observe(4.0)
+        text = reg.to_prometheus()
+        assert "# HELP uvm_pages_total Pages" in text
+        assert "# TYPE uvm_pages_total counter" in text
+        assert 'uvm_pages_total{op="h2d"} 3' in text
+        assert 'uvm_usec_bucket{le="10"} 1' in text
+        assert 'uvm_usec_bucket{le="+Inf"} 1' in text
+        assert "uvm_usec_sum 4" in text
+        assert "uvm_usec_count 1" in text
+
+
+# ------------------------------------------------------------------ spans
+
+
+class TestSpanProfiler:
+    def test_span_measures_clock_advance(self):
+        clock = SimClock()
+        prof = SpanProfiler(clock)
+        with prof.span("fetch", batch=7):
+            clock.advance(12.5)
+        (rec,) = prof.records
+        assert rec.name == "fetch"
+        assert rec.sim_start == 0.0
+        assert rec.sim_dur == 12.5
+        assert rec.sim_end == 12.5
+        assert rec.wall_dur >= 0.0
+        assert rec.args_dict() == {"batch": 7}
+
+    def test_nested_spans_track_depth(self):
+        clock = SimClock()
+        prof = SpanProfiler(clock)
+        with prof.span("outer"):
+            clock.advance(1.0)
+            with prof.span("inner"):
+                clock.advance(2.0)
+        inner, outer = prof.records  # inner completes first
+        assert inner.name == "inner" and inner.depth == 1
+        assert outer.name == "outer" and outer.depth == 0
+        assert outer.sim_dur == 3.0
+
+    def test_disabled_profiler_is_null(self):
+        prof = SpanProfiler(SimClock(), enabled=False)
+        assert prof.span("x") is NULL_SPAN
+        with prof.span("x"):
+            pass
+        prof.record("y", sim_dur=5.0)
+        assert len(prof) == 0
+
+    def test_manual_record_and_totals(self):
+        prof = SpanProfiler(SimClock())
+        prof.record("vablock", sim_start=10.0, sim_dur=4.0, block=3)
+        prof.record("vablock", sim_start=14.0, sim_dur=6.0, block=4)
+        assert prof.sim_total("vablock") == 10.0
+        totals = prof.totals()
+        assert totals["vablock"]["count"] == 2
+        assert totals["vablock"]["sim_usec"] == 10.0
+
+    def test_max_spans_drops_overflow(self):
+        prof = SpanProfiler(SimClock(), max_spans=1)
+        prof.record("a", sim_dur=1.0)
+        prof.record("b", sim_dur=1.0)
+        assert len(prof) == 1
+        assert prof.dropped == 1
+        prof.clear()
+        assert prof.dropped == 0
+
+    def test_threads_get_independent_stacks(self):
+        clock = SimClock()
+        prof = SpanProfiler(clock)
+        errors = []
+        # Hold every worker until all have started, so thread idents are
+        # distinct (the OS reuses idents of joined threads).
+        barrier = threading.Barrier(4)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    with prof.span("w"):
+                        pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(prof) == 200
+        assert len({r.thread_id for r in prof.records}) == 4
+
+
+# ----------------------------------------------------------- chrome trace
+
+
+class TestChromeTrace:
+    def test_events_have_required_keys_and_sort(self):
+        b = ChromeTraceBuilder()
+        b.duration("late", "cat", ts=10.0, dur=1.0, pid=2)
+        b.duration("early", "cat", ts=5.0, dur=1.0, pid=1, args={"k": 1})
+        b.instant("mark", "cat", ts=7.0, pid=3, tid=4)
+        doc = json.loads(b.to_json())
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert [e["name"] for e in events] == ["early", "mark", "late"]
+        for e in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(e)
+        assert events[0]["ph"] == "X" and events[0]["dur"] == 1.0
+        assert events[1]["ph"] == "i" and events[1]["s"] == "t"
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_metadata_events_come_first(self):
+        b = ChromeTraceBuilder()
+        b.duration("x", "cat", ts=0.0, dur=1.0, pid=1)
+        b.register_tracks()
+        doc = b.to_dict()
+        phs = [e["ph"] for e in doc["traceEvents"]]
+        first_non_meta = phs.index("X")
+        assert all(ph == "M" for ph in phs[:first_non_meta])
+        names = [
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "process_name"
+        ]
+        assert "UVM driver" in names
+
+    def test_scoped_track_labels(self):
+        b = ChromeTraceBuilder()
+        b.register_tracks(10, "GPU1")
+        meta = b.to_dict()["traceEvents"]
+        by_pid = {e["pid"]: e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert by_pid[10 + PID_DRIVER] == "GPU1 UVM driver"
+
+    def test_num_tracks_counts_distinct_pids(self):
+        b = ChromeTraceBuilder()
+        b.duration("a", "c", ts=0.0, dur=1.0, pid=1)
+        b.duration("b", "c", ts=0.0, dur=1.0, pid=1, tid=5)
+        b.instant("c", "c", ts=0.0, pid=2)
+        assert b.num_tracks == 2
+
+    def test_max_events_drops(self):
+        b = ChromeTraceBuilder(max_events=1)
+        b.duration("a", "c", ts=0.0, dur=1.0, pid=1)
+        b.duration("b", "c", ts=0.0, dur=1.0, pid=1)
+        assert len(b) == 1
+        assert b.dropped == 1
+        assert b.to_dict()["otherData"]["dropped_events"] == 1
+
+    def test_disabled_builder_records_nothing(self):
+        b = ChromeTraceBuilder(enabled=False)
+        b.duration("a", "c", ts=0.0, dur=1.0, pid=1)
+        b.instant("b", "c", ts=0.0, pid=1)
+        b.counter("c", ts=0.0, values={"v": 1}, pid=1)
+        assert len(b) == 0
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        b = ChromeTraceBuilder()
+        b.duration("a", "c", ts=0.0, dur=1.0, pid=1)
+        path = b.write(tmp_path / "deep" / "trace.json")
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+# ------------------------------------------------------------------ sinks
+
+
+class TestNdjsonSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "log.ndjson"
+        with NdjsonSink(path) as sink:
+            sink.write({"type": "custom", "v": 1})
+            sink.write_trace_event(3.5, "fault", (7, 8))
+        rows = read_ndjson(path)
+        assert rows[0] == {"type": "custom", "v": 1}
+        assert rows[1]["type"] == "event"
+        assert rows[1]["time"] == 3.5
+        assert rows[1]["category"] == "fault"
+
+
+# ----------------------------------------------------------------- facade
+
+
+class TestObservabilityFacade:
+    def test_scoped_view_shares_instruments_and_offsets_pids(self):
+        obs = Observability(ObsConfig(chrome_trace=True), SimClock())
+        view = obs.scoped(10, "GPU1")
+        assert view.metrics is obs.metrics
+        assert view.spans is obs.spans
+        assert view.chrome is obs.chrome
+        assert view.pid(PID_DRIVER) == 10 + PID_DRIVER
+        assert obs.pid(PID_DRIVER) == PID_DRIVER
+
+    def test_any_enabled_reflects_config(self):
+        assert Observability(ObsConfig(), SimClock()).any_enabled
+        off = Observability(ObsConfig().disabled(), SimClock())
+        assert not off.any_enabled
+
+    def test_disabled_config_validate(self):
+        cfg = ObsConfig().disabled()
+        assert not (cfg.metrics or cfg.spans or cfg.chrome_trace)
+        assert cfg.ndjson_path is None
+        with pytest.raises(ConfigError):
+            ObsConfig(chrome_max_events=0).validate()
+        with pytest.raises(ConfigError):
+            ObsConfig(trace_max_events=0).validate()
+        with pytest.raises(ConfigError):
+            ObsConfig(max_spans=-1).validate()
+
+
+# ------------------------------------------------- EventTrace ring + JSONL
+
+
+class TestEventTraceRing:
+    def test_ring_keeps_newest_and_counts_drops(self):
+        trace = EventTrace(max_events=3)
+        for i in range(5):
+            trace.emit(float(i), "fault", i)
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        assert [e.payload[0] for e in trace] == [2, 3, 4]
+        assert trace[0].time == 2.0
+        assert [e.payload[0] for e in trace[1:]] == [3, 4]
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            EventTrace(max_events=0)
+
+    def test_clear_resets_dropped(self):
+        trace = EventTrace(max_events=1)
+        trace.emit(0.0, "a")
+        trace.emit(1.0, "a")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = EventTrace()
+        trace.emit(1.5, "fault", 3, "read")
+        trace.emit(2.5, "batch", 0)
+        path = trace.to_jsonl(tmp_path / "trace.jsonl")
+        loaded = EventTrace.from_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded[0].time == 1.5
+        assert loaded[0].category == "fault"
+        assert loaded[0].payload == (3, "read")
+        assert loaded[1].payload == (0,)
+
+    def test_jsonl_reload_with_cap(self, tmp_path):
+        trace = EventTrace()
+        for i in range(10):
+            trace.emit(float(i), "fault", i)
+        path = trace.to_jsonl(tmp_path / "trace.jsonl")
+        loaded = EventTrace.from_jsonl(path, max_events=4)
+        assert len(loaded) == 4
+        assert [e.payload[0] for e in loaded] == [6, 7, 8, 9]
+
+    def test_sink_tee(self, tmp_path):
+        path = tmp_path / "tee.ndjson"
+        sink = NdjsonSink(path)
+        trace = EventTrace(sink=sink)
+        trace.emit(0.5, "evict", 12)
+        sink.close()
+        rows = read_ndjson(path)
+        assert rows[0]["category"] == "evict"
