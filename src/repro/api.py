@@ -157,6 +157,12 @@ class UvmSystem:
         """The run's :class:`~repro.obs.spans.SpanProfiler`."""
         return self.engine.obs.spans
 
+    @property
+    def sanitizer(self):
+        """The run's UVMSan checker (a null object unless
+        ``config.check.enabled`` — see :mod:`repro.check.sanitizer`)."""
+        return self.engine.sanitizer
+
     def metrics_snapshot(self) -> dict:
         """Current metric values as a plain nested dict."""
         return self.engine.obs.metrics.snapshot()

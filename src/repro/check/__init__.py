@@ -1,0 +1,45 @@
+"""Correctness tooling: determinism lint + UVMSan runtime sanitizer.
+
+Two complementary halves guard the reproduction's fidelity guarantee:
+
+* :mod:`repro.check.lint` — a static AST pass over the simulator flagging
+  nondeterminism hazards (wall-clock reads, unseeded randomness, set-order
+  iteration, per-iteration set rebuilds, ``id()`` sorts, mutable defaults)
+  with per-rule allowlists and ``# repro: lint-ok[rule]`` suppressions.
+  Run it with ``uvm-repro lint``.
+* :mod:`repro.check.sanitizer` — UVMSan, a config-gated runtime invariant
+  layer (``CheckConfig``; null object when off) hooked into the driver, the
+  GPU models, and the engine, asserting the paper's reverse-engineered
+  hardware invariants on every batch.
+"""
+
+from .lint import (
+    DEFAULT_ALLOWLIST_PATH,
+    AllowEntry,
+    LintFinding,
+    RULES,
+    findings_to_json,
+    lint_file,
+    lint_paths,
+    lint_source,
+    load_allowlist,
+    render_findings,
+)
+from .sanitizer import NULL_SANITIZER, NullSanitizer, Sanitizer, make_sanitizer
+
+__all__ = [
+    "AllowEntry",
+    "DEFAULT_ALLOWLIST_PATH",
+    "LintFinding",
+    "RULES",
+    "findings_to_json",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_allowlist",
+    "render_findings",
+    "NULL_SANITIZER",
+    "NullSanitizer",
+    "Sanitizer",
+    "make_sanitizer",
+]

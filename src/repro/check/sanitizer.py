@@ -1,0 +1,513 @@
+"""UVMSan: runtime invariant sanitizer for the simulated fault path.
+
+The reproduction replaces the paper's instrumented driver with a
+deterministic simulator, so its trustworthiness rests on the simulated
+invariants actually holding on every run: the 56-outstanding-fault µTLB cap
+(§3.2, Fig 3), fault-buffer drop-on-overflow accounting (§2.1, footnote 1),
+the VABlock allocate/evict state machine (§2.2/§5.1), residency agreement
+between driver state and the GPU page table, copy-engine byte conservation,
+and exact reconciliation of each :class:`BatchRecord`'s component timers
+against the simulated clock (§3.1's per-batch timers).  UVMSan asserts all
+of them *while the simulation runs*, so a refactor that silently breaks
+reproduction fidelity fails loudly instead of producing plausible numbers.
+
+Enablement comes from :class:`~repro.config.CheckConfig` (default off).
+When disabled the engine installs :data:`NULL_SANITIZER`, whose hooks are
+no-op methods — mirroring the ``obs`` layer's null instruments — and the
+per-fault hot paths guard their hook calls on an attached-sanitizer ``None``
+check, so a regular run pays nothing.  The sanitizer only ever *reads*
+simulator state: the simulated timeline is bit-identical with it on or off.
+
+Violations raise :class:`repro.errors.InvariantViolation` with clock/batch
+context ("raise" mode) or accumulate on :attr:`Sanitizer.violations`
+("report" mode, used by ``repro validate``), and always increment the
+``uvm_san_violations_total`` metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import InvariantViolation
+from ..units import PAGE_SIZE
+from ..core.vablock import VABlockPhase, legal_transition
+
+#: Absolute + relative float tolerance for timer reconciliation: component
+#: costs are summed in a different order by the clock than by
+#: ``BatchRecord.service_time``, so allow double-rounding slack only.
+_ABS_TOL = 1e-6
+_REL_TOL = 1e-9
+
+
+class NullSanitizer:
+    """Disabled sanitizer: every hook is a no-op (the ``CheckConfig`` off
+    path).  Kept attribute-compatible with :class:`Sanitizer` so call sites
+    never branch on configuration."""
+
+    enabled = False
+    violations: List[InvariantViolation] = []
+    total_violations = 0
+
+    def on_batch_start(self, driver, record) -> None:
+        pass
+
+    def on_batch_end(self, driver, record, outcome=None) -> None:
+        pass
+
+    def on_block_allocated(self, block) -> None:
+        pass
+
+    def on_block_evicted(self, block) -> None:
+        pass
+
+    def on_utlb(self, utlb) -> None:
+        pass
+
+    def on_fault_buffer(self, buffer) -> None:
+        pass
+
+    def on_ce_burst(self, direction, run_lengths, nbytes, cost) -> None:
+        pass
+
+    def on_round(self, engine) -> None:
+        pass
+
+    def check_system(self, engine) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {"enabled": False, "violations": 0, "by_rule": {}}
+
+
+NULL_SANITIZER = NullSanitizer()
+
+
+class Sanitizer:
+    """Active UVMSan checker (see module docstring for the invariant set)."""
+
+    enabled = True
+
+    def __init__(self, config, clock, obs=None) -> None:
+        """``config`` is a :class:`~repro.config.CheckConfig` with
+        ``enabled=True``; ``clock`` the system's :class:`SimClock`; ``obs``
+        an optional :class:`~repro.obs.Observability` for the violation
+        counter."""
+        self.config = config
+        self.clock = clock
+        self.mode = config.mode
+        self.violations: List[InvariantViolation] = []
+        self.total_violations = 0
+        if obs is not None:
+            self._m_violations = obs.metrics.counter(
+                "uvm_san_violations_total",
+                "UVMSan invariant violations detected",
+                labels=("rule",),
+            )
+        else:  # standalone use (tests driving the sanitizer directly)
+            from ..obs.metrics import MetricsRegistry
+
+            self._m_violations = MetricsRegistry(enabled=False).counter(
+                "uvm_san_violations_total", "", labels=("rule",)
+            )
+        #: Monotonicity watermark for the shared simulated clock.
+        self._last_clock = clock.now
+        #: Context: batch currently being serviced (None between batches).
+        self._batch_id: Optional[int] = None
+        self._last_batch_id = -1
+        #: Copy-engine byte counters snapshotted at batch start.
+        self._ce_h2d0 = 0
+        self._ce_d2h0 = 0
+        #: Last phase observed per block — transitions that bypass the
+        #: allocate/evict hooks (illegal REGISTERED→RESIDENT jumps) show up
+        #: as illegal edges at the next scan.
+        self._phases: Dict[int, VABlockPhase] = {}
+        #: Highest allocation stamp seen (stamps must be strictly monotonic).
+        self._max_stamp = 0
+
+    # ------------------------------------------------------------ reporting
+
+    def _violate(self, rule: str, detail: str, **context) -> None:
+        violation = InvariantViolation(
+            rule,
+            detail,
+            clock_usec=self.clock.now,
+            batch_id=self._batch_id,
+            context=context,
+        )
+        self._m_violations.labels(rule).inc()
+        self.total_violations += 1
+        if self.mode == "raise":
+            raise violation
+        if len(self.violations) < self.config.max_violations:
+            self.violations.append(violation)
+
+    def summary(self) -> dict:
+        """Violation roll-up for ``repro validate`` output."""
+        by_rule: Dict[str, int] = {}
+        for v in self.violations:
+            by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+        return {
+            "enabled": True,
+            "mode": self.mode,
+            "violations": self.total_violations,
+            "by_rule": by_rule,
+        }
+
+    # ----------------------------------------------------------- primitives
+
+    def _check_clock(self) -> None:
+        now = self.clock.now
+        if now < self._last_clock:
+            self._violate(
+                "clock",
+                f"simulated clock moved backwards: {now:.6f} < "
+                f"{self._last_clock:.6f}",
+            )
+        self._last_clock = max(self._last_clock, now)
+
+    def on_utlb(self, utlb) -> None:
+        """Per-µTLB cap and bookkeeping agreement (paper §3.2, Fig 3)."""
+        if utlb.outstanding < 0 or utlb.outstanding > utlb.limit:
+            self._violate(
+                "utlb-cap",
+                f"uTLB {utlb.utlb_id} outstanding={utlb.outstanding} outside "
+                f"[0, {utlb.limit}]",
+                utlb=utlb.utlb_id,
+            )
+        if utlb.outstanding != len(utlb.pending_pages):
+            self._violate(
+                "utlb-cap",
+                f"uTLB {utlb.utlb_id} outstanding={utlb.outstanding} != "
+                f"{len(utlb.pending_pages)} pending pages",
+                utlb=utlb.utlb_id,
+            )
+
+    def on_fault_buffer(self, buffer) -> None:
+        """Occupancy bound and push/fetch/flush conservation (§2.1)."""
+        occupancy = len(buffer)
+        if occupancy > buffer.capacity:
+            self._violate(
+                "fault-buffer",
+                f"buffer occupancy {occupancy} exceeds capacity "
+                f"{buffer.capacity}",
+            )
+        balance = buffer.total_fetched + buffer.total_flush_dropped + occupancy
+        if buffer.total_pushed != balance:
+            self._violate(
+                "fault-buffer",
+                f"fault conservation broken: pushed {buffer.total_pushed} != "
+                f"fetched {buffer.total_fetched} + flushed "
+                f"{buffer.total_flush_dropped} + residual {occupancy}",
+            )
+
+    def on_ce_burst(self, direction, run_lengths, nbytes, cost) -> None:
+        """Copy-engine burst sanity: page/byte agreement, non-negative cost."""
+        expected = sum(n for n in run_lengths if n > 0) * PAGE_SIZE
+        if nbytes != expected:
+            self._violate(
+                "ce-bytes",
+                f"{direction} burst accounted {nbytes} bytes but runs total "
+                f"{expected}",
+                direction=direction,
+            )
+        if cost < 0.0 or (nbytes > 0 and cost <= 0.0):
+            self._violate(
+                "ce-bytes",
+                f"{direction} burst of {nbytes} bytes has non-positive cost "
+                f"{cost}",
+                direction=direction,
+            )
+
+    # ---------------------------------------------------------- block events
+
+    def on_block_allocated(self, block) -> None:
+        """A VABlock just received a physical chunk (§5.1 allocate edge)."""
+        old = self._phases.get(block.block_id, VABlockPhase.REGISTERED)
+        if old is not VABlockPhase.REGISTERED:
+            # Unlike the generic scan, the allocate hook permits no
+            # self-transition: granting a fresh chunk to a block already in
+            # phase `old` is a double allocation (or an eviction the
+            # sanitizer never saw).
+            self._violate(
+                "vablock-state",
+                f"block {block.block_id} illegal transition {old.value} -> "
+                "allocated",
+                block=block.block_id,
+            )
+        if block.gpu_chunk is None:
+            self._violate(
+                "vablock-state",
+                f"block {block.block_id} reported allocated without a chunk",
+                block=block.block_id,
+            )
+        if block.resident_pages:
+            self._violate(
+                "vablock-state",
+                f"block {block.block_id} allocated a fresh chunk while "
+                f"{len(block.resident_pages)} pages were already resident",
+                block=block.block_id,
+            )
+        if block.alloc_stamp <= self._max_stamp:
+            # Stamps come from VABlockManager.next_stamp and must strictly
+            # increase across allocations (LRU ordering depends on it).
+            self._violate(
+                "vablock-state",
+                f"block {block.block_id} allocation stamp "
+                f"{block.alloc_stamp} not monotonic (last {self._max_stamp})",
+                block=block.block_id,
+            )
+        self._max_stamp = max(self._max_stamp, block.alloc_stamp)
+        self._phases[block.block_id] = VABlockPhase.ALLOCATED
+
+    def on_block_evicted(self, block) -> None:
+        """A VABlock just lost its chunk (§5.1 evict edge)."""
+        if block.gpu_chunk is not None:
+            self._violate(
+                "vablock-state",
+                f"block {block.block_id} evicted but still holds chunk "
+                f"{block.gpu_chunk}",
+                block=block.block_id,
+            )
+        if block.resident_pages:
+            self._violate(
+                "vablock-state",
+                f"block {block.block_id} evicted with "
+                f"{len(block.resident_pages)} pages still resident",
+                block=block.block_id,
+            )
+        if block.evict_count < 1:
+            self._violate(
+                "vablock-state",
+                f"block {block.block_id} evicted but evict_count is "
+                f"{block.evict_count}",
+                block=block.block_id,
+            )
+        self._phases[block.block_id] = VABlockPhase.REGISTERED
+
+    # --------------------------------------------------------- batch bounds
+
+    def on_batch_start(self, driver, record) -> None:
+        self._check_clock()
+        self._batch_id = record.batch_id
+        if record.batch_id <= self._last_batch_id:
+            self._violate(
+                "batch-record",
+                f"batch id {record.batch_id} not monotonic (last "
+                f"{self._last_batch_id})",
+            )
+        self._last_batch_id = max(self._last_batch_id, record.batch_id)
+        ce = driver.device.copy_engine
+        self._ce_h2d0 = ce.bytes_h2d
+        self._ce_d2h0 = ce.bytes_d2h
+
+    def on_batch_end(self, driver, record, outcome=None) -> None:
+        self._check_clock()
+        self._check_record(driver, record, outcome)
+        self._check_ce_reconciliation(driver, record)
+        self.on_fault_buffer(driver.device.fault_buffer)
+        for utlb in driver.device.utlbs:
+            self.on_utlb(utlb)
+        self._scan_blocks(driver)
+        self._batch_id = None
+
+    def _check_record(self, driver, record, outcome) -> None:
+        """Counter identities and timer reconciliation for one record."""
+        if record.t_end < record.t_start:
+            self._violate(
+                "batch-record",
+                f"batch {record.batch_id} ends ({record.t_end:.6f}) before "
+                f"it starts ({record.t_start:.6f})",
+            )
+        if record.num_faults_unique > record.num_faults_raw:
+            self._violate(
+                "batch-record",
+                f"batch {record.batch_id}: {record.num_faults_unique} unique "
+                f"faults exceed {record.num_faults_raw} raw",
+            )
+        if record.num_faults_raw > 0:
+            if (
+                record.num_faults_unique + record.duplicate_count
+                != record.num_faults_raw
+            ):
+                self._violate(
+                    "batch-record",
+                    f"batch {record.batch_id}: unique "
+                    f"{record.num_faults_unique} + duplicates "
+                    f"{record.duplicate_count} != raw {record.num_faults_raw}",
+                )
+            if record.t_first_fault > record.t_last_fault:
+                self._violate(
+                    "batch-record",
+                    f"batch {record.batch_id}: first fault arrives after the "
+                    "last",
+                )
+            if record.vablock_fault_counts is not None and not record.hinted:
+                total = int(record.vablock_fault_counts.sum())
+                if total != record.num_faults_unique:
+                    self._violate(
+                        "batch-record",
+                        f"batch {record.batch_id}: per-block fault counts sum "
+                        f"to {total}, not {record.num_faults_unique}",
+                    )
+        if record.bytes_h2d != record.pages_migrated_h2d * PAGE_SIZE:
+            self._violate(
+                "batch-record",
+                f"batch {record.batch_id}: {record.bytes_h2d} h2d bytes vs "
+                f"{record.pages_migrated_h2d} pages",
+            )
+        if outcome is not None and record.dropped_at_flush != len(
+            outcome.dropped_faults
+        ):
+            self._violate(
+                "batch-record",
+                f"batch {record.batch_id}: dropped_at_flush "
+                f"{record.dropped_at_flush} != {len(outcome.dropped_faults)} "
+                "flushed faults",
+            )
+        # Exact timer reconciliation (§3.1): for the serial driver with
+        # synchronous unmapping, the component timers must tile the batch
+        # envelope exactly.  The parallel-driver and async-unmap ablations
+        # account work the clock does not serialize, so the sum may only
+        # exceed the envelope.
+        duration = record.duration
+        service = record.service_time
+        tol = _ABS_TOL + _REL_TOL * max(abs(duration), abs(service))
+        serial = (
+            driver.config.driver.service_threads == 1
+            and not driver.config.driver.async_unmap
+        )
+        if serial and abs(service - duration) > tol:
+            self._violate(
+                "time-reconcile",
+                f"batch {record.batch_id}: component timers sum to "
+                f"{service:.6f}us but the batch envelope is "
+                f"{duration:.6f}us",
+            )
+        elif not serial and service < duration - tol:
+            self._violate(
+                "time-reconcile",
+                f"batch {record.batch_id}: component timers ({service:.6f}us) "
+                f"cover less than the batch envelope ({duration:.6f}us)",
+            )
+
+    def _check_ce_reconciliation(self, driver, record) -> None:
+        """Bytes the copy engines moved during the batch must equal the
+        record's migration accounting (byte conservation)."""
+        ce = driver.device.copy_engine
+        h2d_delta = ce.bytes_h2d - self._ce_h2d0
+        d2h_delta = ce.bytes_d2h - self._ce_d2h0
+        if h2d_delta != record.bytes_h2d:
+            self._violate(
+                "ce-bytes",
+                f"batch {record.batch_id}: copy engine moved {h2d_delta} h2d "
+                f"bytes but the record accounts {record.bytes_h2d}",
+            )
+        if d2h_delta != record.bytes_d2h:
+            self._violate(
+                "ce-bytes",
+                f"batch {record.batch_id}: copy engine moved {d2h_delta} d2h "
+                f"bytes but the record accounts {record.bytes_d2h}",
+            )
+
+    # --------------------------------------------------------- global scans
+
+    def _scan_blocks(self, driver) -> None:
+        """VABlock state machine + residency/page-table/chunk consistency."""
+        device = driver.device
+        seen_chunks: Dict[int, int] = {}
+        tracked_pages = set()
+        allocated_blocks = 0
+        for block in driver.vablocks.blocks():
+            phase = block.phase
+            old = self._phases.get(block.block_id, VABlockPhase.REGISTERED)
+            if not legal_transition(old, phase):
+                self._violate(
+                    "vablock-state",
+                    f"block {block.block_id} jumped {old.value} -> "
+                    f"{phase.value} without passing the allocation path",
+                    block=block.block_id,
+                )
+            self._phases[block.block_id] = phase
+            if not block.resident_pages <= block.valid_pages:
+                stray = next(iter(block.resident_pages - block.valid_pages))
+                self._violate(
+                    "residency",
+                    f"block {block.block_id} has resident page {stray} "
+                    "outside its valid range",
+                    block=block.block_id,
+                )
+            if block.gpu_chunk is None and block.resident_pages:
+                self._violate(
+                    "vablock-state",
+                    f"block {block.block_id} has "
+                    f"{len(block.resident_pages)} resident pages but no "
+                    "physical chunk",
+                    block=block.block_id,
+                )
+            if block.gpu_chunk is not None:
+                allocated_blocks += 1
+                if block.gpu_chunk in seen_chunks:
+                    self._violate(
+                        "memory",
+                        f"blocks {seen_chunks[block.gpu_chunk]} and "
+                        f"{block.block_id} share physical chunk "
+                        f"{block.gpu_chunk}",
+                        block=block.block_id,
+                    )
+                seen_chunks[block.gpu_chunk] = block.block_id
+            double = block.resident_pages & block.remote_pages
+            if double:
+                self._violate(
+                    "residency",
+                    f"block {block.block_id} page {next(iter(double))} is "
+                    "both migrated and remote-mapped",
+                    block=block.block_id,
+                )
+            tracked_pages |= block.resident_pages
+            tracked_pages |= block.remote_pages
+        if allocated_blocks != device.chunks.used_chunks:
+            self._violate(
+                "memory",
+                f"{allocated_blocks} GPU-allocated blocks vs "
+                f"{device.chunks.used_chunks} chunks in use",
+            )
+        resident = device.page_table.resident
+        missing = tracked_pages - resident
+        if missing:
+            self._violate(
+                "residency",
+                f"page {next(iter(missing))} tracked as resident by its "
+                "VABlock but absent from the GPU page table "
+                f"({len(missing)} total)",
+            )
+        orphaned = resident - tracked_pages
+        if orphaned:
+            self._violate(
+                "residency",
+                f"page {next(iter(orphaned))} mapped in the GPU page table "
+                f"but tracked by no VABlock ({len(orphaned)} total)",
+            )
+
+    # ------------------------------------------------------------ engine
+
+    def on_round(self, engine) -> None:
+        """Cheap per-round checks after each GPU fault-generation window."""
+        self._check_clock()
+        for utlb in engine.device.utlbs:
+            self.on_utlb(utlb)
+        self.on_fault_buffer(engine.device.fault_buffer)
+
+    def check_system(self, engine) -> None:
+        """Full consistency sweep (end of launch / on demand)."""
+        self._check_clock()
+        for utlb in engine.device.utlbs:
+            self.on_utlb(utlb)
+        self.on_fault_buffer(engine.device.fault_buffer)
+        self._scan_blocks(engine.driver)
+
+
+def make_sanitizer(config, clock, obs=None):
+    """Build the configured sanitizer: active, or the shared null object."""
+    if config is None or not config.enabled:
+        return NULL_SANITIZER
+    return Sanitizer(config, clock, obs=obs)

@@ -13,7 +13,11 @@ Subcommands:
 * ``trace <workload> --out FILE`` — run a workload with the Chrome-trace
   recorder on and write a Perfetto-loadable timeline;
 * ``metrics <workload>`` — run a workload and print its metrics registry
-  (Prometheus text, or ``--json`` for the snapshot dict).
+  (Prometheus text, or ``--json`` for the snapshot dict);
+* ``lint [paths...]`` — determinism lint over the simulator sources
+  (non-zero exit on findings; ``--format json`` for machine output);
+* ``validate <workload>`` — run a workload with UVMSan in report mode and
+  print the validation verdict (non-zero exit on violations).
 """
 
 from __future__ import annotations
@@ -91,10 +95,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("A", "B"),
         help="compare two batch caps instead of prefetch on/off",
     )
+
+    lint_p = sub.add_parser(
+        "lint", help="determinism lint over the simulator sources"
+    )
+    lint_p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_p.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default human)",
+    )
+    lint_p.add_argument(
+        "--allowlist", default=None,
+        help="allowlist file (default: repro/check/lint_allow.txt)",
+    )
+    lint_p.add_argument(
+        "--no-allowlist", action="store_true",
+        help="ignore the allowlist entirely",
+    )
+
+    val_p = sub.add_parser(
+        "validate",
+        help="run a workload with UVMSan in report mode and validate the run",
+    )
+    add_workload_args(val_p)
+    val_p.add_argument("--json", action="store_true",
+                       help="print the verdict as JSON")
     return parser
 
 
-def _run_workload(args, chrome_trace: bool = False):
+def _run_workload(args, chrome_trace: bool = False, tweak_config=None):
     from .api import UvmSystem
     from .config import default_config
     from .units import MB
@@ -113,6 +145,8 @@ def _run_workload(args, chrome_trace: bool = False):
         cfg.seed = args.seed
     if chrome_trace:
         cfg.obs.chrome_trace = True
+    if tweak_config is not None:
+        tweak_config(cfg)
     system = UvmSystem(cfg)
     result = WORKLOAD_REGISTRY[args.workload]().run(system)
     return system, result
@@ -237,6 +271,82 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(system.prometheus_metrics(), end="")
         return 0
+
+    if args.command == "lint":
+        from pathlib import Path
+
+        from .check.lint import (
+            DEFAULT_ALLOWLIST_PATH,
+            findings_to_json,
+            lint_paths,
+            load_allowlist,
+            render_findings,
+        )
+
+        if args.paths:
+            paths = [Path(p) for p in args.paths]
+        else:
+            paths = [Path(__file__).resolve().parent]
+        if args.no_allowlist:
+            allowlist = []
+        else:
+            allow_path = Path(args.allowlist) if args.allowlist else DEFAULT_ALLOWLIST_PATH
+            allowlist = load_allowlist(allow_path)
+        findings = lint_paths(paths, allowlist=allowlist)
+        if args.format == "json":
+            print(findings_to_json(findings))
+        elif findings:
+            print(render_findings(findings))
+        else:
+            print("lint: no determinism hazards found")
+        return 1 if findings else 0
+
+    if args.command == "validate":
+        import json as _json
+
+        from .validate import validate_system
+
+        def _enable_sanitizer(cfg):
+            cfg.check.enabled = True
+            cfg.check.mode = "report"
+
+        system, result = _run_workload(args, tweak_config=_enable_sanitizer)
+        if system is None:
+            return 2
+        violations = validate_system(system)
+        summary = system.sanitizer.summary()
+        if args.json:
+            print(
+                _json.dumps(
+                    {
+                        "workload": args.workload,
+                        "batches": result.num_batches,
+                        "faults": result.total_faults,
+                        "violations": [str(v) for v in violations],
+                        "sanitizer": summary,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(
+                f"{args.workload}: {result.num_batches} batches, "
+                f"{result.total_faults} faults"
+            )
+            print(
+                f"UVMSan: mode={summary['mode']}, "
+                f"{summary['violations']} runtime violations"
+            )
+            for rule, count in sorted(summary["by_rule"].items()):
+                print(f"  {rule}: {count}")
+            if violations:
+                print(f"validation FAILED ({len(violations)} violations):")
+                for v in violations:
+                    print(f"  {v}")
+            else:
+                print("validation OK: every invariant held")
+        return 1 if violations else 0
 
     if args.command == "run":
         for exp_id in args.experiments:

@@ -21,6 +21,7 @@ Every hardware limit the paper reverse-engineers is an explicit field here:
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -206,6 +207,49 @@ class ObsConfig:
 
 
 @dataclass
+class CheckConfig:
+    """UVMSan settings (the :mod:`repro.check` runtime sanitizer).
+
+    Default off: the engine installs a null checker whose hooks are no-ops,
+    mirroring :class:`ObsConfig`'s disabled instruments, so the fault path
+    pays nothing when the sanitizer is not requested.  The sanitizer only
+    *reads* simulator state — the simulated timeline is bit-identical with
+    it on or off.
+
+    The ``UVM_REPRO_SANITIZE`` environment variable flips the default for a
+    whole process (``1`` → enabled in raise mode, ``report`` → enabled in
+    report mode), which is how CI runs the full test suite sanitized
+    without touching each test.
+    """
+
+    #: Master switch for all runtime invariant checks.
+    enabled: bool = False
+    #: "raise" aborts on the first violation with
+    #: :class:`repro.errors.InvariantViolation`; "report" accumulates
+    #: violations on the sanitizer for later inspection.
+    mode: str = "raise"
+    #: Report mode stops recording beyond this many violations (a broken
+    #: invariant often fires once per batch; the cap bounds memory).
+    max_violations: int = 1000
+
+    @classmethod
+    def from_env(cls) -> "CheckConfig":
+        """Default config honouring ``UVM_REPRO_SANITIZE`` (see class doc)."""
+        value = os.environ.get("UVM_REPRO_SANITIZE", "")
+        if value in ("", "0"):
+            return cls()
+        if value == "report":
+            return cls(enabled=True, mode="report")
+        return cls(enabled=True, mode="raise")
+
+    def validate(self) -> None:
+        if self.mode not in ("raise", "report"):
+            raise ConfigError(f"unknown sanitizer mode {self.mode!r}")
+        if self.max_violations <= 0:
+            raise ConfigError("max_violations must be positive")
+
+
+@dataclass
 class SystemConfig:
     """Aggregate configuration for one simulated system instance."""
 
@@ -213,6 +257,7 @@ class SystemConfig:
     driver: DriverConfig = field(default_factory=DriverConfig)
     host: HostConfig = field(default_factory=HostConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
+    check: CheckConfig = field(default_factory=CheckConfig.from_env)
     #: Seed for all stochastic components (workload shuffles, jitter).
     seed: int = 0
     #: Cost-model overrides, applied as attribute assignments on the default
@@ -224,6 +269,7 @@ class SystemConfig:
         self.driver.validate()
         self.host.validate()
         self.obs.validate()
+        self.check.validate()
 
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a deep-copied config with top-level fields replaced."""
@@ -233,6 +279,7 @@ class SystemConfig:
             driver=dataclasses.replace(self.driver),
             host=dataclasses.replace(self.host),
             obs=dataclasses.replace(self.obs),
+            check=dataclasses.replace(self.check),
             cost_overrides=dict(self.cost_overrides),
         )
         for key, value in kwargs.items():

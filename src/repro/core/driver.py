@@ -56,6 +56,7 @@ from ..obs.chrome_trace import (
     TID_PHASE,
     TID_VABLOCK,
 )
+from ..check.sanitizer import NULL_SANITIZER
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS
 from ..sim.clock import SimClock
 from ..sim.trace import EventTrace
@@ -97,6 +98,7 @@ class UvmDriver:
         rng: Optional[np.random.Generator] = None,
         trace: Optional[EventTrace] = None,
         obs: Optional[Observability] = None,
+        sanitizer=None,
     ) -> None:
         config.validate()
         self.config = config
@@ -108,6 +110,8 @@ class UvmDriver:
         self.rng = rng
         self.trace = trace
         self.obs = obs if obs is not None else Observability(config.obs, clock)
+        #: UVMSan invariant checker (no-op null object unless enabled).
+        self.san = sanitizer if sanitizer is not None else NULL_SANITIZER
         self.vablocks = VABlockManager()
         self.prefetcher = make_prefetcher(
             config.driver.prefetch_policy,
@@ -175,6 +179,7 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, hinted=True)
         self._batch_id += 1
         record.t_start = self.clock.now
+        self.san.on_batch_start(self, record)
         by_block: Dict[int, List[int]] = {}
         for page in sorted(set(pages)):
             by_block.setdefault(vablock_of_page(page), []).append(page)
@@ -202,12 +207,13 @@ class UvmDriver:
         record.t_end = self.clock.now
         self.log.append(record)
         self._finish_record_obs(record)
+        self.san.on_batch_end(self, record, outcome)
         return record
 
     def advise_read_mostly(self, pages) -> None:
         """cudaMemAdviseSetReadMostly over ``pages``' VABlocks: migrations
         duplicate rather than move until a GPU write collapses the hint."""
-        for block_id in {vablock_of_page(p) for p in pages}:
+        for block_id in sorted({vablock_of_page(p) for p in pages}):
             if block_id in self.vablocks:
                 self.vablocks.get(block_id).read_mostly = True
 
@@ -218,6 +224,7 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, hinted=True)
         self._batch_id += 1
         record.t_start = self.clock.now
+        self.san.on_batch_start(self, record)
         new_pages = [
             p for p in sorted(set(pages)) if not self.device.page_table.is_resident(p)
         ]
@@ -231,7 +238,7 @@ class UvmDriver:
             self.clock.advance(pt_cost)
             record.time_pagetable = pt_cost
             self.device.page_table.map_pages(new_pages)
-            for block_id in {vablock_of_page(p) for p in new_pages}:
+            for block_id in sorted({vablock_of_page(p) for p in new_pages}):
                 if block_id in self.vablocks:
                     block = self.vablocks.get(block_id)
                     block.remote_pages.update(
@@ -240,6 +247,7 @@ class UvmDriver:
         record.t_end = self.clock.now
         self.log.append(record)
         self._finish_record_obs(record)
+        self.san.on_batch_end(self, record)
         return record
 
     def is_remote_mapped(self, page: int) -> bool:
@@ -274,6 +282,7 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, slept_before=slept)
         self._batch_id += 1
         record.t_start = self.clock.now
+        self.san.on_batch_start(self, record)
         spans = self.obs.spans
         chrome = self.obs.chrome
         chrome_on = chrome.enabled
@@ -355,8 +364,9 @@ class UvmDriver:
             block_costs.append(cost)
             if deferred:
                 pinned.discard(work.block_id)
+                block_pages = set(work.pages)
                 outcome.unserviced_faults.extend(
-                    f for f in faults if f.page in set(work.pages)
+                    f for f in faults if f.page in block_pages
                 )
         self._advance_block_phase(block_costs)
 
@@ -389,6 +399,7 @@ class UvmDriver:
         if self.trace is not None:
             self.trace.emit(record.t_end, "batch", record.batch_id, record.num_faults_raw)
         self._finish_record_obs(record)
+        self.san.on_batch_end(self, record, outcome)
         self._update_adaptive(record)
         return outcome
 
@@ -459,6 +470,7 @@ class UvmDriver:
             record.blocks_allocated += 1
             spend(self.cost.chunk_alloc_usec, "time_alloc")
             self.eviction.on_gpu_allocated(block.block_id)
+            self.san.on_block_allocated(block)
         else:
             self.eviction.on_fault_service(block.block_id)
 
@@ -581,6 +593,7 @@ class UvmDriver:
         victim.resident_pages = set()
         victim.evict_count += 1
         self.eviction.on_evicted(victim_id)
+        self.san.on_block_evicted(victim)
         record.evictions += 1
         record.pages_evicted += len(pages)
         outcome.evicted_pages.extend(pages)
@@ -638,6 +651,7 @@ class UvmDriver:
                 record.blocks_allocated += 1
                 spend(self.cost.chunk_alloc_usec, "time_alloc")
                 self.eviction.on_gpu_allocated(nbr_id)
+                self.san.on_block_allocated(nbr)
                 if not nbr.dma_initialized:
                     result = self.dma.map_pages(sorted(nbr.valid_pages))
                     spend(result.cost_usec, "time_dma")

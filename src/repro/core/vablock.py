@@ -20,8 +20,9 @@ cost analysis turns on:
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..errors import AllocationError
 from ..units import (
@@ -29,6 +30,45 @@ from ..units import (
     first_page_of_vablock,
     vablock_of_page,
 )
+
+
+class VABlockPhase(enum.Enum):
+    """Observable lifecycle phase of a VABlock (paper §2.2/§5.1).
+
+    The phase is *derived* from block state rather than stored, so it can
+    never drift from the fields it summarizes:
+
+    * ``REGISTERED`` — known to the driver, no physical chunk, no resident
+      pages (fresh allocations, and blocks after eviction);
+    * ``ALLOCATED`` — holds a 2 MiB device chunk but no pages are mapped
+      yet (mid-service, or after the CPU pulled every page back);
+    * ``RESIDENT`` — holds a chunk with one or more GPU-mapped pages.
+    """
+
+    REGISTERED = "registered"
+    ALLOCATED = "allocated"
+    RESIDENT = "resident"
+
+
+#: Legal phase transitions for the sanitizer's state-machine check.
+#: Self-transitions are always legal (no observable change).  The one
+#: forbidden edge the fault path must never produce is
+#: REGISTERED → RESIDENT: pages can only become resident through a block
+#: that first obtained a physical chunk (§5.1 fail-allocation ordering).
+LEGAL_PHASE_TRANSITIONS: FrozenSet[Tuple[VABlockPhase, VABlockPhase]] = frozenset(
+    {
+        (VABlockPhase.REGISTERED, VABlockPhase.ALLOCATED),   # chunk granted
+        (VABlockPhase.ALLOCATED, VABlockPhase.RESIDENT),     # pages mapped
+        (VABlockPhase.ALLOCATED, VABlockPhase.REGISTERED),   # evicted empty
+        (VABlockPhase.RESIDENT, VABlockPhase.REGISTERED),    # evicted
+        (VABlockPhase.RESIDENT, VABlockPhase.ALLOCATED),     # CPU pulled all pages back
+    }
+)
+
+
+def legal_transition(old: VABlockPhase, new: VABlockPhase) -> bool:
+    """True when ``old → new`` is a legal VABlock phase transition."""
+    return old == new or (old, new) in LEGAL_PHASE_TRANSITIONS
 
 
 @dataclass
@@ -68,6 +108,15 @@ class VABlockState:
     @property
     def is_gpu_allocated(self) -> bool:
         return self.gpu_chunk is not None
+
+    @property
+    def phase(self) -> VABlockPhase:
+        """Current :class:`VABlockPhase`, derived from chunk + residency."""
+        if self.gpu_chunk is None:
+            return VABlockPhase.REGISTERED
+        if self.resident_pages:
+            return VABlockPhase.RESIDENT
+        return VABlockPhase.ALLOCATED
 
     def page_offset(self, page: int) -> int:
         return page - self.first_page

@@ -33,3 +33,43 @@ class SimulationError(UvmError):
 
 class DeadlockError(SimulationError):
     """No warp can make progress and no faults are outstanding."""
+
+
+class InvariantViolation(SimulationError):
+    """A UVMSan runtime invariant failed (see :mod:`repro.check.sanitizer`).
+
+    Carries the structured context the sanitizer captured at the failure
+    point: the rule id, the simulated clock, and (when inside the fault
+    path) the batch being serviced.
+    """
+
+    def __init__(
+        self,
+        rule: str,
+        detail: str,
+        clock_usec: float = 0.0,
+        batch_id=None,
+        context=None,
+    ) -> None:
+        self.rule = rule
+        self.detail = detail
+        self.clock_usec = clock_usec
+        self.batch_id = batch_id
+        self.context = dict(context) if context else {}
+        where = f"clock={clock_usec:.3f}us"
+        if batch_id is not None:
+            where += f", batch={batch_id}"
+        if self.context:
+            ctx = ", ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
+            where += f", {ctx}"
+        super().__init__(f"[{rule}] {detail} ({where})")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (report mode / ``repro validate``)."""
+        return {
+            "rule": self.rule,
+            "detail": self.detail,
+            "clock_usec": self.clock_usec,
+            "batch_id": self.batch_id,
+            "context": self.context,
+        }

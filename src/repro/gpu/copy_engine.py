@@ -40,6 +40,7 @@ class CopyEngine:
         "_pid",
         "_m_bytes",
         "_m_bursts",
+        "_san",
         "ts_hint",
     )
 
@@ -61,6 +62,8 @@ class CopyEngine:
         self._pid = 0
         self._m_bytes = None
         self._m_bursts = None
+        #: Attached UVMSan checker, or None (the common, zero-cost case).
+        self._san = None
         #: Timestamp to place the next burst at on the trace timeline; the
         #: driver sets it before copies made while the clock is deferred
         #: (per-VABlock costs apply to the clock only after the block loop).
@@ -83,6 +86,10 @@ class CopyEngine:
         self._m_bursts = obs.metrics.counter(
             "uvm_ce_bursts_total", "Copy-engine burst operations", labels=("dir",)
         )
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Check byte conservation + cost sanity on every burst."""
+        self._san = sanitizer
 
     def _observe_burst(self, direction: str, nbytes: int, num_runs: int, cost: float) -> None:
         obs = self._obs
@@ -133,6 +140,8 @@ class CopyEngine:
             nbytes += npages * PAGE_SIZE
             self.transfers_h2d += 1
         self.bytes_h2d += nbytes
+        if self._san is not None:
+            self._san.on_ce_burst("h2d", run_lengths, nbytes, cost)
         self._observe_burst("h2d", nbytes, len(run_lengths), cost)
         return cost
 
@@ -144,6 +153,8 @@ class CopyEngine:
             nbytes += npages * PAGE_SIZE
             self.transfers_d2h += 1
         self.bytes_d2h += nbytes
+        if self._san is not None:
+            self._san.on_ce_burst("d2h", run_lengths, nbytes, cost)
         self._observe_burst("d2h", nbytes, len(run_lengths), cost)
         return cost
 

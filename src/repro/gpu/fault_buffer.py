@@ -17,16 +17,33 @@ from .fault import Fault
 
 
 class FaultBuffer:
-    """Bounded FIFO of :class:`Fault` entries with drop-on-overflow."""
+    """Bounded FIFO of :class:`Fault` entries with drop-on-overflow.
 
-    __slots__ = ("capacity", "_entries", "total_pushed", "total_overflow_dropped", "total_flush_dropped")
+    The lifetime counters satisfy the conservation identity UVMSan checks
+    on every operation: ``total_pushed == total_fetched +
+    total_flush_dropped + len(buffer)`` (overflow drops never enter the
+    buffer, so they appear in no term).
+    """
+
+    __slots__ = (
+        "capacity",
+        "_entries",
+        "total_pushed",
+        "total_fetched",
+        "total_overflow_dropped",
+        "total_flush_dropped",
+        "_san",
+    )
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._entries: Deque[Fault] = deque()
         self.total_pushed = 0
+        self.total_fetched = 0
         self.total_overflow_dropped = 0
         self.total_flush_dropped = 0
+        #: Attached UVMSan checker, or None (the common, zero-cost case).
+        self._san = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -35,6 +52,10 @@ class FaultBuffer:
     def full(self) -> bool:
         return len(self._entries) >= self.capacity
 
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Check occupancy/conservation invariants after every operation."""
+        self._san = sanitizer
+
     def push(self, fault: Fault) -> bool:
         """Append a fault; False (dropped) when the buffer is full."""
         if self.full:
@@ -42,13 +63,19 @@ class FaultBuffer:
             return False
         self._entries.append(fault)
         self.total_pushed += 1
+        if self._san is not None:
+            self._san.on_fault_buffer(self)
         return True
 
     def fetch(self, max_n: int) -> List[Fault]:
         """Driver-side read of up to ``max_n`` oldest entries (consumed)."""
         n = min(max_n, len(self._entries))
         entries = self._entries
-        return [entries.popleft() for _ in range(n)]
+        fetched = [entries.popleft() for _ in range(n)]
+        self.total_fetched += n
+        if self._san is not None:
+            self._san.on_fault_buffer(self)
+        return fetched
 
     def flush(self) -> List[Fault]:
         """Drop every remaining entry (pre-replay flush); returns them so the
@@ -56,6 +83,8 @@ class FaultBuffer:
         dropped = list(self._entries)
         self._entries.clear()
         self.total_flush_dropped += len(dropped)
+        if self._san is not None:
+            self._san.on_fault_buffer(self)
         return dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

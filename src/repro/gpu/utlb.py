@@ -39,6 +39,7 @@ class UTlb:
         "total_spurious",
         "total_replays",
         "_merge_counter",
+        "_san",
     )
 
     def __init__(self, utlb_id: int, limit: int) -> None:
@@ -53,6 +54,12 @@ class UTlb:
         self.total_spurious = 0
         self.total_replays = 0
         self._merge_counter = 0
+        #: Attached UVMSan checker, or None (the common, zero-cost case).
+        self._san = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Check the outstanding-fault cap after every mutation."""
+        self._san = sanitizer
 
     @property
     def available(self) -> int:
@@ -76,6 +83,8 @@ class UTlb:
         self.pending_pages.add(page)
         self.outstanding += 1
         self.total_issued += 1
+        if self._san is not None:
+            self._san.on_utlb(self)
         return True
 
     def cancel(self, page: int) -> None:
@@ -86,12 +95,16 @@ class UTlb:
             self.pending_pages.discard(page)
             self.outstanding -= 1
             self.total_issued -= 1
+            if self._san is not None:
+                self._san.on_utlb(self)
 
     def replay(self) -> None:
         """Fault replay: clear all waiting entries (they refault if needed)."""
         self.outstanding = 0
         self.pending_pages.clear()
         self.total_replays += 1
+        if self._san is not None:
+            self._san.on_utlb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"UTlb(id={self.utlb_id}, outstanding={self.outstanding}/{self.limit})"

@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..check.sanitizer import make_sanitizer
 from ..config import SystemConfig
 from ..core.batch_record import BatchRecord
 from ..core.driver import ServiceOutcome, UvmDriver
@@ -117,6 +118,14 @@ class Engine:
             self.obs.chrome.set_thread_name(
                 self._pid_sm, config.gpu.num_sms, "all SMs (stall)"
             )
+        #: UVMSan runtime invariant checker (null object when disabled, so
+        #: the hot paths below pay a single attribute read at most).
+        self.sanitizer = make_sanitizer(config.check, self.clock, self.obs)
+        if self.sanitizer.enabled:
+            self.device.fault_buffer.attach_sanitizer(self.sanitizer)
+            self.device.copy_engine.attach_sanitizer(self.sanitizer)
+            for utlb in self.device.utlbs:
+                utlb.attach_sanitizer(self.sanitizer)
         metrics = self.obs.metrics
         self._m_kernels = metrics.counter("uvm_kernels_total", "Kernel launches run")
         self._m_kernel_usec = metrics.histogram(
@@ -135,6 +144,7 @@ class Engine:
             rng=spawn_rng(config.seed, "driver-jitter"),
             trace=self.trace,
             obs=self.obs,
+            sanitizer=self.sanitizer,
         )
         #: page → warps blocked on it.
         self._waiters: Dict[int, List[WarpState]] = {}
@@ -262,9 +272,11 @@ class Engine:
             outcome = self.driver.service_next_batch(slept=driver_slept)
             driver_slept = False
             self._apply_outcome(outcome)
+            self.sanitizer.on_round(self)
 
         # Wait out trailing compute of the last-retired warps.
         self.clock.advance_to(self._last_retire_at)
+        self.sanitizer.check_system(self)
         self._m_rounds.inc(guard_rounds)
         records = self.driver.log.records[first_record:]
         return LaunchResult(
@@ -431,7 +443,7 @@ class Engine:
         if result.hit_pages:
             # Access-counter eviction policies observe in-memory hits.
             eviction = self.driver.eviction
-            for block_id in {vablock_of_page(p) for p in result.hit_pages}:
+            for block_id in sorted({vablock_of_page(p) for p in result.hit_pages}):
                 eviction.on_access_hit(block_id)
         if result.compute_usec > 0.0:
             # The warp is busy computing the phases it just completed; its

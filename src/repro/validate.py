@@ -135,6 +135,28 @@ def check_host_state(system: UvmSystem) -> List[Violation]:
     return out
 
 
+# ------------------------------------------------------------------- sanitizer
+
+
+def check_sanitizer_report(system: UvmSystem) -> List[Violation]:
+    """Fold UVMSan's accumulated report-mode violations into the validation
+    output.  Empty when the run had the sanitizer disabled (the common case)
+    or when every runtime invariant held."""
+    out: List[Violation] = []
+    san = system.engine.sanitizer
+    for v in san.violations:
+        out.append(Violation(f"uvmsan/{v.rule}", v.detail))
+    overflow = san.total_violations - len(san.violations)
+    if overflow > 0:
+        out.append(
+            Violation(
+                "uvmsan/overflow",
+                f"{overflow} further violations beyond the report cap",
+            )
+        )
+    return out
+
+
 # --------------------------------------------------------------- batch records
 
 
@@ -186,6 +208,7 @@ def validate_system(system: UvmSystem, include_records: bool = True) -> List[Vio
     out.extend(check_memory_accounting(system))
     out.extend(check_fault_conservation(system))
     out.extend(check_host_state(system))
+    out.extend(check_sanitizer_report(system))
     if include_records:
         out.extend(check_records(system.records))
     return out

@@ -1,0 +1,159 @@
+"""UVMSan whole-system properties: across seeds, workloads, memory
+pressure, and driver ablations, (1) every runtime invariant holds — the
+sanitizer in raise mode completes without firing — and (2) enabling the
+sanitizer leaves the simulated timeline bit-identical (it only reads
+state, never consumes RNG or advances the clock)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import UvmSystem
+from repro.config import default_config
+from repro.units import MB
+from repro.validate import validate_system
+from repro.workloads import (
+    BfsWorkload,
+    GaussSeidel,
+    PointerChase,
+    RegularStream,
+    Sgemm,
+    VecAddPageStride,
+)
+
+WORKLOADS = {
+    "vecadd": lambda: VecAddPageStride(tsize=8),
+    "stream": lambda: RegularStream(),
+    "sgemm": lambda: Sgemm(),
+    "bfs": lambda: BfsWorkload(),
+    "pointer-chase": lambda: PointerChase(),
+    "gauss-seidel": lambda: GaussSeidel(),
+}
+
+
+def build_config(seed=0, gpu_mem_mb=16, sanitize=False, **driver_kw):
+    cfg = default_config(**driver_kw)
+    cfg.seed = seed
+    cfg.gpu.memory_bytes = gpu_mem_mb * MB
+    cfg.gpu.num_sms = 8
+    if sanitize:
+        cfg.check.enabled = True
+        cfg.check.mode = "raise"
+    cfg.validate()
+    return cfg
+
+
+def run(workload_name, **cfg_kw):
+    system = UvmSystem(build_config(**cfg_kw))
+    WORKLOADS[workload_name]().run(system)
+    return system
+
+
+def timeline_fingerprint(system):
+    """Everything observable about a run's simulated timeline."""
+    return (
+        system.clock.now,
+        [
+            (
+                r.batch_id,
+                r.t_start,
+                r.t_end,
+                r.service_time,
+                r.num_faults_raw,
+                r.num_faults_unique,
+                r.duplicate_count,
+                r.bytes_h2d,
+                r.bytes_d2h,
+                r.evictions,
+                r.pages_prefetched,
+                r.dropped_at_flush,
+            )
+            for r in system.records
+        ],
+    )
+
+
+class TestInvariantsHoldEverywhere:
+    """Raise-mode UVMSan completes silently on healthy runs."""
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_workloads_run_clean(self, workload):
+        system = run(workload, sanitize=True)
+        assert system.sanitizer.enabled
+        assert system.sanitizer.total_violations == 0
+        assert validate_system(system) == []
+
+    @pytest.mark.parametrize("workload", ["vecadd", "sgemm", "bfs"])
+    def test_oversubscribed_runs_clean(self, workload):
+        system = run(workload, sanitize=True, gpu_mem_mb=8)
+        assert system.sanitizer.total_violations == 0
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_any_seed_runs_clean(self, seed):
+        system = run("vecadd", seed=seed, sanitize=True)
+        assert system.sanitizer.total_violations == 0
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        gpu_mem_mb=st.sampled_from([8, 16, 32]),
+    )
+    def test_memory_pressure_sweep(self, seed, gpu_mem_mb):
+        system = run("stream", seed=seed, gpu_mem_mb=gpu_mem_mb, sanitize=True)
+        assert system.sanitizer.total_violations == 0
+
+    @pytest.mark.parametrize(
+        "driver_kw",
+        [
+            {"prefetch_enabled": False},
+            {"batch_size": 64},
+            {"adaptive_batch": True},
+            {"async_unmap": True},
+            {"service_threads": 4},
+        ],
+        ids=["no-prefetch", "small-batch", "adaptive", "async-unmap", "parallel"],
+    )
+    def test_driver_ablations_run_clean(self, driver_kw):
+        system = run("sgemm", sanitize=True, gpu_mem_mb=8, **driver_kw)
+        assert system.sanitizer.total_violations == 0
+
+
+class TestTimelineBitIdentity:
+    """The sanitizer must be a pure observer."""
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_records_identical_with_and_without(self, workload):
+        base = timeline_fingerprint(run(workload, sanitize=False))
+        checked = timeline_fingerprint(run(workload, sanitize=True))
+        assert base == checked
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_identity_across_seeds(self, seed):
+        base = timeline_fingerprint(run("vecadd", seed=seed, sanitize=False))
+        checked = timeline_fingerprint(run("vecadd", seed=seed, sanitize=True))
+        assert base == checked
+
+    def test_identity_under_eviction_pressure(self):
+        base = timeline_fingerprint(run("sgemm", gpu_mem_mb=8, sanitize=False))
+        checked = timeline_fingerprint(run("sgemm", gpu_mem_mb=8, sanitize=True))
+        assert base == checked
+
+    def test_metrics_agree_modulo_sanitizer_families(self):
+        """Report-mode runs add only ``uvm_san_*`` metric families."""
+        cfg = build_config()
+        cfg.check.enabled = True
+        cfg.check.mode = "report"
+        system = UvmSystem(cfg)
+        WORKLOADS["vecadd"]().run(system)
+        base = UvmSystem(build_config())
+        WORKLOADS["vecadd"]().run(base)
+        snap = system.metrics_snapshot()
+        base_snap = base.metrics_snapshot()
+        extra = set(snap) - set(base_snap)
+        assert all(name.startswith("uvm_san_") for name in extra)
+        for name in base_snap:
+            assert snap[name] == base_snap[name]
