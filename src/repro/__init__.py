@@ -18,10 +18,18 @@ Quick start::
 """
 
 from .api import ManagedAllocation, RunResult, UvmSystem
-from .config import DriverConfig, GpuConfig, HostConfig, SystemConfig, default_config
+from .config import (
+    DriverConfig,
+    GpuConfig,
+    HostConfig,
+    InjectConfig,
+    SystemConfig,
+    default_config,
+)
 from .core.batch_record import BatchRecord
 from .core.instrumentation import BatchLog
 from .gpu.warp import KernelLaunch, Phase, WarpProgram
+from .sim.checkpoint import EngineCheckpoint
 from .sim.engine import LaunchResult
 
 __version__ = "1.0.0"
@@ -35,7 +43,9 @@ __all__ = [
     "GpuConfig",
     "DriverConfig",
     "HostConfig",
+    "InjectConfig",
     "default_config",
+    "EngineCheckpoint",
     "BatchRecord",
     "BatchLog",
     "KernelLaunch",

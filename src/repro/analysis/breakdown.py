@@ -33,6 +33,7 @@ COMPONENTS: List[Tuple[str, str]] = [
     ("time_transfer_h2d", "migration copy (wire)"),
     ("time_pagetable", "GPU page-table update"),
     ("time_replay", "replay push + fence"),
+    ("time_retry_backoff", "retry backoff + wasted transfers (chaos)"),
 ]
 
 

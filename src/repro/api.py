@@ -163,6 +163,17 @@ class UvmSystem:
         ``config.check.enabled`` — see :mod:`repro.check.sanitizer`)."""
         return self.engine.sanitizer
 
+    @property
+    def injector(self):
+        """The run's fault injector (a null object unless
+        ``config.inject.enabled`` — see :mod:`repro.inject`)."""
+        return self.engine.injector
+
+    def checkpoint(self):
+        """Snapshot the engine's full simulation state for a later restore
+        (see :mod:`repro.sim.checkpoint`)."""
+        return self.engine.checkpoint()
+
     def metrics_snapshot(self) -> dict:
         """Current metric values as a plain nested dict."""
         return self.engine.obs.metrics.snapshot()

@@ -75,6 +75,9 @@ class NullSanitizer:
     def check_system(self, engine) -> None:
         pass
 
+    def resync(self, engine) -> None:
+        pass
+
     def summary(self) -> dict:
         return {"enabled": False, "violations": 0, "by_rule": {}}
 
@@ -183,7 +186,14 @@ class Sanitizer:
             )
 
     def on_fault_buffer(self, buffer) -> None:
-        """Occupancy bound and push/fetch/flush conservation (§2.1)."""
+        """Occupancy bound and push/fetch/flush conservation (§2.1).
+
+        Under chaos testing (:mod:`repro.inject`) the identity gains two
+        terms: entries the injector fabricated (``total_injected``, spurious
+        duplicates) enter on the left, and arrivals an injected overflow
+        storm swallowed (``total_injector_dropped``) leave on the right.
+        Both are zero when injection is off, reducing to the plain identity.
+        """
         occupancy = len(buffer)
         if occupancy > buffer.capacity:
             self._violate(
@@ -191,13 +201,21 @@ class Sanitizer:
                 f"buffer occupancy {occupancy} exceeds capacity "
                 f"{buffer.capacity}",
             )
-        balance = buffer.total_fetched + buffer.total_flush_dropped + occupancy
-        if buffer.total_pushed != balance:
+        pushed = buffer.total_pushed + buffer.total_injected
+        balance = (
+            buffer.total_fetched
+            + buffer.total_flush_dropped
+            + buffer.total_injector_dropped
+            + occupancy
+        )
+        if pushed != balance:
             self._violate(
                 "fault-buffer",
-                f"fault conservation broken: pushed {buffer.total_pushed} != "
-                f"fetched {buffer.total_fetched} + flushed "
-                f"{buffer.total_flush_dropped} + residual {occupancy}",
+                f"fault conservation broken: pushed {buffer.total_pushed} + "
+                f"injected {buffer.total_injected} != fetched "
+                f"{buffer.total_fetched} + flushed "
+                f"{buffer.total_flush_dropped} + injector-dropped "
+                f"{buffer.total_injector_dropped} + residual {occupancy}",
             )
 
     def on_ce_burst(self, direction, run_lengths, nbytes, cost) -> None:
@@ -296,14 +314,17 @@ class Sanitizer:
                 f"{self._last_batch_id})",
             )
         self._last_batch_id = max(self._last_batch_id, record.batch_id)
-        ce = driver.device.copy_engine
-        self._ce_h2d0 = ce.bytes_h2d
-        self._ce_d2h0 = ce.bytes_d2h
+        # Sum over the copy-engine pair: a mid-batch stuck-burst failover
+        # moves traffic to the sibling, but byte conservation holds for the
+        # pair as a whole.
+        self._ce_h2d0 = sum(ce.bytes_h2d for ce in driver.device.copy_engines)
+        self._ce_d2h0 = sum(ce.bytes_d2h for ce in driver.device.copy_engines)
 
     def on_batch_end(self, driver, record, outcome=None) -> None:
         self._check_clock()
         self._check_record(driver, record, outcome)
         self._check_ce_reconciliation(driver, record)
+        self._check_retry_bounds(driver, record)
         self.on_fault_buffer(driver.device.fault_buffer)
         for utlb in driver.device.utlbs:
             self.on_utlb(utlb)
@@ -390,12 +411,71 @@ class Sanitizer:
                 f"cover less than the batch envelope ({duration:.6f}us)",
             )
 
+    def _check_retry_bounds(self, driver, record) -> None:
+        """Resilience counters must respect the configured retry policy.
+
+        With injection off every resilience counter (and the retry-backoff
+        timer) must be exactly zero — a non-zero value means the retry path
+        ran without a fault source, i.e. phantom failures.  With injection
+        on, each retry loop counts at most ``max_attempts`` failures per
+        invocation; the number of loop invocations in one batch
+        is bounded by the serviced VABlocks, evictions, and the prefetch
+        scope fan-out, so a generous structural ceiling catches unbounded
+        retry loops without false positives.
+        """
+        counters = (
+            ("retries_dma", record.retries_dma),
+            ("retries_transfer", record.retries_transfer),
+            ("retries_populate", record.retries_populate),
+            ("ce_failovers", record.ce_failovers),
+            ("prefetch_fallbacks", record.prefetch_fallbacks),
+            ("blocks_deferred", record.blocks_deferred),
+        )
+        if not driver.inj.enabled:
+            for name, value in counters:
+                if value != 0:
+                    self._violate(
+                        "retry-bounds",
+                        f"batch {record.batch_id}: {name}={value} with fault "
+                        "injection disabled",
+                    )
+            if record.time_retry_backoff != 0.0:
+                self._violate(
+                    "retry-bounds",
+                    f"batch {record.batch_id}: time_retry_backoff="
+                    f"{record.time_retry_backoff} with fault injection "
+                    "disabled",
+                )
+            return
+        cfg = driver.config.driver
+        scope = cfg.prefetch_scope_blocks
+        # Retry-loop invocations: one DMA map + one transfer per serviced
+        # block, one d2h per eviction, one DMA + transfer per speculative
+        # scope neighbour, plus slack for hinted/advise paths.
+        loops = (record.num_vablocks + record.evictions + 2) * (2 * scope + 2)
+        bound = cfg.retry_max_attempts * max(loops, 1)
+        for name, value in counters[:4]:
+            if value > bound:
+                self._violate(
+                    "retry-bounds",
+                    f"batch {record.batch_id}: {name}={value} exceeds the "
+                    f"structural retry ceiling {bound} "
+                    f"(max_attempts={cfg.retry_max_attempts})",
+                )
+        if record.retries_populate > max(record.num_vablocks, 1):
+            self._violate(
+                "retry-bounds",
+                f"batch {record.batch_id}: retries_populate="
+                f"{record.retries_populate} exceeds one ENOMEM per serviced "
+                f"VABlock ({record.num_vablocks})",
+            )
+
     def _check_ce_reconciliation(self, driver, record) -> None:
         """Bytes the copy engines moved during the batch must equal the
         record's migration accounting (byte conservation)."""
-        ce = driver.device.copy_engine
-        h2d_delta = ce.bytes_h2d - self._ce_h2d0
-        d2h_delta = ce.bytes_d2h - self._ce_d2h0
+        ces = driver.device.copy_engines
+        h2d_delta = sum(ce.bytes_h2d for ce in ces) - self._ce_h2d0
+        d2h_delta = sum(ce.bytes_d2h for ce in ces) - self._ce_d2h0
         if h2d_delta != record.bytes_h2d:
             self._violate(
                 "ce-bytes",
@@ -504,6 +584,25 @@ class Sanitizer:
             self.on_utlb(utlb)
         self.on_fault_buffer(engine.device.fault_buffer)
         self._scan_blocks(engine.driver)
+
+    def resync(self, engine) -> None:
+        """Re-baseline internal watermarks after a checkpoint restore.
+
+        A restore legitimately rewinds the simulated clock, batch ids, block
+        phases, and allocation stamps; without a resync the monotonicity
+        checks would flag the rewind itself.  Violations already recorded
+        stay recorded — restore never launders a real violation.
+        """
+        driver = engine.driver
+        self._last_clock = engine.clock.now
+        self._batch_id = None
+        self._last_batch_id = driver._batch_id - 1
+        self._phases = {
+            block.block_id: block.phase for block in driver.vablocks.blocks()
+        }
+        self._max_stamp = driver.vablocks._stamp
+        self._ce_h2d0 = sum(ce.bytes_h2d for ce in driver.device.copy_engines)
+        self._ce_d2h0 = sum(ce.bytes_d2h for ce in driver.device.copy_engines)
 
 
 def make_sanitizer(config, clock, obs=None):

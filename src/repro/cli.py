@@ -17,7 +17,12 @@ Subcommands:
 * ``lint [paths...]`` — determinism lint over the simulator sources
   (non-zero exit on findings; ``--format json`` for machine output);
 * ``validate <workload>`` — run a workload with UVMSan in report mode and
-  print the validation verdict (non-zero exit on violations).
+  print the validation verdict (non-zero exit on violations or a crashed
+  run; ``--json`` for a machine-readable verdict with an ``ok`` field);
+* ``chaos <workload> --profile NAME`` — run a workload under a
+  fault-injection profile (:mod:`repro.inject`) with UVMSan in report mode
+  and print the chaos verdict (same JSON/exit-code contract as
+  ``validate``; ``--list-profiles`` shows the bundled profiles).
 """
 
 from __future__ import annotations
@@ -123,6 +128,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(val_p)
     val_p.add_argument("--json", action="store_true",
                        help="print the verdict as JSON")
+
+    ch_p = sub.add_parser(
+        "chaos",
+        help="run a workload under a fault-injection profile with UVMSan "
+             "in report mode",
+    )
+    ch_p.add_argument("workload", nargs="?", default=None,
+                      help="workload name (see `list`)")
+    ch_p.add_argument("--no-prefetch", action="store_true",
+                      help="disable the driver prefetcher")
+    ch_p.add_argument("--gpu-mb", type=int, default=64,
+                      help="device memory in MiB (default 64)")
+    ch_p.add_argument("--seed", type=int, default=None,
+                      help="override the simulation seed")
+    ch_p.add_argument("--profile", default="kitchen-sink",
+                      help="builtin profile name or JSON profile file "
+                           "(default kitchen-sink; see --list-profiles)")
+    ch_p.add_argument("--checkpoint-every", type=int, default=8,
+                      help="auto-checkpoint period in batches for crash "
+                           "recovery (default 8; 0 = launch start only)")
+    ch_p.add_argument("--json", action="store_true",
+                      help="print the chaos report as JSON")
+    ch_p.add_argument("--list-profiles", action="store_true",
+                      help="list bundled injection profiles and exit")
     return parser
 
 
@@ -304,17 +333,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate":
         import json as _json
 
+        from .errors import UvmError
         from .validate import validate_system
 
         def _enable_sanitizer(cfg):
             cfg.check.enabled = True
             cfg.check.mode = "report"
 
-        system, result = _run_workload(args, tweak_config=_enable_sanitizer)
+        try:
+            system, result = _run_workload(args, tweak_config=_enable_sanitizer)
+        except UvmError as exc:
+            # A crashed run is a failed validation, not a traceback: emit a
+            # structured verdict and the same non-zero exit.
+            verdict = {
+                "workload": args.workload,
+                "error": f"{type(exc).__name__}: {exc}",
+                "violations": [],
+                "ok": False,
+            }
+            if args.json:
+                print(_json.dumps(verdict, indent=2, sort_keys=True))
+            else:
+                print(f"{args.workload}: run FAILED — {verdict['error']}")
+            return 1
         if system is None:
             return 2
         violations = validate_system(system)
         summary = system.sanitizer.summary()
+        ok = not violations and summary["violations"] == 0
         if args.json:
             print(
                 _json.dumps(
@@ -324,6 +370,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "faults": result.total_faults,
                         "violations": [str(v) for v in violations],
                         "sanitizer": summary,
+                        "ok": ok,
                     },
                     indent=2,
                     sort_keys=True,
@@ -346,7 +393,57 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(f"  {v}")
             else:
                 print("validation OK: every invariant held")
-        return 1 if violations else 0
+        return 0 if ok else 1
+
+    if args.command == "chaos":
+        import json as _json
+
+        from .errors import ConfigError, UvmError
+        from .inject.chaos import (
+            build_chaos_report,
+            crash_report,
+            render_chaos_report,
+        )
+        from .inject.profiles import BUILTIN_PROFILES
+
+        if args.list_profiles:
+            print("Bundled injection profiles:")
+            for name in sorted(BUILTIN_PROFILES):
+                sites = ", ".join(sorted(BUILTIN_PROFILES[name]))
+                print(f"  {name:20s} {sites}")
+            return 0
+        if args.workload is None:
+            print("error: a workload is required (or --list-profiles)",
+                  file=sys.stderr)
+            return 2
+
+        def _enable_chaos(cfg):
+            cfg.check.enabled = True
+            cfg.check.mode = "report"
+            cfg.inject.enabled = True
+            cfg.inject.profile = args.profile
+            cfg.inject.checkpoint_every = args.checkpoint_every
+
+        try:
+            system, result = _run_workload(args, tweak_config=_enable_chaos)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except UvmError as exc:
+            report = crash_report(args.workload, args.profile, exc)
+            if args.json:
+                print(_json.dumps(report, indent=2, sort_keys=True))
+            else:
+                print(render_chaos_report(report))
+            return 1
+        if system is None:
+            return 2
+        report = build_chaos_report(system, result, args.workload)
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_chaos_report(report))
+        return 0 if report["ok"] else 1
 
     if args.command == "run":
         for exp_id in args.experiments:

@@ -126,6 +126,21 @@ class DriverConfig:
     adaptive_batch_min: int = 64
     #: Ablation (§6): prefetch scope in VABlocks (paper: fixed at 1).
     prefetch_scope_blocks: int = 1
+    #: Maximum service attempts per transient failure (DMA map, copy-engine
+    #: burst, host population) before the driver gives up on the operation.
+    retry_max_attempts: int = 4
+    #: First retry backoff in simulated µs; doubles (``retry_backoff_factor``)
+    #: per attempt up to ``retry_backoff_max_usec``.
+    retry_backoff_base_usec: float = 2.0
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max_usec: float = 64.0
+    #: Per-phase deadline: a copy-engine burst that exceeds it is declared
+    #: stuck, charged, and failed over to the sibling engine.
+    phase_deadline_usec: float = 200.0
+    #: What exhausting the retry budget does: "degrade" falls back (defer the
+    #: VABlock, drop the prefetch and demand-page) while "fail-fast" raises
+    #: :class:`repro.errors.RetryExhausted`.
+    failure_mode: str = "degrade"
 
     def validate(self) -> None:
         if self.batch_size <= 0:
@@ -147,6 +162,20 @@ class DriverConfig:
             raise ConfigError("adaptive_batch_min must be positive")
         if self.prefetch_scope_blocks <= 0:
             raise ConfigError("prefetch_scope_blocks must be positive")
+        if self.retry_max_attempts <= 0:
+            raise ConfigError("retry_max_attempts must be positive")
+        if self.retry_backoff_base_usec < 0:
+            raise ConfigError("retry_backoff_base_usec must be non-negative")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigError("retry_backoff_factor must be >= 1")
+        if self.retry_backoff_max_usec < self.retry_backoff_base_usec:
+            raise ConfigError(
+                "retry_backoff_max_usec must be >= retry_backoff_base_usec"
+            )
+        if self.phase_deadline_usec <= 0:
+            raise ConfigError("phase_deadline_usec must be positive")
+        if self.failure_mode not in ("degrade", "fail-fast"):
+            raise ConfigError(f"unknown failure_mode {self.failure_mode!r}")
 
 
 @dataclass
@@ -250,6 +279,56 @@ class CheckConfig:
 
 
 @dataclass
+class InjectConfig:
+    """Fault-injection settings (the :mod:`repro.inject` chaos layer).
+
+    Default off: the engine installs :data:`repro.inject.NULL_INJECTOR` and
+    no component carries an injector reference, so the fault path is
+    bit-identical with injection disabled — the same null-object contract as
+    :class:`CheckConfig` / UVMSan.
+
+    When enabled, every injection site draws from its own
+    :func:`repro.sim.rng.spawn_rng` stream keyed off ``SystemConfig.seed``
+    and the site name, so a (seed, profile) pair always produces the same
+    injected-event schedule regardless of which other sites are active.
+    """
+
+    #: Master switch.  Off ⇒ null injector, zero overhead, identical runs.
+    enabled: bool = False
+    #: Named builtin profile (see ``repro.inject.profiles.BUILTIN_PROFILES``)
+    #: or a path to a JSON profile file (``examples/chaos/*.json``).
+    profile: Optional[str] = None
+    #: Inline site table merged over the profile: maps a site name (e.g.
+    #: ``"ce.transfer_fault"``) to its parameter dict (``rate``, ``factor``,
+    #: ``at_batch``, ``waste_frac``).
+    sites: dict = field(default_factory=dict)
+    #: Auto-checkpoint period in completed batches (0 = checkpoint only once
+    #: at kernel launch).  Checkpoints enable injected-crash recovery.
+    checkpoint_every: int = 0
+    #: Recover an injected ``engine.crash`` from the latest checkpoint in
+    #: place.  When off the crash surfaces as
+    #: :class:`repro.errors.InjectedCrash`.
+    crash_recovery: bool = True
+    #: Cap on the injector's (clock, site) event log used by the
+    #: schedule-determinism property tests.
+    max_events: int = 100_000
+
+    def validate(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ConfigError("checkpoint_every must be >= 0")
+        if self.max_events <= 0:
+            raise ConfigError("max_events must be positive")
+        if not self.enabled:
+            return
+        # Site names and parameter ranges are validated by the inject layer,
+        # which owns the site catalogue (lazy import: config must not pull
+        # the simulator packages in at import time).
+        from .inject.profiles import validate_inject_config
+
+        validate_inject_config(self)
+
+
+@dataclass
 class SystemConfig:
     """Aggregate configuration for one simulated system instance."""
 
@@ -258,6 +337,7 @@ class SystemConfig:
     host: HostConfig = field(default_factory=HostConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
     check: CheckConfig = field(default_factory=CheckConfig.from_env)
+    inject: InjectConfig = field(default_factory=InjectConfig)
     #: Seed for all stochastic components (workload shuffles, jitter).
     seed: int = 0
     #: Cost-model overrides, applied as attribute assignments on the default
@@ -270,6 +350,7 @@ class SystemConfig:
         self.host.validate()
         self.obs.validate()
         self.check.validate()
+        self.inject.validate()
 
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a deep-copied config with top-level fields replaced."""
@@ -280,6 +361,7 @@ class SystemConfig:
             host=dataclasses.replace(self.host),
             obs=dataclasses.replace(self.obs),
             check=dataclasses.replace(self.check),
+            inject=dataclasses.replace(self.inject, sites=dict(self.inject.sites)),
             cost_overrides=dict(self.cost_overrides),
         )
         for key, value in kwargs.items():

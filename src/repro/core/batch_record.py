@@ -74,6 +74,20 @@ class BatchRecord:
     #: lower "levels" of Fig 13).
     evictions_unmap_free: int = 0
 
+    # --- resilience (chaos testing, :mod:`repro.inject`) ----------------------
+    #: DMA-map attempts that failed transiently and were retried.
+    retries_dma: int = 0
+    #: Copy-engine bursts that aborted and were retried.
+    retries_transfer: int = 0
+    #: Host-population ENOMEM events absorbed by reclaim + retry.
+    retries_populate: int = 0
+    #: Stuck-burst failovers to the sibling copy engine.
+    ce_failovers: int = 0
+    #: Prefetch transfers that fell back to demand-only paging.
+    prefetch_fallbacks: int = 0
+    #: VABlocks deferred after retry exhaustion (faults reissue later).
+    blocks_deferred: int = 0
+
     # --- host OS -------------------------------------------------------------
     unmap_calls: int = 0
     pages_unmapped: int = 0
@@ -97,6 +111,9 @@ class BatchRecord:
     time_transfer_d2h: float = 0.0
     time_pagetable: float = 0.0
     time_replay: float = 0.0
+    #: Retry overhead: wasted partial transfers, backoff waits, and stuck
+    #: deadlines (zero unless :mod:`repro.inject` is active).
+    time_retry_backoff: float = 0.0
 
     # --- per-SM origin (Table 2) ----------------------------------------------
     sm_fault_counts: Optional[np.ndarray] = None
@@ -129,6 +146,7 @@ class BatchRecord:
             + self.time_transfer_d2h
             + self.time_pagetable
             + self.time_replay
+            + self.time_retry_backoff
         )
 
     @property

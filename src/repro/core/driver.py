@@ -39,7 +39,14 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from ..config import SystemConfig
-from ..errors import InvalidAccess, OutOfDeviceMemory
+from ..errors import (
+    DmaMapFault,
+    InvalidAccess,
+    OutOfDeviceMemory,
+    RetryExhausted,
+    TransferFault,
+    TransferStuck,
+)
 from ..units import REGIONS_PER_VABLOCK, vablock_of_page
 from ..gpu.copy_engine import contiguous_runs
 from ..gpu.device import GpuDevice
@@ -66,6 +73,40 @@ from .eviction import LruEvictionPolicy, make_eviction_policy
 from .instrumentation import BatchLog
 from .prefetch import DensityPrefetcher, make_prefetcher
 from .vablock import VABlockManager, VABlockState
+
+
+class RetryPolicy:
+    """Bounded sim-time exponential backoff for transient fault-path failures.
+
+    Attempt ``n``'s backoff is ``min(base * factor**(n-1), max)``; a burst
+    that hangs is charged the per-phase ``deadline_usec`` instead and failed
+    over.  ``fail_fast`` (DriverConfig ``failure_mode="fail-fast"``) raises
+    :class:`repro.errors.RetryExhausted` when the budget runs out;
+    the default degrade mode falls back (defer the VABlock, drop the
+    prefetch, skip the speculative neighbour) so the workload still
+    completes.
+    """
+
+    __slots__ = (
+        "max_attempts",
+        "base_usec",
+        "factor",
+        "max_usec",
+        "deadline_usec",
+        "fail_fast",
+    )
+
+    def __init__(self, driver_config) -> None:
+        self.max_attempts = driver_config.retry_max_attempts
+        self.base_usec = driver_config.retry_backoff_base_usec
+        self.factor = driver_config.retry_backoff_factor
+        self.max_usec = driver_config.retry_backoff_max_usec
+        self.deadline_usec = driver_config.phase_deadline_usec
+        self.fail_fast = driver_config.failure_mode == "fail-fast"
+
+    def backoff_usec(self, attempt: int) -> float:
+        """Backoff to wait after failed attempt number ``attempt`` (1-based)."""
+        return min(self.base_usec * self.factor ** (attempt - 1), self.max_usec)
 
 
 @dataclass
@@ -99,6 +140,7 @@ class UvmDriver:
         trace: Optional[EventTrace] = None,
         obs: Optional[Observability] = None,
         sanitizer=None,
+        injector=None,
     ) -> None:
         config.validate()
         self.config = config
@@ -112,6 +154,17 @@ class UvmDriver:
         self.obs = obs if obs is not None else Observability(config.obs, clock)
         #: UVMSan invariant checker (no-op null object unless enabled).
         self.san = sanitizer if sanitizer is not None else NULL_SANITIZER
+        #: Fault injector (no-op null object unless chaos testing is on).
+        if injector is None:
+            from ..inject import NULL_INJECTOR
+
+            injector = NULL_INJECTOR
+        self.inj = injector
+        #: Retry/timeout/backoff policy for transient fault-path failures.
+        self.retry = RetryPolicy(config.driver)
+        #: Copy engine currently carrying driver transfers (failover target
+        #: flips this to the sibling after a stuck burst).
+        self._active_ce_id = 0
         self.vablocks = VABlockManager()
         self.prefetcher = make_prefetcher(
             config.driver.prefetch_policy,
@@ -147,6 +200,19 @@ class UvmDriver:
         )
         self._m_batch_faults = metrics.histogram(
             "uvm_batch_faults", "Raw faults per batch", buckets=DEFAULT_COUNT_BUCKETS
+        )
+        self._m_retries = metrics.counter(
+            "uvm_retries_total",
+            "Driver retries after transient fault-path failures",
+            labels=("site",),
+        )
+        self._m_degrade = metrics.counter(
+            "uvm_degrade_total",
+            "Graceful degradations on the fault path",
+            labels=("kind",),
+        )
+        self._m_failovers = metrics.counter(
+            "uvm_ce_failovers_total", "Copy-engine failovers after stuck bursts"
         )
         self.eviction.attach_obs(self.obs)
         #: Simulated timestamp where the current VABlock's service started on
@@ -229,7 +295,31 @@ class UvmDriver:
             p for p in sorted(set(pages)) if not self.device.page_table.is_resident(p)
         ]
         if new_pages:
-            result = self.dma.map_pages(new_pages)
+            result = None
+            attempt = 1
+            while result is None:
+                try:
+                    result = self.dma.map_pages(new_pages)
+                except DmaMapFault as exc:
+                    record.retries_dma += 1
+                    self._m_retries.labels("dma").inc()
+                    if attempt >= self.retry.max_attempts:
+                        if self.retry.fail_fast:
+                            raise RetryExhausted("dma.map_fail", attempt, exc)
+                        break
+                    backoff = self.retry.backoff_usec(attempt)
+                    self.clock.advance(backoff)
+                    record.time_retry_backoff += backoff
+                    attempt += 1
+            if result is None:
+                # Degrade: leave the pages unmapped — the hint is advisory,
+                # so the GPU simply demand-faults them later.
+                self._m_degrade.labels("accessed-by-skip").inc()
+                record.t_end = self.clock.now
+                self.log.append(record)
+                self._finish_record_obs(record)
+                self.san.on_batch_end(self, record)
+                return record
             self.clock.advance(result.cost_usec)
             record.time_dma = result.cost_usec
             record.dma_mappings_created += result.new_mappings
@@ -403,6 +493,79 @@ class UvmDriver:
         self._update_adaptive(record)
         return outcome
 
+    # ------------------------------------------------------ retry/failover
+
+    def _dma_map_with_retry(self, pages: List[int], record: BatchRecord, spend):
+        """DMA-map ``pages`` with bounded exponential backoff.
+
+        Returns the :class:`~repro.hostos.dma.DmaMapResult`, or None when
+        the retry budget ran out in degrade mode (the caller defers or
+        skips).  Fail-fast mode raises :class:`RetryExhausted` instead.
+        """
+        attempt = 1
+        while True:
+            try:
+                return self.dma.map_pages(pages)
+            except DmaMapFault as exc:
+                record.retries_dma += 1
+                self._m_retries.labels("dma").inc()
+                if attempt >= self.retry.max_attempts:
+                    if self.retry.fail_fast:
+                        raise RetryExhausted("dma.map_fail", attempt, exc)
+                    return None
+                spend(self.retry.backoff_usec(attempt), "time_retry_backoff")
+                attempt += 1
+
+    def _transfer_with_retry(
+        self,
+        direction: str,
+        runs: List[int],
+        record: BatchRecord,
+        spend,
+        allow_degrade: bool = True,
+    ) -> bool:
+        """Run one copy-engine burst under the retry/failover policy.
+
+        Transient aborts charge the wasted partial transfer plus backoff and
+        re-issue; a stuck burst charges the phase deadline and fails over to
+        the sibling engine.  Returns True on completion; False when the
+        budget ran out in degrade mode (never for ``allow_degrade=False``
+        paths like eviction write-back, where losing the data is not an
+        option — those raise :class:`RetryExhausted` in either failure
+        mode).
+        """
+        ce = self.device.copy_engines[self._active_ce_id]
+        attempt = 1
+        while True:
+            try:
+                ce.ts_hint = self._block_cursor + self._block_elapsed
+                if direction == "h2d":
+                    cost = ce.host_to_device(runs)
+                else:
+                    cost = ce.device_to_host(runs)
+                spend(cost, "time_transfer_" + direction)
+                return True
+            except TransferFault as exc:
+                spend(exc.wasted_usec, "time_retry_backoff")
+                record.retries_transfer += 1
+                self._m_retries.labels("ce").inc()
+                if attempt >= self.retry.max_attempts:
+                    if self.retry.fail_fast or not allow_degrade:
+                        raise RetryExhausted("ce.transfer_fault", attempt, exc)
+                    return False
+                spend(self.retry.backoff_usec(attempt), "time_retry_backoff")
+            except TransferStuck as exc:
+                spend(self.retry.deadline_usec, "time_retry_backoff")
+                record.ce_failovers += 1
+                self._m_failovers.inc()
+                if attempt >= self.retry.max_attempts:
+                    if self.retry.fail_fast or not allow_degrade:
+                        raise RetryExhausted("ce.stuck", attempt, exc)
+                    return False
+                self._active_ce_id = 1 - ce.engine_id
+                ce = self.device.copy_engines[self._active_ce_id]
+            attempt += 1
+
     # ---------------------------------------------------------- block path
 
     def _service_block(
@@ -476,7 +639,14 @@ class UvmDriver:
 
         # (b) compulsory DMA state (once per block lifetime).
         if not block.dma_initialized:
-            result = self.dma.map_pages(sorted(block.valid_pages))
+            result = self._dma_map_with_retry(sorted(block.valid_pages), record, spend)
+            if result is None:
+                # Degrade: DMA state could not be created this batch.  Defer
+                # the block — its faults drop at the flush and reissue, and
+                # a later batch retries from untouched radix-tree state.
+                record.blocks_deferred += 1
+                self._m_degrade.labels("dma-defer").inc()
+                return total, True
             spend(result.cost_usec, "time_dma")
             block.dma_initialized = True
             record.new_dma_blocks += 1
@@ -526,6 +696,18 @@ class UvmDriver:
         if allocated_now and block.evict_count > 0:
             # Restarted migration re-populates the whole target (§5.1).
             populate_pages = len(target)
+        if populate_pages and self.inj.fire("host.populate_enomem"):
+            # Injected host ENOMEM: reclaim device memory (evict a victim,
+            # releasing its staged buffers — §5.1's pressure path), back
+            # off, then retry the population.
+            record.retries_populate += 1
+            self._m_retries.labels("populate").inc()
+            if (
+                self.config.driver.eviction_enabled
+                and self.eviction.pick_victim(pinned) is not None
+            ):
+                self._evict_one(pinned, record, outcome, spend)
+            spend(self.retry.backoff_usec(1), "time_retry_backoff")
         spend(self.cost.population_cost(populate_pages), "time_population")
         record.pages_populated += populate_pages
         if transfer_pages:
@@ -533,11 +715,30 @@ class UvmDriver:
                 len(transfer_pages) * self.cost.migration_prep_per_page_usec,
                 "time_migrate_prep",
             )
-            runs = contiguous_runs(transfer_pages)
-            # Place the CE trace slice where this block's work actually sits
-            # on the timeline (the clock itself advances after the loop).
-            self.device.copy_engine.ts_hint = self._block_cursor + total
-            spend(self.device.copy_engine.host_to_device(runs), "time_transfer_h2d")
+            # The CE trace slice is placed where this block's work actually
+            # sits on the timeline (the retry wrapper sets ts_hint per
+            # attempt; the clock itself advances after the loop).
+            ok = self._transfer_with_retry(
+                "h2d", contiguous_runs(transfer_pages), record, spend
+            )
+            if not ok and prefetched:
+                # Graceful degradation: drop the speculative prefetch and
+                # fall back to demand paging — retry with only the pages
+                # that actually faulted.
+                record.prefetch_fallbacks += 1
+                self._m_degrade.labels("prefetch-fallback").inc()
+                prefetched = set()
+                target = sorted(set(faulted))
+                transfer_pages = [p for p in target if self.host_vm.has_valid_data(p)]
+                ok = not transfer_pages or self._transfer_with_retry(
+                    "h2d", contiguous_runs(transfer_pages), record, spend
+                )
+            if not ok:
+                # Transfer impossible this batch: defer the block entirely;
+                # its faults drop at the flush and reissue later.
+                record.blocks_deferred += 1
+                self._m_degrade.labels("transfer-defer").inc()
+                return total, True
             record.pages_migrated_h2d += len(transfer_pages)
             record.bytes_h2d += len(transfer_pages) * 4096
 
@@ -552,7 +753,7 @@ class UvmDriver:
 
         record.pages_prefetched += len(prefetched)
         outcome.serviced_pages.extend(target)
-        if self.trace is not None:
+        if self.trace is not None and target:
             # Fig 16c/17c fault-behaviour data: page extent migrated into
             # this block during this batch.
             self.trace.emit(
@@ -576,11 +777,14 @@ class UvmDriver:
         evict_usec = spend(self.cost.evict_restart_usec, "time_eviction")
         evict_usec += spend(self.cost.pagetable_cost(len(pages)), "time_eviction")
         if pages:
-            runs = contiguous_runs(pages)
-            self.device.copy_engine.ts_hint = self._block_cursor + self._block_elapsed
-            evict_usec += spend(
-                self.device.copy_engine.device_to_host(runs), "time_transfer_d2h"
+            elapsed_before = self._block_elapsed
+            # Write-back must complete — losing the only copy of the data is
+            # not a degradation option — so retry exhaustion raises even in
+            # degrade mode (allow_degrade=False).
+            self._transfer_with_retry(
+                "d2h", contiguous_runs(pages), record, spend, allow_degrade=False
             )
+            evict_usec += self._block_elapsed - elapsed_before
             record.bytes_d2h += len(pages) * 4096
             self.host_vm.mark_valid(pages)
             self.device.page_table.unmap_pages(pages)
@@ -653,7 +857,13 @@ class UvmDriver:
                 self.eviction.on_gpu_allocated(nbr_id)
                 self.san.on_block_allocated(nbr)
                 if not nbr.dma_initialized:
-                    result = self.dma.map_pages(sorted(nbr.valid_pages))
+                    result = self._dma_map_with_retry(
+                        sorted(nbr.valid_pages), record, spend
+                    )
+                    if result is None:
+                        # Speculative neighbour: just skip it this batch.
+                        self._m_degrade.labels("scope-skip").inc()
+                        continue
                     spend(result.cost_usec, "time_dma")
                     nbr.dma_initialized = True
                     record.new_dma_blocks += 1
@@ -680,10 +890,12 @@ class UvmDriver:
                     len(transfer) * self.cost.migration_prep_per_page_usec,
                     "time_migrate_prep",
                 )
-                spend(
-                    self.device.copy_engine.host_to_device(contiguous_runs(transfer)),
-                    "time_transfer_h2d",
-                )
+                if not self._transfer_with_retry(
+                    "h2d", contiguous_runs(transfer), record, spend
+                ):
+                    # Speculative neighbour transfer: skip it this batch.
+                    self._m_degrade.labels("scope-skip").inc()
+                    continue
                 record.pages_migrated_h2d += len(transfer)
                 record.bytes_h2d += len(transfer) * 4096
             spend(self.cost.pagetable_cost(len(target)), "time_pagetable")

@@ -35,6 +35,85 @@ class DeadlockError(SimulationError):
     """No warp can make progress and no faults are outstanding."""
 
 
+class InjectedFault(UvmError):
+    """Base class for failures raised by the :mod:`repro.inject` layer.
+
+    These model *transient hardware/OS failures*, not simulator bugs: the
+    driver's retry/backoff/failover policy is expected to absorb them.
+    """
+
+
+class TransferFault(InjectedFault):
+    """A copy-engine burst aborted mid-flight (transient interconnect error).
+
+    ``wasted_usec`` is the simulated time the engine spent before the abort;
+    the driver charges it to the batch's retry timer and re-issues the burst.
+    """
+
+    def __init__(self, engine_id: int, wasted_usec: float) -> None:
+        self.engine_id = engine_id
+        self.wasted_usec = wasted_usec
+        super().__init__(
+            f"copy engine {engine_id} burst aborted after {wasted_usec:.2f}us"
+        )
+
+
+class TransferStuck(InjectedFault):
+    """A copy-engine burst hung past the per-phase deadline.
+
+    The driver charges the deadline, marks the engine suspect, and fails the
+    transfer over to the sibling engine.
+    """
+
+    def __init__(self, engine_id: int) -> None:
+        self.engine_id = engine_id
+        super().__init__(f"copy engine {engine_id} stuck past the phase deadline")
+
+
+class DmaMapFault(InjectedFault):
+    """``dma_map_pages`` failed transiently (IOMMU/IOVA exhaustion model)."""
+
+    def __init__(self, num_pages: int) -> None:
+        self.num_pages = num_pages
+        super().__init__(f"DMA mapping of {num_pages} pages failed transiently")
+
+
+class PopulateEnomem(InjectedFault):
+    """Host page population hit ENOMEM; the driver must create pressure
+    (evict) and retry."""
+
+
+class InjectedCrash(InjectedFault):
+    """A simulated whole-process crash fired at a batch boundary.
+
+    Surfaces only when :attr:`repro.config.InjectConfig.crash_recovery` is
+    off; otherwise the engine restores its latest checkpoint in place.
+    """
+
+    def __init__(self, batch_id: int, clock_usec: float) -> None:
+        self.batch_id = batch_id
+        self.clock_usec = clock_usec
+        super().__init__(
+            f"injected crash after batch {batch_id} at {clock_usec:.2f}us"
+        )
+
+
+class RetryExhausted(UvmError):
+    """The driver's retry budget ran out in fail-fast mode.
+
+    Carries the failing site and attempt count so chaos reports can
+    attribute the abort.
+    """
+
+    def __init__(self, site: str, attempts: int, last_error: Exception) -> None:
+        self.site = site
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"{site}: {attempts} attempts exhausted ({last_error})"
+        )
+
+
 class InvariantViolation(SimulationError):
     """A UVMSan runtime invariant failed (see :mod:`repro.check.sanitizer`).
 

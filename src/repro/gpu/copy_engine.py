@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..errors import TransferFault, TransferStuck
 from ..units import PAGE_SIZE
 
 
@@ -25,9 +26,16 @@ class CopyEngine:
     command push-buffer and pipeline: the full setup latency is paid once
     per burst, plus a small per-operation overhead per contiguous run, plus
     wire time for the bytes.
+
+    Under chaos testing (:mod:`repro.inject`) a burst may abort mid-flight
+    (:class:`repro.errors.TransferFault`), hang past the driver's phase
+    deadline (:class:`repro.errors.TransferStuck`), or complete browned-out
+    (wire time multiplied); counters are only advanced for bytes that
+    actually moved, so byte conservation holds under every profile.
     """
 
     __slots__ = (
+        "engine_id",
         "bandwidth_bytes_per_usec",
         "transfer_latency_usec",
         "per_run_overhead_usec",
@@ -35,12 +43,16 @@ class CopyEngine:
         "bytes_d2h",
         "transfers_h2d",
         "transfers_d2h",
+        "failed_bursts",
+        "stuck_events",
+        "brownout_bursts",
         "_obs",
         "_clock",
         "_pid",
         "_m_bytes",
         "_m_bursts",
         "_san",
+        "_inj",
         "ts_hint",
     )
 
@@ -49,7 +61,9 @@ class CopyEngine:
         bandwidth_bytes_per_usec: float,
         transfer_latency_usec: float,
         per_run_overhead_usec: float = 0.4,
+        engine_id: int = 0,
     ) -> None:
+        self.engine_id = engine_id
         self.bandwidth_bytes_per_usec = bandwidth_bytes_per_usec
         self.transfer_latency_usec = transfer_latency_usec
         self.per_run_overhead_usec = per_run_overhead_usec
@@ -57,6 +71,10 @@ class CopyEngine:
         self.bytes_d2h = 0
         self.transfers_h2d = 0
         self.transfers_d2h = 0
+        #: Injected-failure statistics (chaos testing only).
+        self.failed_bursts = 0
+        self.stuck_events = 0
+        self.brownout_bursts = 0
         self._obs = None
         self._clock = None
         self._pid = 0
@@ -64,6 +82,8 @@ class CopyEngine:
         self._m_bursts = None
         #: Attached UVMSan checker, or None (the common, zero-cost case).
         self._san = None
+        #: Attached fault injector, or None (the common, zero-cost case).
+        self._inj = None
         #: Timestamp to place the next burst at on the trace timeline; the
         #: driver sets it before copies made while the clock is deferred
         #: (per-VABlock costs apply to the clock only after the block loop).
@@ -90,6 +110,27 @@ class CopyEngine:
     def attach_sanitizer(self, sanitizer) -> None:
         """Check byte conservation + cost sanity on every burst."""
         self._san = sanitizer
+
+    def attach_injector(self, injector) -> None:
+        """Enable the ``ce.*`` injection sites on this engine."""
+        self._inj = injector
+
+    def _maybe_inject(self, cost: float) -> float:
+        """Roll the ``ce.*`` sites for one burst; returns the (possibly
+        browned-out) cost, or raises before any byte counter moves."""
+        inj = self._inj
+        if inj is None or cost <= 0.0:
+            return cost
+        if inj.fire("ce.stuck"):
+            self.stuck_events += 1
+            raise TransferStuck(self.engine_id)
+        if inj.fire("ce.transfer_fault"):
+            self.failed_bursts += 1
+            raise TransferFault(self.engine_id, cost * inj.waste_frac("ce.transfer_fault"))
+        if inj.fire("ce.brownout"):
+            self.brownout_bursts += 1
+            return cost * inj.factor("ce.brownout")
+        return cost
 
     def _observe_burst(self, direction: str, nbytes: int, num_runs: int, cost: float) -> None:
         obs = self._obs
@@ -134,7 +175,7 @@ class CopyEngine:
         coalesces adjacent pages into single copy-engine operations and
         pipelines the runs of one burst.
         """
-        cost = self._burst_cost(run_lengths)
+        cost = self._maybe_inject(self._burst_cost(run_lengths))
         nbytes = 0
         for npages in run_lengths:
             nbytes += npages * PAGE_SIZE
@@ -147,7 +188,7 @@ class CopyEngine:
 
     def device_to_host(self, run_lengths: Sequence[int]) -> float:
         """Copy contiguous page runs device→host (eviction path)."""
-        cost = self._burst_cost(run_lengths)
+        cost = self._maybe_inject(self._burst_cost(run_lengths))
         nbytes = 0
         for npages in run_lengths:
             nbytes += npages * PAGE_SIZE

@@ -83,8 +83,21 @@ class GpuDevice:
         self.fault_buffer = FaultBuffer(config.fault_buffer_entries)
         self.gmmu = Gmmu(self.fault_buffer, config.sms_per_utlb)
         self.page_table = GpuPageTable()
-        self.copy_engine = CopyEngine(copy_bandwidth_bytes_per_usec, copy_latency_usec)
+        #: The device ships a pair of copy engines; the driver uses the
+        #: primary (``copy_engine``) and fails over to the sibling when a
+        #: burst hangs past the phase deadline (chaos testing's ``ce.stuck``).
+        self.copy_engines = [
+            CopyEngine(
+                copy_bandwidth_bytes_per_usec, copy_latency_usec, engine_id=i
+            )
+            for i in range(2)
+        ]
+        self.copy_engine = self.copy_engines[0]
         self.chunks = ChunkAllocator(config.memory_bytes // VABLOCK_SIZE)
+
+    def sibling_of(self, ce: CopyEngine) -> CopyEngine:
+        """The other copy engine of the failover pair."""
+        return self.copy_engines[1 - ce.engine_id]
 
     def utlb_for_sm(self, sm_id: int) -> UTlb:
         return self.utlbs[self.config.utlb_of_sm(sm_id)]

@@ -20,9 +20,19 @@ class FaultBuffer:
     """Bounded FIFO of :class:`Fault` entries with drop-on-overflow.
 
     The lifetime counters satisfy the conservation identity UVMSan checks
-    on every operation: ``total_pushed == total_fetched +
-    total_flush_dropped + len(buffer)`` (overflow drops never enter the
-    buffer, so they appear in no term).
+    on every operation::
+
+        total_pushed + total_injected ==
+            total_fetched + total_flush_dropped
+            + total_injector_dropped + len(buffer)
+
+    Hardware overflow drops never enter the buffer, so they appear in no
+    term.  The two injection terms exist only under chaos testing
+    (:mod:`repro.inject`): ``total_injector_dropped`` counts arrivals the
+    injector discarded as if the buffer were full (they *are* counted in
+    ``total_pushed`` — the GMMU wrote them, the injected storm ate them),
+    and ``total_injected`` counts spurious duplicate entries the injector
+    appended that no GMMU write produced.
     """
 
     __slots__ = (
@@ -32,7 +42,10 @@ class FaultBuffer:
         "total_fetched",
         "total_overflow_dropped",
         "total_flush_dropped",
+        "total_injected",
+        "total_injector_dropped",
         "_san",
+        "_inj",
     )
 
     def __init__(self, capacity: int) -> None:
@@ -42,8 +55,12 @@ class FaultBuffer:
         self.total_fetched = 0
         self.total_overflow_dropped = 0
         self.total_flush_dropped = 0
+        self.total_injected = 0
+        self.total_injector_dropped = 0
         #: Attached UVMSan checker, or None (the common, zero-cost case).
         self._san = None
+        #: Attached fault injector, or None (the common, zero-cost case).
+        self._inj = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -56,13 +73,42 @@ class FaultBuffer:
         """Check occupancy/conservation invariants after every operation."""
         self._san = sanitizer
 
+    def attach_injector(self, injector) -> None:
+        """Enable the ``fault_buffer.*`` injection sites on this buffer."""
+        self._inj = injector
+
     def push(self, fault: Fault) -> bool:
         """Append a fault; False (dropped) when the buffer is full."""
         if self.full:
             self.total_overflow_dropped += 1
             return False
+        inj = self._inj
+        if inj is not None and inj.fire("fault_buffer.overflow"):
+            # Forced overflow storm: the GMMU wrote the fault but the
+            # (injected) storm dropped it before the driver could see it.
+            # The caller observes exactly a hardware drop: the access
+            # re-demands after the next replay.
+            self.total_pushed += 1
+            self.total_injector_dropped += 1
+            if self._san is not None:
+                self._san.on_fault_buffer(self)
+            return False
         self._entries.append(fault)
         self.total_pushed += 1
+        if inj is not None and not self.full and inj.fire("fault_buffer.duplicate"):
+            # Spurious duplicate entry (§4.2's wakeup duplicates, forced):
+            # same page/warp, written twice.
+            self._entries.append(
+                Fault(
+                    fault.page,
+                    fault.access,
+                    fault.sm_id,
+                    fault.utlb_id,
+                    fault.warp_uid,
+                    fault.timestamp,
+                )
+            )
+            self.total_injected += 1
         if self._san is not None:
             self._san.on_fault_buffer(self)
         return True

@@ -38,6 +38,7 @@ class UTlb:
         "total_merged",
         "total_spurious",
         "total_replays",
+        "total_early_cancelled",
         "_merge_counter",
         "_san",
     )
@@ -53,6 +54,7 @@ class UTlb:
         self.total_merged = 0
         self.total_spurious = 0
         self.total_replays = 0
+        self.total_early_cancelled = 0
         self._merge_counter = 0
         #: Attached UVMSan checker, or None (the common, zero-cost case).
         self._san = None
@@ -95,6 +97,21 @@ class UTlb:
             self.pending_pages.discard(page)
             self.outstanding -= 1
             self.total_issued -= 1
+            if self._san is not None:
+                self._san.on_utlb(self)
+
+    def early_cancel(self, page: int) -> None:
+        """Injected early cancellation (:mod:`repro.inject`): an outstanding
+        entry is dropped *before* replay, as if the µTLB lost it.
+
+        Unlike :meth:`cancel` this keeps ``total_issued`` — the entry's
+        fault-buffer write already happened and stays serviceable; the µTLB
+        merely forgets it, so later same-page misses re-request a fresh
+        entry (extra pressure on the 56-entry cap)."""
+        if page in self.pending_pages:
+            self.pending_pages.discard(page)
+            self.outstanding -= 1
+            self.total_early_cancelled += 1
             if self._san is not None:
                 self._san.on_utlb(self)
 

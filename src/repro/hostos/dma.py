@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from ..errors import DmaMapFault
 from .cost_model import CostModel
 from .radix_tree import RadixTree
 
@@ -41,6 +42,14 @@ class DmaMapper:
         self.reverse = RadixTree()
         self.total_mappings = 0
         self._slab_refills_done = 0
+        #: Attached fault injector, or None (the common, zero-cost case).
+        self._inj = None
+        #: Injected transient mapping failures (chaos testing only).
+        self.failed_maps = 0
+
+    def attach_injector(self, injector) -> None:
+        """Enable the ``dma.map_fail`` injection site on this mapper."""
+        self._inj = injector
 
     def dma_address_of(self, page: int) -> int:
         """Deterministic DMA address assigned to ``page``."""
@@ -50,7 +59,17 @@ class DmaMapper:
         return page in self.reverse
 
     def map_pages(self, pages: Iterable[int]) -> DmaMapResult:
-        """Create mappings for every not-yet-mapped page in ``pages``."""
+        """Create mappings for every not-yet-mapped page in ``pages``.
+
+        Under chaos testing the whole burst may fail transiently
+        (:class:`repro.errors.DmaMapFault`, the IOMMU/IOVA-exhaustion
+        model).  The failure fires *before* the radix tree is touched, so a
+        retried call sees untouched state.
+        """
+        pages = list(pages)
+        if self._inj is not None and self._inj.fire("dma.map_fail"):
+            self.failed_maps += 1
+            raise DmaMapFault(len(pages))
         nodes_before = self.reverse.nodes_allocated
         new_mappings = 0
         for page in pages:

@@ -1,0 +1,47 @@
+"""Deterministic fault injection (chaos) for the simulated UVM stack.
+
+The paper's fault path is *failure-shaped by design* — faults are dropped on
+µTLB caps and fault-buffer overflow and must survive via replay (§4–5) — but
+the simulator normally exercises only the happy path of those rules.  This
+package perturbs the stack on purpose: forced buffer overflow storms,
+duplicate fault entries, µTLB stalls and early cancellations, transient
+copy-engine failures, bandwidth brownouts, stuck-engine timeouts, DMA-map
+failures, host-population ENOMEM, and whole-process crashes at batch
+boundaries.
+
+Everything is deterministic: each injection site draws from its own
+:func:`repro.sim.rng.spawn_rng` stream keyed off ``SystemConfig.seed`` and
+the site name, so the same (seed, profile) pair always yields the same
+injected-event schedule, and adding a site never perturbs another site's
+draws.  With :class:`repro.config.InjectConfig` disabled the engine installs
+:data:`NULL_INJECTOR` and no component carries an injector reference — the
+simulated timeline is byte-identical to a build without this package.
+"""
+
+from .injector import (
+    INJECTION_SITES,
+    NULL_INJECTOR,
+    FaultInjector,
+    NullInjector,
+    SiteSpec,
+    make_injector,
+)
+from .profiles import (
+    BUILTIN_PROFILES,
+    load_profile_file,
+    resolve_profile,
+    validate_inject_config,
+)
+
+__all__ = [
+    "INJECTION_SITES",
+    "FaultInjector",
+    "NullInjector",
+    "NULL_INJECTOR",
+    "SiteSpec",
+    "make_injector",
+    "BUILTIN_PROFILES",
+    "load_profile_file",
+    "resolve_profile",
+    "validate_inject_config",
+]

@@ -1,0 +1,145 @@
+"""Chaos profiles: named site tables and JSON profile loading.
+
+A profile is a mapping from injection-site name to its parameter dict.
+Built-in profiles cover each failure family; ``examples/chaos/*.json``
+bundles the same shapes as files (the format a deployment would check in
+next to its workloads):
+
+.. code-block:: json
+
+    {
+      "name": "flaky-interconnect",
+      "description": "transient CE aborts + brownouts + a rare stuck engine",
+      "sites": {
+        "ce.transfer_fault": {"rate": 0.05, "waste_frac": 0.5},
+        "ce.brownout": {"rate": 0.15, "factor": 3.0},
+        "ce.stuck": {"rate": 0.01}
+      }
+    }
+
+Resolution order: builtin-or-file profile first, then
+``InjectConfig.sites`` merged over it (inline overrides win per site).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from ..errors import ConfigError
+from .injector import _LIVELOCK_SITES, INJECTION_SITES, SiteSpec
+
+#: Named profiles bundled with the package.  Rates are calibrated so every
+#: tier-1 workload completes with bounded retries: transient-failure rates
+#: stay far below ``retry_max_attempts`` consecutive-failure territory, and
+#: livelock-capable sites (overflow, stall) stay well under 1.0.
+BUILTIN_PROFILES: Dict[str, Dict[str, dict]] = {
+    "overflow-storm": {
+        "fault_buffer.overflow": {"rate": 0.35},
+        "fault_buffer.duplicate": {"rate": 0.20},
+    },
+    "utlb-churn": {
+        "utlb.stall": {"rate": 0.25},
+        "utlb.early_cancel": {"rate": 0.15},
+    },
+    "flaky-interconnect": {
+        "ce.transfer_fault": {"rate": 0.05, "waste_frac": 0.5},
+        "ce.brownout": {"rate": 0.15, "factor": 3.0},
+        "ce.stuck": {"rate": 0.01},
+    },
+    "dma-flaky": {
+        "dma.map_fail": {"rate": 0.08},
+    },
+    "memory-pressure": {
+        "host.populate_enomem": {"rate": 0.10},
+    },
+    "crashy": {
+        "engine.crash": {"at_batch": 12},
+    },
+    "kitchen-sink": {
+        "fault_buffer.overflow": {"rate": 0.15},
+        "fault_buffer.duplicate": {"rate": 0.10},
+        "utlb.stall": {"rate": 0.10},
+        "utlb.early_cancel": {"rate": 0.05},
+        "ce.transfer_fault": {"rate": 0.03},
+        "ce.brownout": {"rate": 0.10, "factor": 2.0},
+        "ce.stuck": {"rate": 0.005},
+        "dma.map_fail": {"rate": 0.03},
+        "host.populate_enomem": {"rate": 0.05},
+        "engine.crash": {"at_batch": 16},
+    },
+}
+
+_SPEC_KEYS = frozenset(("rate", "factor", "waste_frac", "at_batch"))
+
+
+def load_profile_file(path) -> Dict[str, dict]:
+    """Load a JSON chaos-profile file and return its site table."""
+    p = Path(path)
+    try:
+        doc = json.loads(p.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read chaos profile {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"chaos profile {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "sites" not in doc:
+        raise ConfigError(f"chaos profile {path!r} must be an object with 'sites'")
+    sites = doc["sites"]
+    if not isinstance(sites, dict):
+        raise ConfigError(f"chaos profile {path!r}: 'sites' must be an object")
+    return sites
+
+
+def _build_spec(site: str, params: dict) -> SiteSpec:
+    if not isinstance(params, dict):
+        raise ConfigError(f"site {site!r}: parameters must be a mapping")
+    unknown = sorted(set(params) - _SPEC_KEYS)
+    if unknown:
+        raise ConfigError(f"site {site!r}: unknown parameters {unknown}")
+    spec = SiteSpec(**params)
+    if not 0.0 <= spec.rate <= 1.0:
+        raise ConfigError(f"site {site!r}: rate must be in [0, 1]")
+    if site in _LIVELOCK_SITES and spec.rate >= 1.0:
+        raise ConfigError(
+            f"site {site!r}: rate 1.0 would livelock the engine (replay "
+            "could never drain); use a rate below 1.0"
+        )
+    if spec.factor < 1.0:
+        raise ConfigError(f"site {site!r}: factor must be >= 1")
+    if not 0.0 <= spec.waste_frac <= 1.0:
+        raise ConfigError(f"site {site!r}: waste_frac must be in [0, 1]")
+    if spec.at_batch is not None and spec.at_batch < 1:
+        raise ConfigError(f"site {site!r}: at_batch must be >= 1")
+    if site == "engine.crash" and spec.at_batch is None:
+        raise ConfigError("site 'engine.crash' requires at_batch")
+    return spec
+
+
+def resolve_profile(config) -> Dict[str, SiteSpec]:
+    """Resolve ``InjectConfig`` into a validated site → :class:`SiteSpec` map."""
+    merged: Dict[str, dict] = {}
+    if config.profile:
+        if config.profile in BUILTIN_PROFILES:
+            base = BUILTIN_PROFILES[config.profile]
+        else:
+            base = load_profile_file(config.profile)
+        for site in sorted(base):
+            merged[site] = dict(base[site])
+    for site in sorted(config.sites):
+        merged[site] = dict(config.sites[site])
+    known = frozenset(INJECTION_SITES)
+    out: Dict[str, SiteSpec] = {}
+    for site in sorted(merged):
+        if site not in known:
+            raise ConfigError(
+                f"unknown injection site {site!r}; known sites: "
+                f"{', '.join(INJECTION_SITES)}"
+            )
+        out[site] = _build_spec(site, merged[site])
+    return out
+
+
+def validate_inject_config(config) -> None:
+    """Raise :class:`ConfigError` on any bad profile/site parameter."""
+    resolve_profile(config)

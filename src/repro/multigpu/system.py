@@ -216,9 +216,7 @@ class MultiGpuSystem:
         )
         if not resident:
             return
-        self.clock.advance(
-            engine.device.copy_engine.device_to_host(contiguous_runs(resident))
-        )
+        self.clock.advance(engine._d2h_with_retry(contiguous_runs(resident)))
         engine.device.page_table.unmap_pages(resident)
         for page in resident:
             block = engine.driver.vablocks.get_for_page(page)
@@ -275,7 +273,7 @@ class MultiGpuSystem:
         else:
             # Bounce: D2H on the source link, then the destination's bulk
             # page-in (its own H2D copy).
-            usec = src.device.copy_engine.device_to_host(runs)
+            usec = src._d2h_with_retry(runs)
             self.clock.advance(usec)
             t0 = self.clock.now
             dst.driver.bulk_migrate(resident)

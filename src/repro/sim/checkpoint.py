@@ -1,0 +1,190 @@
+"""Engine checkpoint/restore for crash-recovery chaos testing.
+
+:class:`EngineCheckpoint` snapshots the *pure simulation state* of one
+:class:`~repro.sim.engine.Engine` — clock, RNG streams, fault buffer, µTLBs,
+SM/warp scheduling state, page table, chunk allocator, copy-engine counters,
+host VM/DMA state, the driver's VABlock manager and batch log, and the
+in-flight launch progress — in a single ``copy.deepcopy`` pass, so shared
+references (the same :class:`WarpState` appearing in ``sm.active`` and the
+engine's waiter lists) survive the round trip with identity intact.
+
+Attachments are deliberately excluded: observability handles, the sanitizer,
+the injector object, and config/cost-model references stay with the live
+engine, so a restore rewinds the *simulated* world without disturbing the
+instrumentation around it.  The injector contributes its own
+:meth:`~repro.inject.FaultInjector.snapshot` (RNG stream states + counters),
+and the sanitizer is :meth:`~repro.check.sanitizer.Sanitizer.resync`'d after
+restore so the monotonicity watermarks accept the rewound clock.
+
+Restores are repeatable: the stored state is deepcopied again on every
+:meth:`restore_into`, so one checkpoint can seed many resumed timelines
+(the checkpoint/restore determinism property tests rely on this).
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from typing import Dict, List
+
+#: Attribute names that are wiring, not simulation state, on any component.
+_SKIP_COMMON = frozenset(
+    {"_san", "_inj", "_obs", "_clock", "_pid", "config", "cost_model", "sink"}
+)
+#: Per-kind extra exclusions (references into other captured components).
+_SKIP_EXTRA: Dict[str, frozenset] = {
+    "gmmu": frozenset({"buffer"}),
+}
+
+
+def _attr_names(obj, extra_skip: frozenset = frozenset()) -> List[str]:
+    """Capturable attribute names of ``obj``: slots (MRO order) + instance
+    dict, minus wiring attributes and cached metric handles (``_m_*``)."""
+    names: List[str] = []
+    seen = set()
+    for klass in type(obj).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    for name in getattr(obj, "__dict__", {}):
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return [
+        name
+        for name in names
+        if name not in _SKIP_COMMON
+        and name not in extra_skip
+        and not name.startswith("_m_")
+        and hasattr(obj, name)
+    ]
+
+
+def _capture_obj(obj, extra_skip: frozenset = frozenset()) -> Dict[str, object]:
+    return {name: getattr(obj, name) for name in _attr_names(obj, extra_skip)}
+
+
+def _restore_obj(obj, state: Dict[str, object]) -> None:
+    for name in state:
+        setattr(obj, name, state[name])
+
+
+#: Driver attributes that are simulation state (the rest is wiring).
+_DRIVER_ATTRS = (
+    "_batch_id",
+    "_current_batch_size",
+    "async_unmap_backlog_usec",
+    "_active_ce_id",
+    "_block_cursor",
+    "_block_elapsed",
+    "_phase_marks",
+)
+
+#: Engine attributes captured verbatim.
+_ENGINE_ATTRS = (
+    "_waiters",
+    "_warps",
+    "_prefetch_queue",
+    "_uid",
+    "_last_retire_at",
+    "_window_start",
+    "_progress",
+)
+
+
+class EngineCheckpoint:
+    """One restorable snapshot of an engine's simulation state."""
+
+    def __init__(self, state: dict) -> None:
+        self._state = state
+
+    # ------------------------------------------------------------- capture
+
+    @classmethod
+    def capture(cls, engine) -> "EngineCheckpoint":
+        """Snapshot ``engine`` without perturbing it (no RNG draws, no
+        clock advances) — safe to call at any batch boundary."""
+        driver = engine.driver
+        device = engine.device
+        state = {
+            "clock_now": engine.clock.now,
+            "engine_rng": engine.rng.bit_generator.state,
+            "driver_rng": (
+                driver.rng.bit_generator.state if driver.rng is not None else None
+            ),
+            "engine": {name: getattr(engine, name) for name in _ENGINE_ATTRS},
+            "fault_buffer": _capture_obj(device.fault_buffer),
+            "gmmu": _capture_obj(device.gmmu, _SKIP_EXTRA["gmmu"]),
+            "utlbs": [_capture_obj(u) for u in device.utlbs],
+            "sms": [_capture_obj(sm) for sm in device.sms],
+            "page_table": _capture_obj(device.page_table),
+            "chunks": _capture_obj(device.chunks),
+            "copy_engines": [_capture_obj(ce) for ce in device.copy_engines],
+            "host_vm": _capture_obj(engine.host_vm),
+            "dma": _capture_obj(engine.dma),
+            "trace": _capture_obj(engine.trace),
+            "vablocks": driver.vablocks,
+            "log_records": list(driver.log.records),
+            "driver": {name: getattr(driver, name) for name in _DRIVER_ATTRS},
+            "eviction": _capture_obj(driver.eviction),
+            "prefetcher": _capture_obj(driver.prefetcher),
+            "injector": engine.injector.snapshot(),
+        }
+        return cls(copy.deepcopy(state))
+
+    # ------------------------------------------------------------- restore
+
+    def restore_into(self, engine) -> None:
+        """Rewind ``engine`` to this snapshot (repeatable: the stored state
+        is deepcopied again, so later restores see pristine copies)."""
+        state = copy.deepcopy(self._state)
+        driver = engine.driver
+        device = engine.device
+        engine.clock.restore(state["clock_now"])
+        engine.rng.bit_generator.state = state["engine_rng"]
+        if driver.rng is not None and state["driver_rng"] is not None:
+            driver.rng.bit_generator.state = state["driver_rng"]
+        for name in _ENGINE_ATTRS:
+            setattr(engine, name, state["engine"][name])
+        _restore_obj(device.fault_buffer, state["fault_buffer"])
+        _restore_obj(device.gmmu, state["gmmu"])
+        for utlb, u_state in zip(device.utlbs, state["utlbs"]):
+            _restore_obj(utlb, u_state)
+        for sm, sm_state in zip(device.sms, state["sms"]):
+            _restore_obj(sm, sm_state)
+        _restore_obj(device.page_table, state["page_table"])
+        _restore_obj(device.chunks, state["chunks"])
+        for ce, ce_state in zip(device.copy_engines, state["copy_engines"]):
+            _restore_obj(ce, ce_state)
+        _restore_obj(engine.host_vm, state["host_vm"])
+        _restore_obj(engine.dma, state["dma"])
+        _restore_obj(engine.trace, state["trace"])
+        driver.vablocks = state["vablocks"]
+        driver.log.records[:] = state["log_records"]
+        for name in _DRIVER_ATTRS:
+            setattr(driver, name, state["driver"][name])
+        _restore_obj(driver.eviction, state["eviction"])
+        _restore_obj(driver.prefetcher, state["prefetcher"])
+        if state["injector"] is not None:
+            engine.injector.restore_state(state["injector"])
+        engine.sanitizer.resync(engine)
+
+    # -------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        """Pickle the snapshot (pure data: plain containers, numpy arrays,
+        warp/fault/record dataclasses)."""
+        return pickle.dumps(self._state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "EngineCheckpoint":
+        return cls(pickle.loads(blob))
+
+    def summary(self) -> dict:
+        """Identifying facts about the snapshot (same dict idiom as the
+        injector's and sanitizer's ``summary()``)."""
+        return {
+            "clock_usec": self._state["clock_now"],
+            "batches": len(self._state["log_records"]),
+        }

@@ -46,6 +46,15 @@ class SimClock:
             self._now = deadline
         return self._now
 
+    def restore(self, now: float) -> None:
+        """Set the clock to an absolute time — checkpoint restore only.
+
+        The only sanctioned rewind: :class:`repro.sim.checkpoint` rolls the
+        whole engine (and the sanitizer's monotonicity watermark) back
+        together, so causality within the restored timeline is preserved.
+        """
+        self._now = float(now)
+
     def section(self) -> "ClockSection":
         """Start a timed section; ``section.elapsed`` after more advances."""
         return ClockSection(self)

@@ -33,8 +33,16 @@ from ..check.sanitizer import make_sanitizer
 from ..config import SystemConfig
 from ..core.batch_record import BatchRecord
 from ..core.driver import ServiceOutcome, UvmDriver
-from ..errors import DeadlockError
+from ..errors import (
+    DeadlockError,
+    InjectedCrash,
+    RetryExhausted,
+    SimulationError,
+    TransferFault,
+    TransferStuck,
+)
 from ..gpu.copy_engine import contiguous_runs
+from ..inject import make_injector
 from ..gpu.device import GpuDevice
 from ..gpu.fault import AccessType
 from ..gpu.warp import KernelLaunch, WarpState
@@ -45,6 +53,7 @@ from ..hostos.host_vm import HostVm
 from ..obs import Observability
 from ..obs.chrome_trace import PID_SM
 from ..units import vablock_of_page
+from .checkpoint import EngineCheckpoint
 from .clock import SimClock
 from .rng import spawn_rng
 from .trace import EventTrace
@@ -72,6 +81,27 @@ class LaunchResult:
     @property
     def num_batches(self) -> int:
         return len(self.records)
+
+
+@dataclass
+class LaunchProgress:
+    """Mutable state of an in-flight kernel launch.
+
+    Lives on the engine (not in :meth:`Engine._launch` locals) so a
+    checkpoint captures it and a restored engine can :meth:`Engine.resume`
+    the launch mid-flight.
+    """
+
+    name: str
+    num_warps: int
+    #: Clock time the launch began (kernel wall time baseline).
+    start_time: float
+    #: Index into the driver's batch log where this launch's records start.
+    first_record: int
+    compute_total: float = 0.0
+    driver_slept: bool = True
+    guard_rounds: int = 0
+    done: bool = False
 
 
 class Engine:
@@ -106,7 +136,8 @@ class Engine:
         self.dma = dma if dma is not None else DmaMapper(self.cost)
         self.rng = spawn_rng(config.seed, "engine")
         if self.obs.any_enabled:
-            self.device.copy_engine.attach_obs(self.obs, self.clock)
+            for ce in self.device.copy_engines:
+                ce.attach_obs(self.obs, self.clock)
         if self.obs.sink is not None and self.trace.sink is None:
             self.trace.sink = self.obs.sink
         #: Cached flag so the per-warp hot path never touches the builder.
@@ -123,9 +154,20 @@ class Engine:
         self.sanitizer = make_sanitizer(config.check, self.clock, self.obs)
         if self.sanitizer.enabled:
             self.device.fault_buffer.attach_sanitizer(self.sanitizer)
-            self.device.copy_engine.attach_sanitizer(self.sanitizer)
+            for ce in self.device.copy_engines:
+                ce.attach_sanitizer(self.sanitizer)
             for utlb in self.device.utlbs:
                 utlb.attach_sanitizer(self.sanitizer)
+        #: Fault injector (null object when chaos testing is off).  Real
+        #: injectors are attached to each component so the disabled hot
+        #: paths stay branch-free (``_inj is None`` guards, like UVMSan).
+        self.injector = make_injector(config.inject, config.seed, self.clock, self.obs)
+        self._inject_on = self.injector.enabled
+        if self._inject_on:
+            self.device.fault_buffer.attach_injector(self.injector)
+            for ce in self.device.copy_engines:
+                ce.attach_injector(self.injector)
+            self.dma.attach_injector(self.injector)
         metrics = self.obs.metrics
         self._m_kernels = metrics.counter("uvm_kernels_total", "Kernel launches run")
         self._m_kernel_usec = metrics.histogram(
@@ -145,6 +187,7 @@ class Engine:
             trace=self.trace,
             obs=self.obs,
             sanitizer=self.sanitizer,
+            injector=self.injector,
         )
         #: page → warps blocked on it.
         self._waiters: Dict[int, List[WarpState]] = {}
@@ -155,6 +198,13 @@ class Engine:
         self._window_start = 0.0
         #: Hit-aware eviction policies need warps to report in-memory hits.
         self._hit_aware_eviction = config.driver.eviction_policy == "access-counter"
+        #: In-flight launch state (checkpointable); None outside a launch.
+        self._progress: Optional[LaunchProgress] = None
+        #: Latest auto-checkpoint (crash-recovery restore target).
+        self._auto_checkpoint = None
+        #: Test/tooling hooks called as ``hook(engine, batch_id)`` after
+        #: every serviced batch (checkpoint property tests attach here).
+        self._batch_hooks: List[Callable[["Engine", int], None]] = []
 
 
     # -------------------------------------------------------------- helpers
@@ -191,9 +241,7 @@ class Engine:
             ]
             if resident:
                 resident.sort()
-                self.clock.advance(
-                    self.device.copy_engine.device_to_host(contiguous_runs(resident))
-                )
+                self.clock.advance(self._d2h_with_retry(contiguous_runs(resident)))
                 self.device.page_table.unmap_pages(resident)
                 for page in resident:
                     block = self.driver.vablocks.get_for_page(page)
@@ -201,6 +249,33 @@ class Engine:
                 self.host_vm.mark_valid(resident)
             self.host_vm.cpu_touch(pages, thread_of)
             self.clock.advance(self.host_cpu.touch_cost_usec(len(pages)))
+
+    def _d2h_with_retry(self, run_lengths) -> float:
+        """CPU-side fault migration burst with the driver's retry policy.
+
+        The data must come back (the CPU touch reads it), so exhaustion
+        raises :class:`repro.errors.RetryExhausted` in both failure modes;
+        stuck bursts fail over to the sibling engine like the driver does.
+        Retry overhead is charged straight to the clock (there is no batch
+        record on this path).
+        """
+        ce = self.device.copy_engines[self.driver._active_ce_id]
+        retry = self.driver.retry
+        attempt = 1
+        while True:
+            try:
+                return ce.device_to_host(run_lengths)
+            except TransferFault as exc:
+                self.clock.advance(exc.wasted_usec)
+                if attempt >= retry.max_attempts:
+                    raise RetryExhausted("ce.transfer_fault", attempt, exc)
+                self.clock.advance(retry.backoff_usec(attempt))
+            except TransferStuck as exc:
+                self.clock.advance(retry.deadline_usec)
+                if attempt >= retry.max_attempts:
+                    raise RetryExhausted("ce.stuck", attempt, exc)
+                ce = self.device.sibling_of(ce)
+            attempt += 1
 
     # -------------------------------------------------------------- launch
 
@@ -240,20 +315,43 @@ class Engine:
         for i, program in enumerate(kernel.programs):
             device.sms[i % len(device.sms)].enqueue(program)
 
-        start_time = self.clock.now
-        first_record = len(self.driver.log)
-        compute_total = 0.0
-        driver_slept = True
-        guard_rounds = 0
-        max_rounds = 1_000_000
+        self._progress = LaunchProgress(
+            name=kernel.name,
+            num_warps=len(kernel.programs),
+            start_time=self.clock.now,
+            first_record=len(self.driver.log),
+        )
         self._last_retire_at = self.clock.now
+        if self._inject_on:
+            # Baseline recovery point: an injected crash before the first
+            # periodic checkpoint restores to the launch start.
+            self._auto_checkpoint = EngineCheckpoint.capture(self)
+        return self._run_loop()
 
+    def resume(self) -> LaunchResult:
+        """Continue an in-flight launch after a checkpoint restore.
+
+        The restored :class:`LaunchProgress` carries everything the loop
+        needs; the returned result covers the *whole* launch, exactly as if
+        it had never been interrupted.
+        """
+        if self._progress is None or self._progress.done:
+            raise SimulationError("no in-flight launch to resume")
+        with self.obs.span("engine.resume", "engine", kernel=self._progress.name):
+            return self._run_loop()
+
+    def _run_loop(self) -> LaunchResult:
+        device = self.device
+        max_rounds = 1_000_000
         while True:
-            guard_rounds += 1
-            if guard_rounds > max_rounds:  # pragma: no cover - safety net
+            # Re-read each iteration: a crash recovery inside _after_batch
+            # replaces self._progress with the checkpointed instance.
+            p = self._progress
+            p.guard_rounds += 1
+            if p.guard_rounds > max_rounds:  # pragma: no cover - safety net
                 raise DeadlockError("engine exceeded round limit")
-            progressed, compute = self._gpu_round(burst=driver_slept)
-            compute_total += compute
+            progressed, compute = self._gpu_round(burst=p.driver_slept)
+            p.compute_total += compute
             if len(device.fault_buffer) == 0:
                 if device.idle:
                     break
@@ -267,26 +365,57 @@ class Engine:
                         )
                     self.clock.advance_to(next_ready)
                 # Worker found no new faults and went to sleep (§2.2).
-                driver_slept = True
+                p.driver_slept = True
                 continue
-            outcome = self.driver.service_next_batch(slept=driver_slept)
-            driver_slept = False
+            outcome = self.driver.service_next_batch(slept=p.driver_slept)
+            p.driver_slept = False
             self._apply_outcome(outcome)
             self.sanitizer.on_round(self)
+            self._after_batch(outcome.record.batch_id)
 
         # Wait out trailing compute of the last-retired warps.
+        p = self._progress
+        p.done = True
         self.clock.advance_to(self._last_retire_at)
         self.sanitizer.check_system(self)
-        self._m_rounds.inc(guard_rounds)
-        records = self.driver.log.records[first_record:]
+        self._m_rounds.inc(p.guard_rounds)
+        records = self.driver.log.records[p.first_record:]
         return LaunchResult(
-            name=kernel.name,
-            kernel_time_usec=self.clock.now - start_time,
+            name=p.name,
+            kernel_time_usec=self.clock.now - p.start_time,
             records=records,
-            compute_time_usec=compute_total,
-            num_warps=len(kernel.programs),
+            compute_time_usec=p.compute_total,
+            num_warps=p.num_warps,
             total_faults=sum(r.num_faults_raw for r in records),
         )
+
+    # ------------------------------------------------- checkpoint and crash
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Snapshot the full simulation state (see :mod:`.checkpoint`)."""
+        return EngineCheckpoint.capture(self)
+
+    def _after_batch(self, batch_id: int) -> None:
+        """Batch-boundary hooks: test callbacks, periodic auto-checkpoints,
+        and the one-shot injected crash + recovery."""
+        for hook in list(self._batch_hooks):
+            hook(self, batch_id)
+        if not self._inject_on:
+            return
+        every = self.config.inject.checkpoint_every
+        if every > 0 and batch_id % every == 0:
+            self._auto_checkpoint = EngineCheckpoint.capture(self)
+        if self.injector.crash_due(batch_id):
+            self.injector.record_crash()
+            if self.config.inject.crash_recovery and self._auto_checkpoint is not None:
+                # Rewind to the latest checkpoint and replay from there.
+                # Recovery charges no simulated time: the simulated world
+                # itself rolls back, and determinism of the replayed
+                # timeline is the property under test.
+                self._auto_checkpoint.restore_into(self)
+                self.injector.record_recovery()
+            else:
+                raise InjectedCrash(batch_id, self.clock.now)
 
     # ------------------------------------------------------------ GPU round
 
@@ -348,11 +477,16 @@ class Engine:
         # issue nothing this window — the desynchronization that keeps
         # application batches below the synthetic ceiling (Table 2).
         now = self.clock.now
+        inj = self.injector if self._inject_on else None
         issuers: List[Tuple] = []
         for sm in device.sms:
             utlb = device.utlbs[sm.utlb_id]
             warps = [w for w in sm.active if w.has_issuable and w.ready_at <= now]
             if warps and sm.budget > 0:
+                if inj is not None and inj.fire("utlb.stall"):
+                    # Injected µTLB issue-port stall: this SM issues no
+                    # translation faults for one replay window.
+                    continue
                 issuers.append((sm, utlb, warps, [0]))
         while issuers:
             next_issuers = []
@@ -394,10 +528,17 @@ class Engine:
                     )
                     if fault is None:
                         # HW buffer full: roll back the µTLB entry so the
-                        # re-demand does not merge against a phantom.
+                        # re-demand does not merge against a phantom.  The
+                        # requeue is progress — without it, an injected
+                        # overflow storm dropping a round's only fault while
+                        # the buffer is empty would trip the deadlock check
+                        # (real hardware drops imply a non-empty buffer, so
+                        # this path never decides liveness when injection is
+                        # off).
                         utlb.cancel(page)
                         warp.requeue(page, access)
                         sm.budget = 0
+                        progressed = True
                     else:
                         t += interval
                         progressed = True
@@ -411,6 +552,14 @@ class Engine:
                 ):
                     next_issuers.append((sm, utlb, warps, cursor))
             issuers = next_issuers
+
+        # Injected early cancellation: drop one outstanding µTLB entry per
+        # fired µTLB.  The buffered fault stays serviceable; a later miss on
+        # the page re-requests a fresh entry instead of merging.
+        if inj is not None and inj.active("utlb.early_cancel"):
+            for utlb in device.utlbs:
+                if utlb.pending_pages and inj.fire("utlb.early_cancel"):
+                    utlb.early_cancel(min(utlb.pending_pages))
 
         # Compute accounting: warps run their phases concurrently; their
         # busy intervals are tracked per warp via ready_at, so the round's

@@ -102,13 +102,21 @@ def check_fault_conservation(system: UvmSystem) -> List[Violation]:
     out: List[Violation] = []
     buf = system.engine.device.fault_buffer
     fetched = sum(r.num_faults_raw for r in system.records)
-    balance = buf.total_pushed - buf.total_flush_dropped - len(buf)
+    balance = (
+        buf.total_pushed
+        + buf.total_injected
+        - buf.total_flush_dropped
+        - buf.total_injector_dropped
+        - len(buf)
+    )
     if fetched != balance:
         out.append(
             Violation(
                 "conservation",
-                f"fetched {fetched} != pushed {buf.total_pushed} - flushed "
-                f"{buf.total_flush_dropped} - residual {len(buf)}",
+                f"fetched {fetched} != pushed {buf.total_pushed} + injected "
+                f"{buf.total_injected} - flushed {buf.total_flush_dropped} - "
+                f"injector-dropped {buf.total_injector_dropped} - residual "
+                f"{len(buf)}",
             )
         )
     return out

@@ -1,0 +1,224 @@
+"""Chaos integration: every bundled profile completes tier-1 workloads with
+zero UVMSan violations, degradation counters behave, and the ``chaos`` /
+``validate`` CLI exit-code + JSON contracts hold."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import UvmSystem
+from repro.cli import main
+from repro.config import default_config
+from repro.inject.profiles import BUILTIN_PROFILES
+from repro.units import MB
+from repro.validate import validate_system
+from repro.workloads import BfsWorkload, RegularStream, VecAddPageStride
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples" / "chaos"
+
+WORKLOADS = {
+    "vecadd": lambda: VecAddPageStride(tsize=8),
+    "stream": lambda: RegularStream(),
+    "bfs": lambda: BfsWorkload(),
+}
+
+
+def chaos_config(profile=None, sites=None, seed=0, gpu_mem_mb=16,
+                 checkpoint_every=8, **driver_kw):
+    cfg = default_config(**driver_kw)
+    cfg.seed = seed
+    cfg.gpu.memory_bytes = gpu_mem_mb * MB
+    cfg.gpu.num_sms = 8
+    cfg.check.enabled = True
+    cfg.check.mode = "report"
+    cfg.inject.enabled = True
+    cfg.inject.profile = profile
+    cfg.inject.sites = dict(sites or {})
+    cfg.inject.checkpoint_every = checkpoint_every
+    cfg.validate()
+    return cfg
+
+
+def run_chaos(workload="stream", **cfg_kw):
+    system = UvmSystem(chaos_config(**cfg_kw))
+    result = WORKLOADS[workload]().run(system)
+    return system, result
+
+
+class TestProfilesRunClean:
+    """Every bundled profile must leave all invariants intact: the chaos
+    layer perturbs the stack but never breaks its conservation laws."""
+
+    @pytest.mark.parametrize("profile", sorted(BUILTIN_PROFILES))
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_builtin_profile_runs_clean(self, profile, workload):
+        system, result = run_chaos(workload, profile=profile)
+        assert result.num_batches > 0
+        assert system.sanitizer.total_violations == 0
+        assert validate_system(system) == []
+
+    @pytest.mark.parametrize(
+        "path", sorted(EXAMPLES_DIR.glob("*.json")), ids=lambda p: p.stem
+    )
+    def test_example_profile_runs_clean(self, path):
+        system, result = run_chaos("stream", profile=str(path))
+        assert result.num_batches > 0
+        assert system.sanitizer.total_violations == 0
+        assert validate_system(system) == []
+
+    def test_kitchen_sink_actually_injects(self):
+        system, _ = run_chaos("stream", profile="kitchen-sink")
+        assert system.injector.summary()["fired_total"] > 0
+
+    def test_chaos_under_fail_fast_mode_still_bounded(self):
+        """fail-fast mode may raise RetryExhausted but must never corrupt
+        state: either the run completes clean or it fails loudly."""
+        from repro.errors import UvmError
+
+        try:
+            system, _ = run_chaos(
+                "stream", profile="flaky-interconnect", failure_mode="fail-fast"
+            )
+        except UvmError:
+            return
+        assert system.sanitizer.total_violations == 0
+
+
+class TestGracefulDegradation:
+    def test_transfer_retries_counted_and_timed(self):
+        system, result = run_chaos(
+            "stream", sites={"ce.transfer_fault": {"rate": 0.2}}
+        )
+        records = result.records
+        assert sum(r.retries_transfer for r in records) > 0
+        assert sum(r.time_retry_backoff for r in records) > 0
+        assert system.sanitizer.total_violations == 0
+
+    def test_stuck_engine_fails_over_to_sibling(self):
+        system, _ = run_chaos("stream", sites={"ce.stuck": {"rate": 0.1}})
+        records = system.records
+        assert sum(r.ce_failovers for r in records) > 0
+        # failover moved real traffic onto the sibling engine
+        assert system.engine.device.copy_engines[1].bytes_h2d > 0
+        assert system.sanitizer.total_violations == 0
+
+    def test_dma_failures_retry_or_defer(self):
+        system, _ = run_chaos("stream", sites={"dma.map_fail": {"rate": 0.3}})
+        records = system.records
+        assert sum(r.retries_dma for r in records) > 0
+        assert system.sanitizer.total_violations == 0
+
+    def test_populate_enomem_retries(self):
+        system, _ = run_chaos(
+            "stream", sites={"host.populate_enomem": {"rate": 0.3}}, gpu_mem_mb=8
+        )
+        assert sum(r.retries_populate for r in system.records) > 0
+        assert system.sanitizer.total_violations == 0
+
+    def test_resilience_counters_zero_without_injection(self):
+        cfg = default_config()
+        cfg.gpu.memory_bytes = 16 * MB
+        cfg.gpu.num_sms = 8
+        cfg.check.enabled = True
+        cfg.check.mode = "report"
+        system = UvmSystem(cfg)
+        RegularStream().run(system)
+        for r in system.records:
+            assert r.retries_dma == 0
+            assert r.retries_transfer == 0
+            assert r.retries_populate == 0
+            assert r.ce_failovers == 0
+            assert r.prefetch_fallbacks == 0
+            assert r.blocks_deferred == 0
+            assert r.time_retry_backoff == 0.0
+        assert system.sanitizer.total_violations == 0
+
+    def test_metrics_families_present_under_chaos(self):
+        system, _ = run_chaos("stream", profile="kitchen-sink")
+        snap = system.metrics_snapshot()
+        assert "uvm_injected_total" in snap
+        assert "uvm_crash_recoveries_total" in snap
+
+
+class TestChaosCliContract:
+    def test_list_profiles(self, capsys):
+        assert main(["chaos", "--list-profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_PROFILES:
+            assert name in out
+
+    def test_workload_required(self, capsys):
+        assert main(["chaos"]) == 2
+        assert "workload is required" in capsys.readouterr().err
+
+    def test_unknown_workload(self, capsys):
+        assert main(["chaos", "nope", "--gpu-mb", "16"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_unknown_profile_is_config_error(self, capsys):
+        assert main(
+            ["chaos", "stream", "--profile", "no-such-profile", "--gpu-mb", "16"]
+        ) == 2
+        assert "chaos profile" in capsys.readouterr().err
+
+    def test_human_report(self, capsys):
+        rc = main(
+            ["chaos", "stream", "--profile", "flaky-interconnect",
+             "--gpu-mb", "16", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "chaos run OK" in out
+
+    def test_json_report_shape(self, capsys):
+        rc = main(
+            ["chaos", "stream", "--profile", "kitchen-sink",
+             "--gpu-mb", "16", "--seed", "0", "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["ok"] is True
+        assert report["workload"] == "stream"
+        assert report["violations"] == []
+        assert report["injection"]["enabled"] is True
+        assert report["injection"]["fired_total"] > 0
+        assert set(report["resilience"]) >= {
+            "retries_dma",
+            "retries_transfer",
+            "retries_populate",
+            "ce_failovers",
+            "prefetch_fallbacks",
+            "blocks_deferred",
+            "time_retry_backoff_usec",
+        }
+        assert report["sanitizer"]["violations"] == 0
+
+    def test_file_profile(self, capsys):
+        profile = EXAMPLES_DIR / "flaky_link.json"
+        rc = main(
+            ["chaos", "stream", "--profile", str(profile), "--gpu-mb", "16",
+             "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["ok"] is True
+
+
+class TestValidateCliContract:
+    def test_ok_run_exits_zero(self, capsys):
+        rc = main(["validate", "stream", "--gpu-mb", "16", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert report["ok"] is True
+        assert report["violations"] == []
+
+    def test_unknown_workload(self, capsys):
+        assert main(["validate", "nope", "--gpu-mb", "16"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_human_output_mentions_verdict(self, capsys):
+        assert main(["validate", "vecadd", "--gpu-mb", "16"]) == 0
+        assert "validation OK" in capsys.readouterr().out

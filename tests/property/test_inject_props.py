@@ -1,0 +1,249 @@
+"""Chaos-layer whole-system properties.
+
+Three guarantees the fault-injection layer must keep (ISSUE: robustness):
+
+1. **Disabled ⇒ byte-identical.**  With ``InjectConfig`` off — or on with no
+   sites configured — the simulated timeline is bit-identical to a run
+   without the layer: the null-object wiring consumes no RNG and adds no
+   clock time.
+2. **Seeded schedule determinism.**  The injected-event schedule is a pure
+   function of (seed, profile): same pair ⇒ identical ``(clock, site)``
+   event log and counters; different seed ⇒ a different schedule.
+3. **Checkpoint/restore round-trips.**  Capturing a checkpoint at an
+   arbitrary batch boundary, then restoring and resuming, reproduces the
+   uninterrupted run's final BatchRecords and clock exactly — including
+   under active injection and across repeated restores.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import UvmSystem
+from repro.config import default_config
+from repro.sim.checkpoint import EngineCheckpoint
+from repro.units import MB
+from repro.workloads import RegularStream, Sgemm, VecAddPageStride
+
+WORKLOADS = {
+    "vecadd": lambda: VecAddPageStride(tsize=8),
+    "stream": lambda: RegularStream(),
+    "sgemm": lambda: Sgemm(),
+}
+
+
+def build_config(seed=0, gpu_mem_mb=16, inject=None, profile=None, sites=None,
+                 checkpoint_every=0, sanitize=False):
+    cfg = default_config()
+    cfg.seed = seed
+    cfg.gpu.memory_bytes = gpu_mem_mb * MB
+    cfg.gpu.num_sms = 8
+    if inject is not None:
+        cfg.inject.enabled = inject
+        cfg.inject.profile = profile
+        cfg.inject.sites = dict(sites or {})
+        cfg.inject.checkpoint_every = checkpoint_every
+    if sanitize:
+        cfg.check.enabled = True
+        cfg.check.mode = "report"
+    cfg.validate()
+    return cfg
+
+
+def run(workload_name, **cfg_kw):
+    system = UvmSystem(build_config(**cfg_kw))
+    WORKLOADS[workload_name]().run(system)
+    return system
+
+
+def timeline_fingerprint(system):
+    """Everything observable about a run's simulated timeline."""
+    return (
+        system.clock.now,
+        [tuple(sorted(r.to_dict().items())) for r in system.records],
+    )
+
+
+class TestDisabledBitIdentity:
+    """The inject layer must vanish completely when off."""
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_default_equals_explicitly_disabled(self, workload):
+        base = timeline_fingerprint(run(workload))
+        off = timeline_fingerprint(run(workload, inject=False))
+        assert base == off
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_enabled_with_no_sites_is_identical(self, workload):
+        """Turning the layer on without configuring any site must not shift
+        the timeline either: sites absent from the profile never draw."""
+        base = timeline_fingerprint(run(workload))
+        empty = timeline_fingerprint(run(workload, inject=True))
+        assert base == empty
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_identity_across_seeds(self, seed):
+        base = timeline_fingerprint(run("vecadd", seed=seed))
+        empty = timeline_fingerprint(run("vecadd", seed=seed, inject=True))
+        assert base == empty
+
+    def test_identity_under_memory_pressure(self):
+        base = timeline_fingerprint(run("sgemm", gpu_mem_mb=8))
+        empty = timeline_fingerprint(run("sgemm", gpu_mem_mb=8, inject=True))
+        assert base == empty
+
+    def test_zero_rate_sites_are_identical(self):
+        """rate=0 sites short-circuit before touching their RNG stream."""
+        base = timeline_fingerprint(run("vecadd"))
+        zeroed = timeline_fingerprint(
+            run(
+                "vecadd",
+                inject=True,
+                sites={"ce.brownout": {"rate": 0.0}, "dma.map_fail": {"rate": 0.0}},
+            )
+        )
+        assert base == zeroed
+
+
+class TestScheduleDeterminism:
+    """(seed, profile) fully determines the injected schedule."""
+
+    @pytest.mark.parametrize(
+        "profile", ["overflow-storm", "flaky-interconnect", "kitchen-sink"]
+    )
+    def test_same_seed_same_schedule(self, profile):
+        a = run("stream", seed=11, inject=True, profile=profile, sanitize=True)
+        b = run("stream", seed=11, inject=True, profile=profile, sanitize=True)
+        assert a.injector.events == b.injector.events
+        assert a.injector.fired == b.injector.fired
+        assert a.injector.opportunities == b.injector.opportunities
+        assert timeline_fingerprint(a) == timeline_fingerprint(b)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_reproducible_for_any_seed(self, seed):
+        a = run("vecadd", seed=seed, inject=True, profile="overflow-storm")
+        b = run("vecadd", seed=seed, inject=True, profile="overflow-storm")
+        assert a.injector.events == b.injector.events
+        assert timeline_fingerprint(a) == timeline_fingerprint(b)
+
+    def test_different_seed_different_schedule(self):
+        a = run("stream", seed=1, inject=True, profile="overflow-storm")
+        b = run("stream", seed=2, inject=True, profile="overflow-storm")
+        assert a.injector.events != b.injector.events
+
+    def test_injection_actually_happened(self):
+        system = run("stream", seed=0, inject=True, profile="overflow-storm")
+        assert system.injector.summary()["fired_total"] > 0
+
+
+def run_with_checkpoint(at_batch, **cfg_kw):
+    """Run stream to completion, capturing a checkpoint at ``at_batch``."""
+    system = UvmSystem(build_config(**cfg_kw))
+    captured = {}
+
+    def hook(engine, batch_id):
+        if batch_id == at_batch and "ckpt" not in captured:
+            captured["ckpt"] = engine.checkpoint()
+
+    system.engine._batch_hooks.append(hook)
+    RegularStream().run(system)
+    assert "ckpt" in captured, f"batch {at_batch} never completed"
+    return system, captured["ckpt"]
+
+
+class TestCheckpointRestore:
+    """Restore + resume reproduces the uninterrupted run exactly."""
+
+    @pytest.mark.parametrize("at_batch", [1, 5, 10])
+    def test_roundtrip_reproduces_tail(self, at_batch):
+        system, ckpt = run_with_checkpoint(at_batch, gpu_mem_mb=8)
+        final = timeline_fingerprint(system)
+        assert len(system.records) > at_batch + 1  # the checkpoint is mid-run
+        ckpt.restore_into(system.engine)
+        # batch ids are 0-based: a checkpoint at batch N holds records 0..N
+        assert len(system.records) == at_batch + 1
+        system.engine.resume()
+        assert timeline_fingerprint(system) == final
+
+    def test_double_restore_is_stable(self):
+        system, ckpt = run_with_checkpoint(5, gpu_mem_mb=8)
+        final = timeline_fingerprint(system)
+        for _ in range(2):
+            ckpt.restore_into(system.engine)
+            system.engine.resume()
+            assert timeline_fingerprint(system) == final
+
+    def test_roundtrip_under_active_injection(self):
+        """The injector's RNG streams are part of checkpoint state: replay
+        after restore re-injects the same faults at the same points."""
+        system, ckpt = run_with_checkpoint(
+            5, gpu_mem_mb=8, inject=True, profile="flaky-interconnect", sanitize=True
+        )
+        final = timeline_fingerprint(system)
+        final_events = list(system.injector.events)
+        ckpt.restore_into(system.engine)
+        system.engine.resume()
+        assert timeline_fingerprint(system) == final
+        assert list(system.injector.events) == final_events
+        assert system.sanitizer.total_violations == 0
+
+    def test_serialized_roundtrip(self):
+        system, ckpt = run_with_checkpoint(5, gpu_mem_mb=8)
+        final = timeline_fingerprint(system)
+        revived = EngineCheckpoint.from_bytes(ckpt.to_bytes())
+        revived.restore_into(system.engine)
+        system.engine.resume()
+        assert timeline_fingerprint(system) == final
+
+    def test_resume_without_pending_launch_raises(self):
+        from repro.errors import SimulationError
+
+        system = UvmSystem(build_config())
+        with pytest.raises(SimulationError):
+            system.engine.resume()
+
+
+class TestCrashRecovery:
+    """Injected crashes recover from the latest auto-checkpoint and the
+    whole run — crash, rewind, replay — is itself deterministic."""
+
+    # stream at 8 MiB runs ~12 batches; crash well inside that
+    CRASH_SITES = {"engine.crash": {"at_batch": 6}}
+
+    def crashy_run(self, seed=0):
+        return run(
+            "stream",
+            seed=seed,
+            gpu_mem_mb=8,
+            inject=True,
+            sites=self.CRASH_SITES,
+            checkpoint_every=4,
+            sanitize=True,
+        )
+
+    def test_crash_fires_and_recovers(self):
+        system = self.crashy_run()
+        summary = system.injector.summary()
+        assert summary["crashes"] == 1
+        assert summary["recoveries"] == 1
+        assert system.sanitizer.total_violations == 0
+
+    def test_recovery_is_deterministic(self):
+        a = timeline_fingerprint(self.crashy_run())
+        b = timeline_fingerprint(self.crashy_run())
+        assert a == b
+
+    def test_crash_without_recovery_raises(self):
+        from repro.errors import InjectedCrash
+
+        cfg = build_config(
+            gpu_mem_mb=8, inject=True, sites=self.CRASH_SITES, checkpoint_every=4
+        )
+        cfg.inject.crash_recovery = False
+        system = UvmSystem(cfg)
+        with pytest.raises(InjectedCrash):
+            RegularStream().run(system)
