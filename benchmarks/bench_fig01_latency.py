@@ -7,11 +7,9 @@ rows several times the explicit baseline (see EXPERIMENTS.md for the
 magnitude discussion).
 """
 
-from repro.analysis.experiments import fig01_latency
 
-
-def bench_fig01_access_latency(run_once, record_result):
-    result = run_once(fig01_latency)
+def bench_fig01_access_latency(run_cached, record_result):
+    result = run_cached("fig01")
     record_result(result)
     assert result.data["uvm_slowdown"] > 2.0
     assert result.data["oversub_slowdown"] > result.data["uvm_slowdown"] * 1.5

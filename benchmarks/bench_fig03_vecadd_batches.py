@@ -5,11 +5,9 @@ and 24 of the 32 vector-B reads (the per-µTLB outstanding-fault cap) — and
 no write executes until all 64 prerequisite reads are fulfilled.
 """
 
-from repro.analysis.experiments import fig03_vecadd_batches
 
-
-def bench_fig03_vecadd_batches(run_once, record_result):
-    result = run_once(fig03_vecadd_batches)
+def bench_fig03_vecadd_batches(run_cached, record_result):
+    result = run_cached("fig03")
     record_result(result)
     assert result.data["first_batch_size"] == 56
     comp0 = result.data["composition"][0]

@@ -5,11 +5,9 @@ from the same warp happen in rapid succession, and the full batch servicing
 time is short relative to the inter-batch spacing.
 """
 
-from repro.analysis.experiments import fig04_vecadd_timing
 
-
-def bench_fig04_vecadd_timing(run_once, record_result):
-    result = run_once(fig04_vecadd_timing)
+def bench_fig04_vecadd_timing(run_cached, record_result):
+    result = run_cached("fig04")
     record_result(result)
     # Arrival spans are small next to servicing time (tight clusters).
     assert result.data["mean_span_over_service"] < 0.5

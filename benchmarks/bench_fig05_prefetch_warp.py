@@ -6,11 +6,9 @@ outstanding cap, and the SM throttle; one warp fills a 256-fault batch, and
 faults beyond the batch size limit are dropped by the driver (footnote 1).
 """
 
-from repro.analysis.experiments import fig05_prefetch_warp
 
-
-def bench_fig05_prefetch_warp(run_once, record_result):
-    result = run_once(fig05_prefetch_warp)
+def bench_fig05_prefetch_warp(run_cached, record_result):
+    result = run_cached("fig05")
     record_result(result)
     assert result.data["max_batch"] == 256
     assert result.data["dropped"] == 44  # 300 prefetches - 256 cap

@@ -4,11 +4,9 @@ Paper: average batch cost rises linearly with the amount of data moved for
 all applications, with app-dependent slope and high variance.
 """
 
-from repro.analysis.experiments import fig06_data_movement
 
-
-def bench_fig06_data_movement(run_once, record_result):
-    result = run_once(fig06_data_movement)
+def bench_fig06_data_movement(run_cached, record_result):
+    result = run_cached("fig06")
     record_result(result)
     for name, fit in result.data.items():
         assert fit.slope > 0, f"{name} batch cost must rise with bytes moved"

@@ -4,11 +4,9 @@ Paper: at most ~25 % of the total batch time is transfer, typically far
 lower — most batch servicing time is *not* spent moving data.
 """
 
-from repro.analysis.experiments import fig07_transfer_fraction
 
-
-def bench_fig07_transfer_fraction(run_once, record_result):
-    result = run_once(fig07_transfer_fraction)
+def bench_fig07_transfer_fraction(run_cached, record_result):
+    result = run_cached("fig07")
     record_result(result)
     assert result.data["mean"] < 0.20
     assert result.data["max"] < 0.35

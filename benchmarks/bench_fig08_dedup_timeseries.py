@@ -7,11 +7,8 @@ for both applications.
 
 import numpy as np
 
-from repro.analysis.experiments import fig08_dedup_timeseries
-
-
-def bench_fig08_dedup_timeseries(run_once, record_result):
-    result = run_once(fig08_dedup_timeseries)
+def bench_fig08_dedup_timeseries(run_cached, record_result):
+    result = run_cached("fig08")
     record_result(result)
     for name in ("stream", "sgemm"):
         raw = np.array(result.data[name]["raw"])

@@ -5,11 +5,9 @@ fewer batches and better runtime despite higher duplicate rates — with
 diminishing returns past ~1024 (the per-window fault-generation ceiling).
 """
 
-from repro.analysis.experiments import fig09_batch_size
 
-
-def bench_fig09_batch_size(run_once, record_result):
-    result = run_once(fig09_batch_size)
+def bench_fig09_batch_size(run_cached, record_result):
+    result = run_cached("fig09")
     record_result(result)
     data = result.data
     # Fewer batches at every size step.

@@ -4,11 +4,9 @@ Paper: for batches with similar migration sizes, touching more VABlocks
 incurs higher cost — each block in a batch is a distinct processing step.
 """
 
-from repro.analysis.experiments import fig10_vablock_variance
 
-
-def bench_fig10_vablock_variance(run_once, record_result):
-    result = run_once(fig10_vablock_variance)
+def bench_fig10_vablock_variance(run_cached, record_result):
+    result = run_cached("fig10")
     record_result(result)
     # The multi-block workloads show a positive per-block cost residual.
     positive = [name for name, fit in result.data.items() if fit.slope > 0]

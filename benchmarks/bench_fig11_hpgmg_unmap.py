@@ -5,11 +5,9 @@ difference is CPU page unmapping on the fault path, whose cost is inflated
 by first-touch mappings spread across many cores (TLB shootdowns).
 """
 
-from repro.analysis.experiments import fig11_hpgmg_unmap
 
-
-def bench_fig11_hpgmg_unmap(run_once, record_result):
-    result = run_once(fig11_hpgmg_unmap)
+def bench_fig11_hpgmg_unmap(run_cached, record_result):
+    result = run_cached("fig11")
     record_result(result)
     assert result.data["slowdown"] > 1.5
     assert (

@@ -7,11 +7,8 @@ and restart the migration — costs stratified by the eviction count.
 
 import numpy as np
 
-from repro.analysis.experiments import fig12_sgemm_oversub
-
-
-def bench_fig12_sgemm_oversub(run_once, record_result):
-    result = run_once(fig12_sgemm_oversub)
+def bench_fig12_sgemm_oversub(run_cached, record_result):
+    result = run_cached("fig12")
     record_result(result)
     data = result.data
     assert data["total_evictions"] > 0

@@ -6,11 +6,9 @@ evicted and paged back in is not CPU-mapped and skips
 unmap_mapping_range().
 """
 
-from repro.analysis.experiments import fig13_stream_levels
 
-
-def bench_fig13_stream_levels(run_once, record_result):
-    result = run_once(fig13_stream_levels)
+def bench_fig13_stream_levels(run_cached, record_result):
+    result = run_cached("fig13")
     record_result(result)
     data = result.data
     # The level mechanism: evicting batches split into an unmap-free

@@ -5,11 +5,9 @@ high-cost outliers are the compulsory VABlock DMA-state batches (per-page
 DMA mappings plus radix-tree inserts), up to ~64 % of batch time.
 """
 
-from repro.analysis.experiments import fig14_prefetch_sgemm
 
-
-def bench_fig14_prefetch_sgemm(run_once, record_result):
-    result = run_once(fig14_prefetch_sgemm)
+def bench_fig14_prefetch_sgemm(run_cached, record_result):
+    result = run_cached("fig14")
     record_result(result)
     assert result.data["batch_reduction"] > 0.75
     assert result.data[True]["batch_time"] < result.data[False]["batch_time"]

@@ -5,11 +5,9 @@ evicting batches, CPU-unmapping batches, and intermittent DMA-state setup —
 and the cost relationships from the isolated studies still hold.
 """
 
-from repro.analysis.experiments import fig15_evict_prefetch
 
-
-def bench_fig15_evict_prefetch(run_once, record_result):
-    result = run_once(fig15_evict_prefetch)
+def bench_fig15_evict_prefetch(run_cached, record_result):
+    result = run_cached("fig15")
     record_result(result)
     for population in (
         "prefetching (pages_prefetched > 0)",

@@ -6,11 +6,9 @@ and evicting similar large page ranges; LRU evicts the earliest-allocated
 pages first.
 """
 
-from repro.analysis.experiments import fig16_gauss_seidel_case
 
-
-def bench_fig16_gauss_seidel_case(run_once, record_result):
-    result = run_once(fig16_gauss_seidel_case)
+def bench_fig16_gauss_seidel_case(run_cached, record_result):
+    result = run_cached("fig16")
     record_result(result)
     assert result.data["evictions"] > 10
     assert sum(result.data["prefetch_series"]) > 0

@@ -5,11 +5,9 @@ increasing evictions coincide in several segments; the LRU replacement
 policy manifests as earliest-allocated eviction bands.
 """
 
-from repro.analysis.experiments import fig17_hpgmg_case
 
-
-def bench_fig17_hpgmg_case(run_once, record_result):
-    result = run_once(fig17_hpgmg_case)
+def bench_fig17_hpgmg_case(run_cached, record_result):
+    result = run_cached("fig17")
     record_result(result)
     assert result.data["evictions"] > 10
     assert len(result.data["segments"]) >= 1

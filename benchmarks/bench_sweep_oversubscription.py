@@ -11,11 +11,9 @@ toward 1x as the prefetcher's speculative 64 KiB upgrades waste scarce
 capacity.
 """
 
-from repro.analysis.experiments import sweep_oversubscription
 
-
-def bench_sweep_oversubscription(run_once, record_result):
-    result = run_once(sweep_oversubscription)
+def bench_sweep_oversubscription(run_cached, record_result):
+    result = run_cached("sweep_oversubscription")
     record_result(result)
     dense = result.data["dense (gauss-seidel)"]
     irregular = result.data["irregular (random)"]

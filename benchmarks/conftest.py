@@ -12,11 +12,24 @@ Run with::
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
+from repro.campaign import run_experiment_cached
+
 RESULTS_DIR = Path(__file__).parent / "results"
+#: On-disk experiment result cache (keyed on exp id + kwargs + code version,
+#: so any source change recomputes).  Override the location with
+#: ``UVM_BENCH_CACHE_DIR``; set ``UVM_BENCH_NO_CACHE=1`` to always recompute.
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+def _cache_dir() -> str | None:
+    if os.environ.get("UVM_BENCH_NO_CACHE"):
+        return None
+    return os.environ.get("UVM_BENCH_CACHE_DIR", str(CACHE_DIR))
 
 
 @pytest.fixture
@@ -39,5 +52,21 @@ def run_once(benchmark):
 
     def _run(func, *args, **kwargs):
         return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+@pytest.fixture
+def run_cached(benchmark):
+    """Run a registered experiment by id under the benchmark timer, memoized
+    through the campaign result cache (cold run simulates, warm run loads the
+    pickled :class:`ExperimentResult` — the timer reports whichever happened).
+    """
+
+    def _run(exp_id, **kwargs):
+        kwargs.setdefault("cache_dir", _cache_dir())
+        return benchmark.pedantic(
+            run_experiment_cached, args=(exp_id,), kwargs=kwargs, rounds=1, iterations=1
+        )
 
     return _run

@@ -1,0 +1,38 @@
+"""Deterministic parallel experiment campaigns with cached results.
+
+The paper's results are sweeps — figures and tables over workloads ×
+oversubscription × prefetch policies × batch sizes — and a full
+reproduction pass re-simulates thousands of launches.  This package turns
+that into cheap, repeatable bulk experimentation:
+
+* :mod:`.spec` — a campaign spec (JSON) expands a cartesian product of
+  workloads × configs × seeds (or an explicit run list) into an ordered
+  list of cells;
+* :mod:`.runner` — cells fan out across a ``multiprocessing`` worker pool
+  and merge back in spec order, so the output is byte-identical regardless
+  of worker count (``--jobs 1`` == ``--jobs N``);
+* :mod:`.cache` — a content-addressed on-disk result cache keyed by
+  (canonical config, workload, seed, code version) means unchanged cells
+  are never re-simulated;
+* :mod:`.experiments` — the same cache wrapped around the figure/table
+  experiment registry for the benchmark suite.
+
+See ``docs/performance.md`` for the spec format and determinism guarantee.
+"""
+
+from .cache import ResultCache, cache_key, code_version
+from .experiments import run_experiment_cached
+from .runner import CampaignOutcome, run_campaign, to_ndjson
+from .spec import CampaignCell, CampaignSpec
+
+__all__ = [
+    "CampaignCell",
+    "CampaignSpec",
+    "CampaignOutcome",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "run_campaign",
+    "run_experiment_cached",
+    "to_ndjson",
+]

@@ -1,0 +1,51 @@
+"""The result cache wrapped around the figure/table experiment registry.
+
+Experiments return :class:`~repro.analysis.experiments.ExperimentResult`
+objects whose ``data`` payloads hold numpy arrays and non-string keys, so
+cached entries are pickled blobs rather than JSON documents.  The cache key
+covers the experiment id, its keyword arguments, and the package code
+version — any source change recomputes every figure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from typing import Optional
+
+from .cache import ResultCache, code_version
+
+
+def _experiment_key(exp_id: str, kwargs: dict) -> str:
+    doc = {
+        "experiment": exp_id,
+        "kwargs": kwargs,
+        "code": code_version(),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_experiment_cached(exp_id: str, cache_dir: Optional[str] = None, **kwargs):
+    """Run a registered experiment, memoized on disk under ``cache_dir``.
+
+    With ``cache_dir=None`` this is exactly ``run_experiment``.  A corrupt
+    or stale-format cached blob is treated as a miss and recomputed.
+    """
+    from ..analysis.experiments import run_experiment
+
+    if cache_dir is None:
+        return run_experiment(exp_id, **kwargs)
+    cache = ResultCache(cache_dir)
+    key = _experiment_key(exp_id, kwargs)
+    blob = cache.get_blob(key)
+    if blob is not None:
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            cache.hits -= 1
+            cache.misses += 1
+    result = run_experiment(exp_id, **kwargs)
+    cache.put_blob(key, pickle.dumps(result, pickle.HIGHEST_PROTOCOL))
+    return result

@@ -1,0 +1,159 @@
+"""Campaign execution: cache check, worker-pool fan-out, spec-order merge.
+
+Every cell is a pure function of (workload, config, seed): the simulator is
+deterministic by construction, so the cell summary a worker computes is the
+summary — independent of which process ran it, in what order, or whether it
+came from the cache.  That is the determinism guarantee: the merged row
+list (and its NDJSON serialization) is byte-identical for ``jobs=1`` and
+``jobs=N``, warm or cold cache.
+
+The parent process owns the cache; workers receive plain picklable
+payloads and return plain dicts, so the pool works under both the ``fork``
+and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .cache import ResultCache, cache_key
+from .spec import CampaignCell, CampaignSpec
+
+#: BatchRecord resilience counters summed into each cell summary (same set
+#: as the chaos report).
+_RESILIENCE_COUNTERS = (
+    "retries_dma",
+    "retries_transfer",
+    "retries_populate",
+    "ce_failovers",
+    "prefetch_fallbacks",
+    "blocks_deferred",
+)
+
+
+@dataclass
+class CampaignOutcome:
+    """A completed campaign: rows in spec order plus cache statistics."""
+
+    spec: CampaignSpec
+    rows: List[dict]
+    cache_hits: int
+    cache_misses: int
+
+
+def _execute_cell(payload: dict) -> dict:
+    """Worker entry point: simulate one cell and summarize it.
+
+    Top-level (picklable) and import-light at module scope: the simulator
+    stack loads inside the worker.  Instruments are forced off — campaign
+    summaries come from batch records and engine counters, both of which
+    exist regardless of observability config, and dark cells run faster.
+    """
+    from ..api import UvmSystem
+    from ..workloads import WORKLOAD_REGISTRY
+
+    cell = CampaignCell(**payload)
+    cfg = cell.build_config()
+    cfg.obs = cfg.obs.disabled()
+    system = UvmSystem(cfg)
+    result = WORKLOAD_REGISTRY[cell.workload]().run(system)
+    return summarize_run(system, result)
+
+
+def summarize_run(system, result) -> dict:
+    """Deterministic summary of one workload run (the cached cell value)."""
+    records = result.records
+    resilience = {
+        name: sum(getattr(r, name) for r in records)
+        for name in _RESILIENCE_COUNTERS
+    }
+    resilience.update(system.engine.counters.as_dict())
+    return {
+        "clock_usec": system.clock.now,
+        "total_time_usec": result.total_time_usec,
+        "kernel_time_usec": result.kernel_time_usec,
+        "batch_time_usec": result.batch_time_usec,
+        "batches": result.num_batches,
+        "faults": result.total_faults,
+        "faults_unique": sum(r.num_faults_unique for r in records),
+        "pages_h2d": sum(r.pages_migrated_h2d for r in records),
+        "pages_populated": sum(r.pages_populated for r in records),
+        "pages_prefetched": sum(r.pages_prefetched for r in records),
+        "pages_evicted": sum(r.pages_evicted for r in records),
+        "evictions": sum(r.evictions for r in records),
+        "bytes_h2d": sum(r.bytes_h2d for r in records),
+        "bytes_d2h": sum(r.bytes_d2h for r in records),
+        "resilience": resilience,
+    }
+
+
+def _make_row(cell: CampaignCell, summary: dict) -> dict:
+    return {
+        "index": cell.index,
+        "workload": cell.workload,
+        "config": cell.config_label,
+        "seed": cell.seed,
+        "result": summary,
+    }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> CampaignOutcome:
+    """Run every cell of ``spec``; rows come back in spec order."""
+    rows: List[Optional[dict]] = [None] * len(spec.cells)
+    pending: List[Tuple[CampaignCell, Optional[str]]] = []
+    for cell in spec.cells:
+        key = None
+        if cache is not None:
+            key = cache_key(cell.workload, cell.seed, cell.build_config())
+            entry = cache.get(key)
+            if entry is not None:
+                rows[cell.index] = _make_row(cell, entry["result"])
+                continue
+        pending.append((cell, key))
+
+    if pending:
+        payloads = [
+            {
+                "index": cell.index,
+                "workload": cell.workload,
+                "config_label": cell.config_label,
+                "seed": cell.seed,
+                "overrides": cell.overrides,
+            }
+            for cell, _ in pending
+        ]
+        if jobs <= 1 or len(pending) == 1:
+            summaries = [_execute_cell(p) for p in payloads]
+        else:
+            with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
+                summaries = pool.map(_execute_cell, payloads)
+        for (cell, key), summary in zip(pending, summaries):
+            rows[cell.index] = _make_row(cell, summary)
+            if cache is not None and key is not None:
+                cache.put(key, {"result": summary})
+
+    return CampaignOutcome(
+        spec=spec,
+        rows=rows,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else len(spec.cells),
+    )
+
+
+def to_ndjson(rows: List[dict]) -> str:
+    """Canonical NDJSON: one sorted-key, compact JSON object per row.
+
+    This is the byte-identity surface — same spec, same sources ⇒ same
+    bytes, whatever the worker count or cache temperature.
+    """
+    return "".join(
+        json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+        for row in rows
+    )

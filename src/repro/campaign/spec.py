@@ -1,0 +1,182 @@
+"""Campaign specs: ordered experiment cells from a declarative JSON sweep.
+
+A spec is either a cartesian product::
+
+    {
+      "name": "smoke",
+      "workloads": ["vecadd", "stream"],
+      "configs": [
+        {"label": "base", "overrides": {}},
+        {"label": "no-prefetch", "overrides": {"driver.prefetch_enabled": false}}
+      ],
+      "seeds": [0, 1, 2, 3],
+      "base_overrides": {"gpu.memory_bytes": 33554432}
+    }
+
+or an explicit run list (``"runs": [{"workload": ..., "seed": ...,
+"label": ..., "overrides": {...}}, ...]``).  Expansion order is fixed —
+workload-major, then config, then seed (or run-list order) — and each cell
+carries its position, so merged campaign output is a pure function of the
+spec regardless of how the cells were scheduled.
+
+Overrides are dotted config paths applied over :func:`repro.config
+.default_config` by :func:`repro.config.apply_config_overrides`; a cell's
+effective overrides are ``base_overrides`` merged under the config's (the
+config wins on conflicts).  Every cell's config is built and validated at
+expansion time, so a broken spec fails before any worker starts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..config import SystemConfig, apply_config_overrides, default_config
+from ..errors import ConfigError
+
+
+@dataclass
+class CampaignCell:
+    """One (workload, config, seed) point of a campaign, at a fixed index."""
+
+    index: int
+    workload: str
+    config_label: str
+    seed: int
+    #: Merged dotted-path overrides (base + per-config), ready to apply.
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    def build_config(self) -> SystemConfig:
+        """The cell's validated :class:`SystemConfig` (fresh instance)."""
+        cfg = default_config()
+        apply_config_overrides(cfg, self.overrides)
+        cfg.seed = self.seed
+        return cfg
+
+
+@dataclass
+class CampaignSpec:
+    """A named, ordered list of campaign cells."""
+
+    name: str
+    cells: List[CampaignCell]
+
+    @classmethod
+    def from_file(cls, path) -> "CampaignSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                doc = json.load(fh)
+            except ValueError as exc:
+                raise ConfigError(f"campaign spec {path}: invalid JSON ({exc})")
+        return cls.from_dict(doc)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CampaignSpec":
+        if not isinstance(doc, dict):
+            raise ConfigError("campaign spec must be a JSON object")
+        name = doc.get("name")
+        if not isinstance(name, str) or not name:
+            raise ConfigError("campaign spec needs a non-empty 'name'")
+        if "runs" in doc and "workloads" in doc:
+            raise ConfigError(
+                "campaign spec takes either 'runs' or 'workloads', not both"
+            )
+        base = doc.get("base_overrides", {})
+        if not isinstance(base, dict):
+            raise ConfigError("'base_overrides' must be an object")
+        if "runs" in doc:
+            cells = _expand_runs(doc["runs"], base)
+        else:
+            cells = _expand_product(doc, base)
+        if not cells:
+            raise ConfigError(f"campaign {name!r} expands to zero cells")
+        _check_cells(cells)
+        return cls(name=name, cells=cells)
+
+
+def _expand_product(doc: dict, base: dict) -> List[CampaignCell]:
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise ConfigError("campaign spec needs a non-empty 'workloads' list")
+    configs = doc.get("configs", [{"label": "base", "overrides": {}}])
+    if not isinstance(configs, list) or not configs:
+        raise ConfigError("'configs' must be a non-empty list")
+    seeds = doc.get("seeds", [0])
+    if not isinstance(seeds, list) or not seeds:
+        raise ConfigError("'seeds' must be a non-empty list")
+    labels = set()
+    parsed = []
+    for entry in configs:
+        if not isinstance(entry, dict) or "label" not in entry:
+            raise ConfigError("each config needs a 'label'")
+        label = entry["label"]
+        if label in labels:
+            raise ConfigError(f"duplicate config label {label!r}")
+        labels.add(label)
+        overrides = entry.get("overrides", {})
+        if not isinstance(overrides, dict):
+            raise ConfigError(f"config {label!r}: 'overrides' must be an object")
+        merged = dict(base)
+        merged.update(overrides)
+        parsed.append((label, merged))
+    cells = []
+    for workload in workloads:
+        for label, overrides in parsed:
+            for seed in seeds:
+                cells.append(
+                    CampaignCell(
+                        index=len(cells),
+                        workload=workload,
+                        config_label=label,
+                        seed=int(seed),
+                        overrides=dict(overrides),
+                    )
+                )
+    return cells
+
+
+def _expand_runs(runs, base: dict) -> List[CampaignCell]:
+    if not isinstance(runs, list):
+        raise ConfigError("'runs' must be a list")
+    cells = []
+    for entry in runs:
+        if not isinstance(entry, dict) or "workload" not in entry:
+            raise ConfigError("each run needs a 'workload'")
+        overrides = entry.get("overrides", {})
+        if not isinstance(overrides, dict):
+            raise ConfigError("run 'overrides' must be an object")
+        merged = dict(base)
+        merged.update(overrides)
+        cells.append(
+            CampaignCell(
+                index=len(cells),
+                workload=entry["workload"],
+                config_label=entry.get("label", "base"),
+                seed=int(entry.get("seed", 0)),
+                overrides=merged,
+            )
+        )
+    return cells
+
+
+def _check_cells(cells: List[CampaignCell]) -> None:
+    """Fail fast: workloads exist and every config builds + validates."""
+    from ..workloads import WORKLOAD_REGISTRY
+
+    for cell in cells:
+        if cell.workload not in WORKLOAD_REGISTRY:
+            raise ConfigError(
+                f"cell {cell.index}: unknown workload {cell.workload!r} "
+                f"(known: {', '.join(sorted(WORKLOAD_REGISTRY))})"
+            )
+    seen = {}
+    for cell in cells:
+        key = (cell.workload, cell.config_label, cell.seed)
+        if key in seen:
+            raise ConfigError(
+                f"cells {seen[key]} and {cell.index} are the same run "
+                f"{key!r} — campaign output would be ambiguous"
+            )
+        seen[key] = cell.index
+        cell.build_config()  # raises ConfigError on a bad override

@@ -54,6 +54,9 @@ class NullSanitizer:
     def on_batch_end(self, driver, record, outcome=None) -> None:
         pass
 
+    def on_batch_abort(self, driver, record) -> None:
+        pass
+
     def on_block_allocated(self, block) -> None:
         pass
 
@@ -331,6 +334,29 @@ class Sanitizer:
         self._scan_blocks(driver)
         self._batch_id = None
 
+    def on_batch_abort(self, driver, record) -> None:
+        """A batch raised mid-service (fail-fast exhaustion, injected fault).
+
+        The record is partial — component timers stopped wherever the
+        exception unwound, counters cover only the work that happened — so
+        the reconciliation identities of :meth:`on_batch_end` do not apply.
+        Only the envelope and the abort marking are checkable.
+        """
+        self._check_clock()
+        if not record.aborted:
+            self._violate(
+                "batch-record",
+                f"batch {record.batch_id} closed via the abort path without "
+                "being marked aborted",
+            )
+        if record.t_end < record.t_start:
+            self._violate(
+                "batch-record",
+                f"aborted batch {record.batch_id} ends ({record.t_end:.6f}) "
+                f"before it starts ({record.t_start:.6f})",
+            )
+        self._batch_id = None
+
     def _check_record(self, driver, record, outcome) -> None:
         """Counter identities and timer reconciliation for one record."""
         if record.t_end < record.t_start:
@@ -584,6 +610,24 @@ class Sanitizer:
             self.on_utlb(utlb)
         self.on_fault_buffer(engine.device.fault_buffer)
         self._scan_blocks(engine.driver)
+        self._check_engine_counters(engine)
+
+    def _check_engine_counters(self, engine) -> None:
+        """Engine-side resilience counters obey the no-phantom-failure rule.
+
+        Same contract as the per-batch retry-bounds check: with injection
+        off, the CPU-touch D2H retry path must never have fired.
+        """
+        counters = getattr(engine, "counters", None)
+        if counters is None or engine.injector.enabled:
+            return
+        for name, value in counters.as_dict().items():
+            if value != 0:
+                self._violate(
+                    "retry-bounds",
+                    f"engine counter {name}={value} with fault injection "
+                    "disabled",
+                )
 
     def resync(self, engine) -> None:
         """Re-baseline internal watermarks after a checkpoint restore.
@@ -609,4 +653,10 @@ def make_sanitizer(config, clock, obs=None):
     """Build the configured sanitizer: active, or the shared null object."""
     if config is None or not config.enabled:
         return NULL_SANITIZER
+    # Arm the copy-engine run-builder's sortedness assertion alongside the
+    # sanitizer (sticky for the process: a cheap precondition check, and
+    # other engines in the process may share the copy-engine module).
+    from ..gpu.copy_engine import enable_sortedness_checks
+
+    enable_sortedness_checks(True)
     return Sanitizer(config, clock, obs=obs)

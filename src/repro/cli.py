@@ -22,7 +22,11 @@ Subcommands:
 * ``chaos <workload> --profile NAME`` — run a workload under a
   fault-injection profile (:mod:`repro.inject`) with UVMSan in report mode
   and print the chaos verdict (same JSON/exit-code contract as
-  ``validate``; ``--list-profiles`` shows the bundled profiles).
+  ``validate``; ``--list-profiles`` shows the bundled profiles);
+* ``campaign <spec.json>`` — expand a campaign spec (workloads × configs ×
+  seeds) and run every cell across a worker pool with a content-addressed
+  result cache; the NDJSON output is byte-identical for any ``--jobs``
+  value (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -152,6 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the chaos report as JSON")
     ch_p.add_argument("--list-profiles", action="store_true",
                       help="list bundled injection profiles and exit")
+
+    cam = sub.add_parser(
+        "campaign",
+        help="run a campaign spec (workloads x configs x seeds) across a "
+             "worker pool with cached results",
+    )
+    cam.add_argument("spec", help="campaign spec JSON file")
+    cam.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (default 1; output is "
+                          "byte-identical for any value)")
+    cam.add_argument("--out", default=None,
+                     help="NDJSON output file (default: <spec name>.ndjson)")
+    cam.add_argument("--cache-dir", default=".uvm-campaign-cache",
+                     help="result cache directory "
+                          "(default .uvm-campaign-cache)")
+    cam.add_argument("--no-cache", action="store_true",
+                     help="recompute every cell, reading and writing no cache")
     return parser
 
 
@@ -444,6 +465,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(render_chaos_report(report))
         return 0 if report["ok"] else 1
+
+    if args.command == "campaign":
+        from pathlib import Path
+
+        from .campaign import CampaignSpec, ResultCache, run_campaign, to_ndjson
+        from .errors import ConfigError
+
+        try:
+            spec = CampaignSpec.from_file(args.spec)
+        except OSError as exc:
+            print(f"error: cannot read spec: {exc}", file=sys.stderr)
+            return 2
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.jobs < 1:
+            print("error: --jobs must be >= 1", file=sys.stderr)
+            return 2
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        t0 = time.perf_counter()
+        outcome = run_campaign(spec, jobs=args.jobs, cache=cache)
+        wall = time.perf_counter() - t0
+        out_path = Path(args.out) if args.out else Path(f"{spec.name}.ndjson")
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(to_ndjson(outcome.rows), encoding="utf-8")
+        sim_total = sum(row["result"]["clock_usec"] for row in outcome.rows)
+        print(
+            f"campaign {spec.name}: {len(outcome.rows)} cells, "
+            f"jobs={args.jobs}, cache hits {outcome.cache_hits}, "
+            f"misses {outcome.cache_misses}"
+        )
+        print(
+            f"wrote {out_path} (simulated {sim_total / 1e6:.2f}s total, "
+            f"wall {wall:.1f}s)"
+        )
+        return 0
 
     if args.command == "run":
         for exp_id in args.experiments:

@@ -371,6 +371,50 @@ class SystemConfig:
         return clone
 
 
+def apply_config_overrides(config: SystemConfig, overrides: dict) -> SystemConfig:
+    """Apply dotted-path overrides to ``config`` in place and return it.
+
+    Keys name attributes through the config tree (``"driver.batch_size"``,
+    ``"gpu.memory_bytes"``, ``"seed"``); values replace the current
+    attribute.  This is the campaign-spec override mechanism
+    (:mod:`repro.campaign`): a JSON spec can tweak any validated field
+    without code.  Unknown paths raise :class:`ConfigError`; so does a value
+    whose type contradicts the field (bools are not numbers here, even
+    though Python says otherwise).  Keys apply in sorted order so the result
+    never depends on dict iteration.
+    """
+    for path in sorted(overrides):
+        value = overrides[path]
+        target = config
+        parts = path.split(".")
+        for part in parts[:-1]:
+            if not hasattr(target, part):
+                raise ConfigError(f"unknown config path {path!r}")
+            target = getattr(target, part)
+        leaf = parts[-1]
+        if not hasattr(target, leaf):
+            raise ConfigError(f"unknown config path {path!r}")
+        current = getattr(target, leaf)
+        if isinstance(current, bool) and not isinstance(value, bool):
+            raise ConfigError(f"config path {path!r} expects a bool, got {value!r}")
+        if isinstance(current, (int, float)) and not isinstance(current, bool):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigError(
+                    f"config path {path!r} expects a number, got {value!r}"
+                )
+            if isinstance(current, float):
+                value = float(value)
+            elif isinstance(value, float):
+                if not value.is_integer():
+                    raise ConfigError(
+                        f"config path {path!r} expects an integer, got {value!r}"
+                    )
+                value = int(value)
+        setattr(target, leaf, value)
+    config.validate()
+    return config
+
+
 def default_config(**driver_overrides) -> SystemConfig:
     """A validated default configuration, optionally overriding driver fields.
 

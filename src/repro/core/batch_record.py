@@ -87,6 +87,9 @@ class BatchRecord:
     prefetch_fallbacks: int = 0
     #: VABlocks deferred after retry exhaustion (faults reissue later).
     blocks_deferred: int = 0
+    #: Servicing raised mid-batch (fail-fast exhaustion or injected crash):
+    #: the record is partial, and UVMSan skips its reconciliation checks.
+    aborted: bool = False
 
     # --- host OS -------------------------------------------------------------
     unmap_calls: int = 0

@@ -46,6 +46,7 @@ from ..errors import (
     RetryExhausted,
     TransferFault,
     TransferStuck,
+    UvmError,
 )
 from ..units import REGIONS_PER_VABLOCK, vablock_of_page
 from ..gpu.copy_engine import contiguous_runs
@@ -65,6 +66,7 @@ from ..obs.chrome_trace import (
 )
 from ..check.sanitizer import NULL_SANITIZER
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS
+from ..obs.spans import NULL_SPAN
 from ..sim.clock import SimClock
 from ..sim.trace import EventTrace
 from .batch import AssembledBatch, BlockWork, assemble_batch
@@ -214,6 +216,40 @@ class UvmDriver:
         self._m_failovers = metrics.counter(
             "uvm_ce_failovers_total", "Copy-engine failovers after stuck bursts"
         )
+        # Labeled children resolved once: ``family.labels(x)`` is a dict
+        # lookup plus (first time) child creation, and _finish_record_obs
+        # pays it 17 times per batch — hoist every fixed label out of the
+        # per-batch path.  Disabled registries hand back the null instrument
+        # from .labels(), so the cached handles stay no-ops.
+        self._m_batches_fault = self._m_batches.labels("fault")
+        self._m_batches_hinted = self._m_batches.labels("hinted")
+        self._m_faults_raw = self._m_faults.labels("raw")
+        self._m_faults_unique = self._m_faults.labels("unique")
+        self._m_faults_duplicate = self._m_faults.labels("duplicate")
+        self._m_faults_dropped = self._m_faults.labels("dropped")
+        self._m_pages_migrated = self._m_pages.labels("migrated_h2d")
+        self._m_pages_populated = self._m_pages.labels("populated")
+        self._m_pages_prefetched = self._m_pages.labels("prefetched")
+        self._m_pages_unmapped = self._m_pages.labels("unmapped")
+        self._m_pages_evicted = self._m_pages.labels("evicted")
+        self._m_bytes_h2d = self._m_bytes.labels("h2d")
+        self._m_bytes_d2h = self._m_bytes.labels("d2h")
+        self._m_hostos_unmap = self._m_hostos.labels("unmap_calls")
+        self._m_hostos_dma = self._m_hostos.labels("dma_mappings")
+        self._m_hostos_radix = self._m_hostos.labels("radix_nodes")
+        self._m_retries_dma = self._m_retries.labels("dma")
+        self._m_retries_ce = self._m_retries.labels("ce")
+        self._m_retries_populate = self._m_retries.labels("populate")
+        self._m_degrade_accessed_by = self._m_degrade.labels("accessed-by-skip")
+        self._m_degrade_dma_defer = self._m_degrade.labels("dma-defer")
+        self._m_degrade_transfer_defer = self._m_degrade.labels("transfer-defer")
+        self._m_degrade_prefetch_fallback = self._m_degrade.labels("prefetch-fallback")
+        self._m_degrade_scope_skip = self._m_degrade.labels("scope-skip")
+        #: Cached observability flags (fixed per run): the per-batch paths
+        #: skip span-context and phase-mark construction entirely when
+        #: nothing consumes them.
+        self._spans_on = self.obs.spans.enabled
+        self._obs_block_on = self._spans_on or self.obs.chrome.enabled
         self.eviction.attach_obs(self.obs)
         #: Simulated timestamp where the current VABlock's service started on
         #: the trace timeline (per-block costs apply to the clock only after
@@ -246,30 +282,39 @@ class UvmDriver:
         self._batch_id += 1
         record.t_start = self.clock.now
         self.san.on_batch_start(self, record)
-        by_block: Dict[int, List[int]] = {}
-        for page in sorted(set(pages)):
-            by_block.setdefault(vablock_of_page(page), []).append(page)
-        outcome = ServiceOutcome(record=record)
-        block_costs: List[float] = []
-        pinned: Set[int] = set()
-        chrome_on = self.obs.chrome.enabled
-        self._block_cursor = self.clock.now
-        for block_id, block_pages in by_block.items():
-            pinned.add(block_id)
-            work = BlockWork(block_id=block_id, pages=block_pages, hinted=True)
-            t_block = self._block_cursor
-            self._phase_marks = [] if chrome_on else None
-            cost, deferred = self._service_block(work, record, outcome, pinned)
-            self._emit_block_obs(work, t_block, cost, record)
-            self._block_cursor = t_block + cost
-            block_costs.append(cost)
-            if deferred:
-                pinned.discard(block_id)
-        record.num_vablocks = len(by_block)
-        record.vablock_fault_counts = np.array(
-            [len(p) for p in by_block.values()], dtype=np.int32
-        )
-        self._advance_block_phase(block_costs)
+        try:
+            by_block: Dict[int, List[int]] = {}
+            for page in sorted(set(pages)):
+                by_block.setdefault(vablock_of_page(page), []).append(page)
+            outcome = ServiceOutcome(record=record)
+            block_costs: List[float] = []
+            pinned: Set[int] = set()
+            chrome_on = self.obs.chrome.enabled
+            emit_obs = self._obs_block_on
+            self._block_cursor = self.clock.now
+            for block_id, block_pages in by_block.items():
+                pinned.add(block_id)
+                work = BlockWork(block_id=block_id, pages=block_pages, hinted=True)
+                t_block = self._block_cursor
+                self._phase_marks = [] if chrome_on else None
+                cost, deferred = self._service_block(work, record, outcome, pinned)
+                if emit_obs:
+                    self._emit_block_obs(work, t_block, cost, record)
+                self._block_cursor = t_block + cost
+                block_costs.append(cost)
+                if deferred:
+                    pinned.discard(block_id)
+            record.num_vablocks = len(by_block)
+            record.vablock_fault_counts = np.array(
+                [len(p) for p in by_block.values()], dtype=np.int32
+            )
+            self._advance_block_phase(block_costs)
+        except UvmError:
+            # Fail-fast retry exhaustion (or any servicing failure) must not
+            # leave the batch open: close the record on the abort path so
+            # the log and UVMSan agree the batch ended.
+            self._abort_record(record)
+            raise
         record.t_end = self.clock.now
         self.log.append(record)
         self._finish_record_obs(record)
@@ -291,54 +336,61 @@ class UvmDriver:
         self._batch_id += 1
         record.t_start = self.clock.now
         self.san.on_batch_start(self, record)
-        new_pages = [
-            p for p in sorted(set(pages)) if not self.device.page_table.is_resident(p)
-        ]
-        if new_pages:
-            result = None
-            attempt = 1
-            while result is None:
-                try:
-                    result = self.dma.map_pages(new_pages)
-                except DmaMapFault as exc:
-                    record.retries_dma += 1
-                    self._m_retries.labels("dma").inc()
-                    if attempt >= self.retry.max_attempts:
-                        if self.retry.fail_fast:
-                            raise RetryExhausted("dma.map_fail", attempt, exc)
-                        break
-                    backoff = self.retry.backoff_usec(attempt)
-                    self.clock.advance(backoff)
-                    record.time_retry_backoff += backoff
-                    attempt += 1
-            if result is None:
-                # Degrade: leave the pages unmapped — the hint is advisory,
-                # so the GPU simply demand-faults them later.
-                self._m_degrade.labels("accessed-by-skip").inc()
-                record.t_end = self.clock.now
-                self.log.append(record)
-                self._finish_record_obs(record)
-                self.san.on_batch_end(self, record)
-                return record
-            self.clock.advance(result.cost_usec)
-            record.time_dma = result.cost_usec
-            record.dma_mappings_created += result.new_mappings
-            record.radix_nodes_allocated += result.new_nodes
-            pt_cost = self.cost.pagetable_cost(len(new_pages))
-            self.clock.advance(pt_cost)
-            record.time_pagetable = pt_cost
-            self.device.page_table.map_pages(new_pages)
-            for block_id in sorted({vablock_of_page(p) for p in new_pages}):
-                if block_id in self.vablocks:
-                    block = self.vablocks.get(block_id)
-                    block.remote_pages.update(
-                        p for p in new_pages if vablock_of_page(p) == block_id
-                    )
+        try:
+            self._advise_accessed_by(record, pages)
+        except UvmError:
+            # Fail-fast DMA exhaustion raises out of the hinted batch; close
+            # the record on the abort path so the log and UVMSan agree.
+            self._abort_record(record)
+            raise
         record.t_end = self.clock.now
         self.log.append(record)
         self._finish_record_obs(record)
         self.san.on_batch_end(self, record)
         return record
+
+    def _advise_accessed_by(self, record: BatchRecord, pages) -> None:
+        is_resident = self.device.page_table.is_resident
+        new_pages = [p for p in sorted(set(pages)) if not is_resident(p)]
+        if not new_pages:
+            return
+        result = None
+        attempt = 1
+        while result is None:
+            try:
+                result = self.dma.map_pages(new_pages)
+            except DmaMapFault as exc:
+                record.retries_dma += 1
+                self._m_retries_dma.inc()
+                if attempt >= self.retry.max_attempts:
+                    if self.retry.fail_fast:
+                        raise RetryExhausted("dma.map_fail", attempt, exc)
+                    break
+                backoff = self.retry.backoff_usec(attempt)
+                self.clock.advance(backoff)
+                record.time_retry_backoff += backoff
+                attempt += 1
+        if result is None:
+            # Degrade: leave the pages unmapped — the hint is advisory,
+            # so the GPU simply demand-faults them later.
+            self._m_degrade_accessed_by.inc()
+            return
+        self.clock.advance(result.cost_usec)
+        record.time_dma = result.cost_usec
+        record.dma_mappings_created += result.new_mappings
+        record.radix_nodes_allocated += result.new_nodes
+        pt_cost = self.cost.pagetable_cost(len(new_pages))
+        self.clock.advance(pt_cost)
+        record.time_pagetable = pt_cost
+        self.device.page_table.map_pages(new_pages)
+        # One grouping pass (new_pages is sorted, so blocks come out in
+        # ascending order) instead of a per-block rescan of every page.
+        by_block: Dict[int, List[int]] = {}
+        for page in new_pages:
+            by_block.setdefault(vablock_of_page(page), []).append(page)
+        for block_id, block_pages in by_block.items():
+            if block_id in self.vablocks:
+                self.vablocks.get(block_id).remote_pages.update(block_pages)
 
     def is_remote_mapped(self, page: int) -> bool:
         """True when ``page`` is direct-mapped (accessed-by), not migrated."""
@@ -373,18 +425,37 @@ class UvmDriver:
         self._batch_id += 1
         record.t_start = self.clock.now
         self.san.on_batch_start(self, record)
+        try:
+            outcome = self._service_batch_body(record, slept)
+        except UvmError:
+            # Fail-fast retry exhaustion (or any mid-service failure) must
+            # not leave the batch open: close the record on the abort path
+            # so the log and UVMSan agree the batch ended.
+            self._abort_record(record)
+            raise
+        record.t_end = self.clock.now
+        self.log.append(record)
+        if self.trace is not None:
+            self.trace.emit(record.t_end, "batch", record.batch_id, record.num_faults_raw)
+        self._finish_record_obs(record)
+        self.san.on_batch_end(self, record, outcome)
+        self._update_adaptive(record)
+        return outcome
+
+    def _service_batch_body(self, record: BatchRecord, slept: bool) -> ServiceOutcome:
         spans = self.obs.spans
+        spans_on = self._spans_on
         chrome = self.obs.chrome
         chrome_on = chrome.enabled
 
         # 1. Wake + interrupt acknowledge.
         if slept:
-            with spans.span("driver.wake", batch=record.batch_id):
+            with spans.span("driver.wake", batch=record.batch_id) if spans_on else NULL_SPAN:
                 record.time_wake = self._spend(self.cost.interrupt_wake_usec)
         self.device.gmmu.acknowledge()
 
         # 2. Fetch.
-        with spans.span("driver.fetch", batch=record.batch_id):
+        with spans.span("driver.fetch", batch=record.batch_id) if spans_on else NULL_SPAN:
             faults = self.device.fault_buffer.fetch(self.effective_batch_size)
             record.time_fetch = self._spend(self.cost.fetch_cost(len(faults)))
 
@@ -417,7 +488,7 @@ class UvmDriver:
                 )
 
         # 3. Preprocess / dedup.
-        with spans.span("driver.preprocess", batch=record.batch_id):
+        with spans.span("driver.preprocess", batch=record.batch_id) if spans_on else NULL_SPAN:
             batch = assemble_batch(faults, self.device.config.num_sms)
             record.time_preprocess = self._spend(self.cost.preprocess_cost(len(faults)))
         if faults:
@@ -443,13 +514,15 @@ class UvmDriver:
         outcome = ServiceOutcome(record=record)
         block_costs: List[float] = []
         pinned: set = set()
+        emit_obs = self._obs_block_on
         self._block_cursor = self.clock.now
         for work in batch.blocks:
             pinned.add(work.block_id)
             t_block = self._block_cursor
             self._phase_marks = [] if chrome_on else None
             cost, deferred = self._service_block(work, record, outcome, pinned)
-            self._emit_block_obs(work, t_block, cost, record)
+            if emit_obs:
+                self._emit_block_obs(work, t_block, cost, record)
             self._block_cursor = t_block + cost
             block_costs.append(cost)
             if deferred:
@@ -461,7 +534,7 @@ class UvmDriver:
         self._advance_block_phase(block_costs)
 
         # 5. Replay: flush buffer (drop), clear µTLB waiting, push replay.
-        with spans.span("driver.replay", batch=record.batch_id):
+        with spans.span("driver.replay", batch=record.batch_id) if spans_on else NULL_SPAN:
             outcome.dropped_faults = self.device.fault_buffer.flush()
             record.dropped_at_flush = len(outcome.dropped_faults)
             record.time_replay = self._spend(self.cost.replay_usec)
@@ -483,15 +556,21 @@ class UvmDriver:
             gone = set(outcome.serviced_pages) - set(still)
             outcome.serviced_pages = still
             outcome.unserviced_faults = [f for f in faults if f.page in gone]
+        return outcome
 
+    def _abort_record(self, record: BatchRecord) -> None:
+        """Close a batch whose servicing raised.
+
+        The record is marked :attr:`~BatchRecord.aborted` and appended so
+        the log never loses a started batch; UVMSan's abort hook checks the
+        envelope but skips the reconciliation identities (the counters and
+        timers stopped wherever the exception unwound).
+        """
+        record.aborted = True
         record.t_end = self.clock.now
         self.log.append(record)
-        if self.trace is not None:
-            self.trace.emit(record.t_end, "batch", record.batch_id, record.num_faults_raw)
         self._finish_record_obs(record)
-        self.san.on_batch_end(self, record, outcome)
-        self._update_adaptive(record)
-        return outcome
+        self.san.on_batch_abort(self, record)
 
     # ------------------------------------------------------ retry/failover
 
@@ -508,7 +587,7 @@ class UvmDriver:
                 return self.dma.map_pages(pages)
             except DmaMapFault as exc:
                 record.retries_dma += 1
-                self._m_retries.labels("dma").inc()
+                self._m_retries_dma.inc()
                 if attempt >= self.retry.max_attempts:
                     if self.retry.fail_fast:
                         raise RetryExhausted("dma.map_fail", attempt, exc)
@@ -548,7 +627,7 @@ class UvmDriver:
             except TransferFault as exc:
                 spend(exc.wasted_usec, "time_retry_backoff")
                 record.retries_transfer += 1
-                self._m_retries.labels("ce").inc()
+                self._m_retries_ce.inc()
                 if attempt >= self.retry.max_attempts:
                     if self.retry.fail_fast or not allow_degrade:
                         raise RetryExhausted("ce.transfer_fault", attempt, exc)
@@ -645,7 +724,7 @@ class UvmDriver:
                 # the block — its faults drop at the flush and reissue, and
                 # a later batch retries from untouched radix-tree state.
                 record.blocks_deferred += 1
-                self._m_degrade.labels("dma-defer").inc()
+                self._m_degrade_dma_defer.inc()
                 return total, True
             spend(result.cost_usec, "time_dma")
             block.dma_initialized = True
@@ -665,7 +744,10 @@ class UvmDriver:
             if self.prefetcher.scope_blocks > 1:
                 self._scope_expansion(block, faulted, prefetched, record, outcome, spend)
 
-        target = sorted(set(faulted) | prefetched)
+        # ``faulted`` is already unique (deduped batch pages / hint lists),
+        # so the set union + rebuild is only needed when a prefetch actually
+        # expanded the page set — the common no-prefetch case just sorts.
+        target = sorted(set(faulted) | prefetched) if prefetched else sorted(faulted)
         if not target:
             return total, False
 
@@ -701,7 +783,7 @@ class UvmDriver:
             # releasing its staged buffers — §5.1's pressure path), back
             # off, then retry the population.
             record.retries_populate += 1
-            self._m_retries.labels("populate").inc()
+            self._m_retries_populate.inc()
             if (
                 self.config.driver.eviction_enabled
                 and self.eviction.pick_victim(pinned) is not None
@@ -726,9 +808,9 @@ class UvmDriver:
                 # fall back to demand paging — retry with only the pages
                 # that actually faulted.
                 record.prefetch_fallbacks += 1
-                self._m_degrade.labels("prefetch-fallback").inc()
+                self._m_degrade_prefetch_fallback.inc()
                 prefetched = set()
-                target = sorted(set(faulted))
+                target = sorted(faulted)
                 transfer_pages = [p for p in target if self.host_vm.has_valid_data(p)]
                 ok = not transfer_pages or self._transfer_with_retry(
                     "h2d", contiguous_runs(transfer_pages), record, spend
@@ -737,7 +819,7 @@ class UvmDriver:
                 # Transfer impossible this batch: defer the block entirely;
                 # its faults drop at the flush and reissue later.
                 record.blocks_deferred += 1
-                self._m_degrade.labels("transfer-defer").inc()
+                self._m_degrade_transfer_defer.inc()
                 return total, True
             record.pages_migrated_h2d += len(transfer_pages)
             record.bytes_h2d += len(transfer_pages) * 4096
@@ -801,7 +883,7 @@ class UvmDriver:
         record.evictions += 1
         record.pages_evicted += len(pages)
         outcome.evicted_pages.extend(pages)
-        self._m_pages.labels("evicted").inc(len(pages))
+        self._m_pages_evicted.inc(len(pages))
         if self.obs.chrome.enabled:
             self.obs.chrome.duration(
                 f"evict block {victim_id}",
@@ -862,7 +944,7 @@ class UvmDriver:
                     )
                     if result is None:
                         # Speculative neighbour: just skip it this batch.
-                        self._m_degrade.labels("scope-skip").inc()
+                        self._m_degrade_scope_skip.inc()
                         continue
                     spend(result.cost_usec, "time_dma")
                     nbr.dma_initialized = True
@@ -894,7 +976,7 @@ class UvmDriver:
                     "h2d", contiguous_runs(transfer), record, spend
                 ):
                     # Speculative neighbour transfer: skip it this batch.
-                    self._m_degrade.labels("scope-skip").inc()
+                    self._m_degrade_scope_skip.inc()
                     continue
                 record.pages_migrated_h2d += len(transfer)
                 record.bytes_h2d += len(transfer) * 4096
@@ -952,20 +1034,20 @@ class UvmDriver:
     def _finish_record_obs(self, record: BatchRecord) -> None:
         """Fold one finished batch into metrics, spans, trace, and sink."""
         obs = self.obs
-        self._m_batches.labels("hinted" if record.hinted else "fault").inc()
-        self._m_faults.labels("raw").inc(record.num_faults_raw)
-        self._m_faults.labels("unique").inc(record.num_faults_unique)
-        self._m_faults.labels("duplicate").inc(record.duplicate_count)
-        self._m_faults.labels("dropped").inc(record.dropped_at_flush)
-        self._m_pages.labels("migrated_h2d").inc(record.pages_migrated_h2d)
-        self._m_pages.labels("populated").inc(record.pages_populated)
-        self._m_pages.labels("prefetched").inc(record.pages_prefetched)
-        self._m_pages.labels("unmapped").inc(record.pages_unmapped)
-        self._m_bytes.labels("h2d").inc(record.bytes_h2d)
-        self._m_bytes.labels("d2h").inc(record.bytes_d2h)
-        self._m_hostos.labels("unmap_calls").inc(record.unmap_calls)
-        self._m_hostos.labels("dma_mappings").inc(record.dma_mappings_created)
-        self._m_hostos.labels("radix_nodes").inc(record.radix_nodes_allocated)
+        (self._m_batches_hinted if record.hinted else self._m_batches_fault).inc()
+        self._m_faults_raw.inc(record.num_faults_raw)
+        self._m_faults_unique.inc(record.num_faults_unique)
+        self._m_faults_duplicate.inc(record.duplicate_count)
+        self._m_faults_dropped.inc(record.dropped_at_flush)
+        self._m_pages_migrated.inc(record.pages_migrated_h2d)
+        self._m_pages_populated.inc(record.pages_populated)
+        self._m_pages_prefetched.inc(record.pages_prefetched)
+        self._m_pages_unmapped.inc(record.pages_unmapped)
+        self._m_bytes_h2d.inc(record.bytes_h2d)
+        self._m_bytes_d2h.inc(record.bytes_d2h)
+        self._m_hostos_unmap.inc(record.unmap_calls)
+        self._m_hostos_dma.inc(record.dma_mappings_created)
+        self._m_hostos_radix.inc(record.radix_nodes_allocated)
         self._m_batch_usec.observe(record.duration)
         self._m_batch_faults.observe(record.num_faults_raw)
         if obs.spans.enabled:

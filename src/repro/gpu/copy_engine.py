@@ -15,8 +15,23 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..errors import TransferFault, TransferStuck
+from ..errors import InvariantViolation, TransferFault, TransferStuck
 from ..units import PAGE_SIZE
+
+#: UVMSan gate for the ``contiguous_runs`` sortedness precondition.  Module
+#: state rather than per-engine: the helper is a free function used by the
+#: driver and the engine alike.  Off by default — the precondition check is
+#: O(n) on a hot path and every call site sorts by construction.
+_ASSERT_SORTED = False
+
+
+def enable_sortedness_checks(enabled: bool) -> None:
+    """Arm (or disarm) the sortedness precondition in ``contiguous_runs``.
+
+    Armed automatically whenever an active UVMSan sanitizer is built.
+    """
+    global _ASSERT_SORTED
+    _ASSERT_SORTED = enabled
 
 
 class CopyEngine:
@@ -203,9 +218,25 @@ class CopyEngine:
 def contiguous_runs(pages: Sequence[int]) -> list:
     """Lengths of maximal contiguous runs in a sorted page-id sequence.
 
+    The input must be strictly increasing: on unsorted (or duplicated)
+    input the run decomposition silently splits at every inversion,
+    inflating per-run overhead and transfer counts without any error.  With
+    UVMSan active the precondition is asserted
+    (:func:`enable_sortedness_checks`); otherwise callers are trusted.
+
     >>> contiguous_runs([4, 5, 6, 9, 10, 20])
     [3, 2, 1]
     """
+    if _ASSERT_SORTED:
+        last = None
+        for page in pages:
+            if last is not None and page <= last:
+                raise InvariantViolation(
+                    "ce-runs",
+                    f"contiguous_runs input not strictly increasing: "
+                    f"{page} follows {last}",
+                )
+            last = page
     runs = []
     count = 0
     prev = None

@@ -43,6 +43,10 @@ def build_chaos_report(system, result, workload: str) -> dict:
     resilience["time_retry_backoff_usec"] = sum(
         r.time_retry_backoff for r in records
     )
+    # Engine-side (non-batch) accounting: the CPU-touch D2H retry path has
+    # no BatchRecord, so its counters live on the engine itself.
+    resilience.update(engine.counters.as_dict())
+    resilience["batches_aborted"] = sum(1 for r in records if r.aborted)
     ok = not violations and sanitizer["violations"] == 0
     return {
         "workload": workload,
@@ -97,6 +101,13 @@ def render_chaos_report(report: dict) -> str:
         "driver resilience: "
         + ", ".join(f"{name}={res[name]}" for name in _RESILIENCE_COUNTERS)
         + f", backoff {res['time_retry_backoff_usec']:.1f}us"
+    )
+    lines.append(
+        "engine resilience: "
+        f"d2h_retries={res['engine_d2h_retries']}, "
+        f"d2h_failovers={res['engine_d2h_failovers']}, "
+        f"d2h backoff {res['engine_d2h_backoff_usec']:.1f}us, "
+        f"aborted batches {res['batches_aborted']}"
     )
     san = report["sanitizer"]
     lines.append(f"UVMSan: {san['violations']} runtime violations")

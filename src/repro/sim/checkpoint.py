@@ -4,26 +4,29 @@
 :class:`~repro.sim.engine.Engine` — clock, RNG streams, fault buffer, µTLBs,
 SM/warp scheduling state, page table, chunk allocator, copy-engine counters,
 host VM/DMA state, the driver's VABlock manager and batch log, and the
-in-flight launch progress — in a single ``copy.deepcopy`` pass, so shared
-references (the same :class:`WarpState` appearing in ``sm.active`` and the
-engine's waiter lists) survive the round trip with identity intact.
+in-flight launch progress — into a single pickle blob.  The pickle memo
+plays the role deepcopy's memo used to: shared references (the same
+:class:`WarpState` appearing in ``sm.active`` and the engine's waiter lists)
+survive the round trip with identity intact, while costing one serialize
+pass instead of a recursive Python-level copy.  The blob doubles as the
+on-disk format, so :meth:`to_bytes` is free.
 
 Attachments are deliberately excluded: observability handles, the sanitizer,
 the injector object, and config/cost-model references stay with the live
 engine, so a restore rewinds the *simulated* world without disturbing the
-instrumentation around it.  The injector contributes its own
+instrumentation around it (engine-side resilience counters included — like
+metrics, they never rewind).  The injector contributes its own
 :meth:`~repro.inject.FaultInjector.snapshot` (RNG stream states + counters),
 and the sanitizer is :meth:`~repro.check.sanitizer.Sanitizer.resync`'d after
 restore so the monotonicity watermarks accept the rewound clock.
 
-Restores are repeatable: the stored state is deepcopied again on every
-:meth:`restore_into`, so one checkpoint can seed many resumed timelines
-(the checkpoint/restore determinism property tests rely on this).
+Restores are repeatable: every :meth:`restore_into` unpickles a fresh object
+graph from the stored blob, so one checkpoint can seed many resumed
+timelines (the checkpoint/restore determinism property tests rely on this).
 """
 
 from __future__ import annotations
 
-import copy
 import pickle
 from typing import Dict, List
 
@@ -93,11 +96,44 @@ _ENGINE_ATTRS = (
 )
 
 
+def _build_state(engine) -> dict:
+    """The engine's simulation state as a dict of *live references* —
+    callers must serialize it before the simulation moves again."""
+    driver = engine.driver
+    device = engine.device
+    return {
+        "clock_now": engine.clock.now,
+        "engine_rng": engine.rng.bit_generator.state,
+        "driver_rng": (
+            driver.rng.bit_generator.state if driver.rng is not None else None
+        ),
+        "engine": {name: getattr(engine, name) for name in _ENGINE_ATTRS},
+        "fault_buffer": _capture_obj(device.fault_buffer),
+        "gmmu": _capture_obj(device.gmmu, _SKIP_EXTRA["gmmu"]),
+        "utlbs": [_capture_obj(u) for u in device.utlbs],
+        "sms": [_capture_obj(sm) for sm in device.sms],
+        "page_table": _capture_obj(device.page_table),
+        "chunks": _capture_obj(device.chunks),
+        "copy_engines": [_capture_obj(ce) for ce in device.copy_engines],
+        "host_vm": _capture_obj(engine.host_vm),
+        "dma": _capture_obj(engine.dma),
+        "trace": _capture_obj(engine.trace),
+        "vablocks": driver.vablocks,
+        "log_records": list(driver.log.records),
+        "driver": {name: getattr(driver, name) for name in _DRIVER_ATTRS},
+        "eviction": _capture_obj(driver.eviction),
+        "prefetcher": _capture_obj(driver.prefetcher),
+        "injector": engine.injector.snapshot(),
+    }
+
+
 class EngineCheckpoint:
     """One restorable snapshot of an engine's simulation state."""
 
-    def __init__(self, state: dict) -> None:
-        self._state = state
+    def __init__(self, blob: bytes, clock_now: float, num_records: int) -> None:
+        self._blob = blob
+        self._clock_now = clock_now
+        self._num_records = num_records
 
     # ------------------------------------------------------------- capture
 
@@ -105,40 +141,16 @@ class EngineCheckpoint:
     def capture(cls, engine) -> "EngineCheckpoint":
         """Snapshot ``engine`` without perturbing it (no RNG draws, no
         clock advances) — safe to call at any batch boundary."""
-        driver = engine.driver
-        device = engine.device
-        state = {
-            "clock_now": engine.clock.now,
-            "engine_rng": engine.rng.bit_generator.state,
-            "driver_rng": (
-                driver.rng.bit_generator.state if driver.rng is not None else None
-            ),
-            "engine": {name: getattr(engine, name) for name in _ENGINE_ATTRS},
-            "fault_buffer": _capture_obj(device.fault_buffer),
-            "gmmu": _capture_obj(device.gmmu, _SKIP_EXTRA["gmmu"]),
-            "utlbs": [_capture_obj(u) for u in device.utlbs],
-            "sms": [_capture_obj(sm) for sm in device.sms],
-            "page_table": _capture_obj(device.page_table),
-            "chunks": _capture_obj(device.chunks),
-            "copy_engines": [_capture_obj(ce) for ce in device.copy_engines],
-            "host_vm": _capture_obj(engine.host_vm),
-            "dma": _capture_obj(engine.dma),
-            "trace": _capture_obj(engine.trace),
-            "vablocks": driver.vablocks,
-            "log_records": list(driver.log.records),
-            "driver": {name: getattr(driver, name) for name in _DRIVER_ATTRS},
-            "eviction": _capture_obj(driver.eviction),
-            "prefetcher": _capture_obj(driver.prefetcher),
-            "injector": engine.injector.snapshot(),
-        }
-        return cls(copy.deepcopy(state))
+        state = _build_state(engine)
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        return cls(blob, state["clock_now"], len(state["log_records"]))
 
     # ------------------------------------------------------------- restore
 
     def restore_into(self, engine) -> None:
-        """Rewind ``engine`` to this snapshot (repeatable: the stored state
-        is deepcopied again, so later restores see pristine copies)."""
-        state = copy.deepcopy(self._state)
+        """Rewind ``engine`` to this snapshot (repeatable: every restore
+        unpickles pristine copies from the stored blob)."""
+        state = pickle.loads(self._blob)
         driver = engine.driver
         device = engine.device
         engine.clock.restore(state["clock_now"])
@@ -173,18 +185,19 @@ class EngineCheckpoint:
     # -------------------------------------------------------- serialization
 
     def to_bytes(self) -> bytes:
-        """Pickle the snapshot (pure data: plain containers, numpy arrays,
-        warp/fault/record dataclasses)."""
-        return pickle.dumps(self._state, protocol=pickle.HIGHEST_PROTOCOL)
+        """The snapshot's pickle blob (pure data: plain containers, numpy
+        arrays, warp/fault/record dataclasses) — already serialized."""
+        return self._blob
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "EngineCheckpoint":
-        return cls(pickle.loads(blob))
+        state = pickle.loads(blob)
+        return cls(blob, state["clock_now"], len(state["log_records"]))
 
     def summary(self) -> dict:
         """Identifying facts about the snapshot (same dict idiom as the
         injector's and sanitizer's ``summary()``)."""
         return {
-            "clock_usec": self._state["clock_now"],
-            "batches": len(self._state["log_records"]),
+            "clock_usec": self._clock_now,
+            "batches": self._num_records,
         }

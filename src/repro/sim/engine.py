@@ -104,6 +104,30 @@ class LaunchProgress:
     done: bool = False
 
 
+@dataclass
+class EngineCounters:
+    """Resilience accounting for engine-side (non-batch) fault paths.
+
+    The CPU-touch D2H migration burst retries outside any driver batch, so
+    its retries/failovers have no :class:`BatchRecord` to land in.  They
+    accumulate here instead and surface through the chaos report and the
+    shared ``uvm_retries_total``/``uvm_ce_failovers_total`` metric families.
+    Instrumentation, not simulation state: deliberately excluded from
+    checkpoints (like metrics, it never rewinds on crash recovery).
+    """
+
+    d2h_retries: int = 0
+    d2h_failovers: int = 0
+    d2h_backoff_usec: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "engine_d2h_retries": self.d2h_retries,
+            "engine_d2h_failovers": self.d2h_failovers,
+            "engine_d2h_backoff_usec": self.d2h_backoff_usec,
+        }
+
+
 class Engine:
     """Owns the full simulated stack and runs kernels against it."""
 
@@ -175,6 +199,18 @@ class Engine:
         )
         self._m_rounds = metrics.counter(
             "uvm_engine_rounds_total", "GPU fault-generation rounds"
+        )
+        #: Engine-side resilience counters (no BatchRecord on these paths).
+        self.counters = EngineCounters()
+        # Shared with the driver's families (same name + help → the registry
+        # returns the same family object to both).
+        self._m_retries_ce = metrics.counter(
+            "uvm_retries_total",
+            "Driver retries after transient fault-path failures",
+            labels=("site",),
+        ).labels("ce")
+        self._m_failovers = metrics.counter(
+            "uvm_ce_failovers_total", "Copy-engine failovers after stuck bursts"
         )
         self.driver = UvmDriver(
             config=config,
@@ -256,22 +292,34 @@ class Engine:
         The data must come back (the CPU touch reads it), so exhaustion
         raises :class:`repro.errors.RetryExhausted` in both failure modes;
         stuck bursts fail over to the sibling engine like the driver does.
-        Retry overhead is charged straight to the clock (there is no batch
-        record on this path).
+        Retry overhead is charged straight to the clock and accounted in
+        :attr:`counters` (there is no batch record on this path); the shared
+        ``uvm_retries_total{site="ce"}``/``uvm_ce_failovers_total`` families
+        tick too, mirroring the driver's convention (transient fault →
+        retry, stuck → failover only).
         """
         ce = self.device.copy_engines[self.driver._active_ce_id]
         retry = self.driver.retry
+        counters = self.counters
         attempt = 1
         while True:
             try:
                 return ce.device_to_host(run_lengths)
             except TransferFault as exc:
                 self.clock.advance(exc.wasted_usec)
+                counters.d2h_backoff_usec += exc.wasted_usec
+                counters.d2h_retries += 1
+                self._m_retries_ce.inc()
                 if attempt >= retry.max_attempts:
                     raise RetryExhausted("ce.transfer_fault", attempt, exc)
-                self.clock.advance(retry.backoff_usec(attempt))
+                backoff = retry.backoff_usec(attempt)
+                self.clock.advance(backoff)
+                counters.d2h_backoff_usec += backoff
             except TransferStuck as exc:
                 self.clock.advance(retry.deadline_usec)
+                counters.d2h_backoff_usec += retry.deadline_usec
+                counters.d2h_failovers += 1
+                self._m_failovers.inc()
                 if attempt >= retry.max_attempts:
                     raise RetryExhausted("ce.stuck", attempt, exc)
                 ce = self.device.sibling_of(ce)

@@ -1,0 +1,97 @@
+"""Batch records are closed even when servicing raises mid-batch.
+
+Under ``failure_mode="fail-fast"`` an injected failure escapes a hinted or
+fault batch as :class:`repro.errors.RetryExhausted` *after*
+``san.on_batch_start`` has opened the record.  The driver's abort path must
+still append the (partial) record — flagged ``aborted`` — and hand it to
+UVMSan's ``on_batch_abort`` hook, which skips the reconciliation checks
+that only hold for completed batches.
+"""
+
+import pytest
+
+from repro.api import UvmSystem
+from repro.config import default_config
+from repro.errors import RetryExhausted
+from repro.units import MB
+from repro.workloads import RegularStream
+
+
+def fail_fast_system(sites, seed=0):
+    cfg = default_config(failure_mode="fail-fast")
+    cfg.seed = seed
+    cfg.gpu.memory_bytes = 16 * MB
+    cfg.gpu.num_sms = 8
+    cfg.check.enabled = True
+    cfg.check.mode = "report"
+    cfg.inject.enabled = True
+    cfg.inject.sites = dict(sites)
+    cfg.validate()
+    return UvmSystem(cfg)
+
+
+class TestHintedBatchAbort:
+    def test_advise_accessed_by_abort_closes_record(self):
+        system = fail_fast_system({"dma.map_fail": {"rate": 1.0}})
+        alloc = system.managed_alloc(1 * MB)
+        system.host_touch(alloc)
+        with pytest.raises(RetryExhausted):
+            system.mem_advise_accessed_by(alloc)
+        records = system.records
+        assert len(records) == 1
+        record = records[0]
+        assert record.aborted
+        assert record.hinted
+        assert record.t_end >= record.t_start
+        assert system.sanitizer.total_violations == 0
+
+    def test_prefetch_abort_closes_record(self):
+        system = fail_fast_system({"ce.transfer_fault": {"rate": 1.0}})
+        alloc = system.managed_alloc(1 * MB)
+        system.host_touch(alloc)
+        with pytest.raises(RetryExhausted):
+            system.mem_prefetch(alloc)
+        assert system.records[-1].aborted
+        assert system.sanitizer.total_violations == 0
+
+    def test_next_batch_clean_after_abort(self):
+        system = fail_fast_system({"dma.map_fail": {"rate": 1.0}})
+        alloc = system.managed_alloc(1 * MB)
+        system.host_touch(alloc)
+        with pytest.raises(RetryExhausted):
+            system.mem_advise_accessed_by(alloc)
+        # Disarm the injected failure at the component and retry: the next
+        # hinted batch must run to completion with a fresh record.
+        system.engine.dma._inj = None
+        record = system.mem_advise_accessed_by(alloc)
+        assert not record.aborted
+        assert system.records[-1] is record
+        assert record.batch_id > system.records[0].batch_id
+        assert system.sanitizer.total_violations == 0
+
+
+class TestFaultBatchAbort:
+    def test_service_batch_abort_closes_record(self):
+        system = fail_fast_system({"ce.transfer_fault": {"rate": 1.0}})
+        with pytest.raises(RetryExhausted):
+            RegularStream(nbytes=4 * MB).run(system)
+        records = system.records
+        assert records, "the aborted fault batch must still be logged"
+        assert records[-1].aborted
+        assert records[-1].t_end >= records[-1].t_start
+        assert system.sanitizer.total_violations == 0
+
+    def test_aborted_records_round_trip_serialization(self):
+        system = fail_fast_system({"ce.transfer_fault": {"rate": 1.0}})
+        with pytest.raises(RetryExhausted):
+            RegularStream(nbytes=4 * MB).run(system)
+        record = system.records[-1]
+        clone = type(record).from_dict(record.to_dict())
+        assert clone.aborted is True
+
+    def test_completed_records_not_marked_aborted(self):
+        system = fail_fast_system({"ce.transfer_fault": {"rate": 0.0}})
+        RegularStream(nbytes=4 * MB).run(system)
+        assert system.records
+        assert not any(r.aborted for r in system.records)
+        assert system.sanitizer.total_violations == 0

@@ -1,0 +1,136 @@
+"""Integration tests for the campaign runner and its CLI surface.
+
+The determinism contract under test: merged campaign output is a pure
+function of the spec — byte-identical across worker counts and cache
+temperatures.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultCache, run_campaign, to_ndjson
+from repro.cli import main
+
+SPEC_DOC = {
+    "name": "itest",
+    "workloads": ["vecadd", "stream"],
+    "configs": [
+        {"label": "base", "overrides": {}},
+        {"label": "no-prefetch", "overrides": {"driver.prefetch_enabled": False}},
+    ],
+    "seeds": [0],
+    "base_overrides": {"gpu.memory_bytes": 33554432},
+}
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return CampaignSpec.from_dict(SPEC_DOC)
+
+
+@pytest.fixture(scope="module")
+def serial_ndjson(spec):
+    return to_ndjson(run_campaign(spec, jobs=1).rows)
+
+
+class TestRunner:
+    def test_rows_in_spec_order(self, spec):
+        outcome = run_campaign(spec, jobs=1)
+        assert [row["index"] for row in outcome.rows] == [0, 1, 2, 3]
+        assert [row["workload"] for row in outcome.rows] == [
+            "vecadd",
+            "vecadd",
+            "stream",
+            "stream",
+        ]
+
+    def test_jobs_parallel_byte_identical(self, spec, serial_ndjson):
+        parallel = to_ndjson(run_campaign(spec, jobs=2).rows)
+        assert parallel == serial_ndjson
+
+    def test_summary_shape(self, spec, serial_ndjson):
+        row = json.loads(serial_ndjson.splitlines()[0])
+        result = row["result"]
+        assert result["batches"] > 0 and result["faults"] > 0
+        assert result["clock_usec"] > 0
+        assert "engine_d2h_retries" in result["resilience"]
+        # Injection is off in campaign cells: resilience counters are 0.
+        assert all(v == 0 for v in result["resilience"].values())
+
+    def test_no_cache_counts_every_cell_a_miss(self, spec):
+        outcome = run_campaign(spec, jobs=1)
+        assert (outcome.cache_hits, outcome.cache_misses) == (0, 4)
+
+    def test_warm_cache_hits_everything_and_matches(
+        self, spec, serial_ndjson, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_campaign(spec, jobs=1, cache=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 4)
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = run_campaign(spec, jobs=1, cache=warm_cache)
+        assert (warm.cache_hits, warm.cache_misses) == (4, 0)
+        assert to_ndjson(cold.rows) == serial_ndjson
+        assert to_ndjson(warm.rows) == serial_ndjson
+
+    def test_partial_cache_mixes_hit_and_computed_rows(self, spec, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        half = CampaignSpec.from_dict({**SPEC_DOC, "workloads": ["vecadd"]})
+        run_campaign(half, jobs=1, cache=cache)
+        mixed = run_campaign(spec, jobs=1, cache=ResultCache(tmp_path / "cache"))
+        assert (mixed.cache_hits, mixed.cache_misses) == (2, 2)
+        assert to_ndjson(mixed.rows) == to_ndjson(run_campaign(spec, jobs=1).rows)
+
+
+class TestCampaignCli:
+    def run_cli(self, tmp_path, *extra, doc=SPEC_DOC):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(doc))
+        out = tmp_path / "out.ndjson"
+        cache = tmp_path / "cache"
+        argv = [
+            "campaign",
+            str(spec_path),
+            "--out",
+            str(out),
+            "--cache-dir",
+            str(cache),
+            *extra,
+        ]
+        return main(argv), out
+
+    def test_writes_ndjson_and_reports_cache(self, tmp_path, capsys):
+        code, out = self.run_cli(tmp_path)
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 4
+        assert json.loads(lines[0])["workload"] == "vecadd"
+        text = capsys.readouterr().out
+        assert "4 cells" in text and "misses 4" in text
+
+    def test_warm_rerun_all_hits_same_bytes(self, tmp_path, capsys):
+        _, out = self.run_cli(tmp_path)
+        cold = out.read_bytes()
+        code, out = self.run_cli(tmp_path)
+        assert code == 0
+        assert out.read_bytes() == cold
+        assert "hits 4, misses 0" in capsys.readouterr().out
+
+    def test_jobs_2_same_bytes(self, tmp_path):
+        _, out = self.run_cli(tmp_path, "--no-cache")
+        serial = out.read_bytes()
+        out.unlink()
+        _, out = self.run_cli(tmp_path, "--no-cache", "--jobs", "2")
+        assert out.read_bytes() == serial
+
+    def test_bad_spec_exits_2(self, tmp_path):
+        code, _ = self.run_cli(tmp_path, doc={"name": "x", "workloads": ["nope"]})
+        assert code == 2
+
+    def test_missing_spec_file_exits_2(self, tmp_path):
+        assert main(["campaign", str(tmp_path / "absent.json")]) == 2
+
+    def test_bad_jobs_exits_2(self, tmp_path):
+        code, _ = self.run_cli(tmp_path, "--jobs", "0")
+        assert code == 2

@@ -1,0 +1,104 @@
+"""Property tests for the ``contiguous_runs`` sortedness precondition.
+
+``contiguous_runs`` silently miscounts on unsorted or duplicated input:
+every inversion splits a run, inflating per-run overhead and transfer
+counts without any error.  UVMSan arms an O(n) precondition check
+(:func:`repro.gpu.copy_engine.enable_sortedness_checks`); these tests pin
+the gated behaviour and verify every real call site feeds sorted input.
+"""
+
+import contextlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvariantViolation
+from repro.gpu import copy_engine
+from repro.gpu.copy_engine import contiguous_runs, enable_sortedness_checks
+from repro.units import MB
+from repro.workloads import RandomAccess
+
+page_lists = st.lists(st.integers(min_value=0, max_value=4096), min_size=0, max_size=64)
+
+
+@contextlib.contextmanager
+def sortedness(enabled: bool):
+    prior = copy_engine._ASSERT_SORTED
+    enable_sortedness_checks(enabled)
+    try:
+        yield
+    finally:
+        enable_sortedness_checks(prior)
+
+
+@given(pages=page_lists)
+def test_runs_partition_sorted_input(pages):
+    pages = sorted(set(pages))
+    runs = contiguous_runs(pages)
+    assert sum(runs) == len(pages)
+    breaks = sum(1 for a, b in zip(pages, pages[1:]) if b != a + 1)
+    assert len(runs) == (breaks + 1 if pages else 0)
+
+
+@settings(max_examples=50)
+@given(pages=page_lists)
+def test_armed_gate_matches_ungated_on_sorted_input(pages):
+    pages = sorted(set(pages))
+    with sortedness(False):
+        ungated = contiguous_runs(pages)
+    with sortedness(True):
+        assert contiguous_runs(pages) == ungated
+
+
+@settings(max_examples=50)
+@given(pages=page_lists)
+def test_armed_gate_rejects_any_violation(pages):
+    violated = any(b <= a for a, b in zip(pages, pages[1:]))
+    with sortedness(True):
+        if violated:
+            with pytest.raises(InvariantViolation, match="strictly increasing"):
+                contiguous_runs(pages)
+        else:
+            contiguous_runs(pages)
+
+
+def test_unsorted_input_miscounts_without_the_gate():
+    """The failure mode the gate exists for: same pages, shuffled, split
+    into spurious runs — silently, when the gate is off."""
+    with sortedness(False):
+        assert contiguous_runs([0, 1, 2, 3]) == [4]
+        assert contiguous_runs([2, 3, 0, 1]) == [2, 2]  # silent inflation
+    with sortedness(True):
+        with pytest.raises(InvariantViolation):
+            contiguous_runs([2, 3, 0, 1])
+
+
+def test_duplicates_rejected_when_armed():
+    with sortedness(True):
+        with pytest.raises(InvariantViolation):
+            contiguous_runs([5, 5])
+
+
+def test_sanitizer_construction_arms_the_gate():
+    from repro.check.sanitizer import make_sanitizer
+    from repro.config import CheckConfig
+    from repro.sim.clock import SimClock
+
+    with sortedness(False):
+        make_sanitizer(CheckConfig(enabled=True), SimClock())
+        assert copy_engine._ASSERT_SORTED is True
+
+
+def test_all_call_sites_sorted_under_armed_gate(system_factory):
+    """Driver replay, eviction write-back, prefetch upgrades, and the
+    CPU-touch D2H path all decompose runs with the gate armed — an
+    oversubscribed irregular workload exercises every one of them.  A
+    violation would raise straight out of ``contiguous_runs``."""
+    with sortedness(True):
+        system = system_factory(gpu_mem_mb=8)
+        RandomAccess(nbytes=12 * MB).run(system)
+        alloc = system.managed_alloc(1 * MB)
+        system.host_touch(alloc)
+        system.mem_prefetch(alloc)
+        system.host_touch(alloc)  # resident pages: the engine D2H path

@@ -1,0 +1,77 @@
+"""Unit tests for the content-addressed campaign result cache."""
+
+from repro.campaign import ResultCache, cache_key, code_version
+from repro.campaign.cache import canonical_config_doc
+from repro.config import default_config
+
+
+class TestCacheKey:
+    def test_stable_for_identical_inputs(self):
+        assert cache_key("vecadd", 0, default_config()) == cache_key(
+            "vecadd", 0, default_config()
+        )
+
+    def test_varies_with_workload_seed_and_config(self):
+        base = cache_key("vecadd", 0, default_config())
+        assert cache_key("stream", 0, default_config()) != base
+        assert cache_key("vecadd", 1, default_config()) != base
+        cfg = default_config()
+        cfg.driver.batch_size //= 2
+        assert cache_key("vecadd", 0, cfg) != base
+
+    def test_obs_settings_do_not_invalidate(self):
+        cfg = default_config()
+        dark = default_config()
+        dark.obs = dark.obs.disabled()
+        assert cache_key("vecadd", 0, cfg) == cache_key("vecadd", 0, dark)
+
+    def test_canonical_doc_drops_obs_only(self):
+        doc = canonical_config_doc(default_config())
+        assert "obs" not in doc
+        assert {"gpu", "driver", "host", "check", "inject", "seed"} <= set(doc)
+
+    def test_code_version_is_hex_digest(self):
+        version = code_version()
+        assert len(version) == 64
+        int(version, 16)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ab" * 32) is None
+        cache.put("ab" * 32, {"result": {"x": 1}})
+        assert cache.get("ab" * 32) == {"result": {"x": 1}}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {})
+        assert (tmp_path / "cd" / (key + ".json")).exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"ok": True})
+        path = tmp_path / "ef" / (key + ".json")
+        path.write_text("{torn")
+        assert cache.get(key) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("12" * 32, {"x": 1})
+        leftovers = [p for p in tmp_path.rglob("*") if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_blob_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get_blob("34" * 32) is None
+        cache.put_blob("34" * 32, b"\x00payload")
+        assert cache.get_blob("34" * 32) == b"\x00payload"
+
+    def test_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get("56" * 32)
+        assert cache.stats() == {"root": str(tmp_path), "hits": 0, "misses": 1}

@@ -1,0 +1,140 @@
+"""Unit tests for campaign spec parsing and expansion."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.errors import ConfigError
+
+
+def make_doc(**over):
+    doc = {
+        "name": "t",
+        "workloads": ["vecadd", "stream"],
+        "configs": [
+            {"label": "base", "overrides": {}},
+            {"label": "np", "overrides": {"driver.prefetch_enabled": False}},
+        ],
+        "seeds": [0, 1],
+    }
+    doc.update(over)
+    return doc
+
+
+class TestProductExpansion:
+    def test_cell_count_and_indices(self):
+        spec = CampaignSpec.from_dict(make_doc())
+        assert len(spec.cells) == 8
+        assert [c.index for c in spec.cells] == list(range(8))
+
+    def test_workload_major_order(self):
+        spec = CampaignSpec.from_dict(make_doc())
+        triples = [(c.workload, c.config_label, c.seed) for c in spec.cells]
+        assert triples[:4] == [
+            ("vecadd", "base", 0),
+            ("vecadd", "base", 1),
+            ("vecadd", "np", 0),
+            ("vecadd", "np", 1),
+        ]
+        assert triples[4][0] == "stream"
+
+    def test_defaults_single_config_and_seed(self):
+        spec = CampaignSpec.from_dict({"name": "t", "workloads": ["vecadd"]})
+        assert len(spec.cells) == 1
+        cell = spec.cells[0]
+        assert (cell.config_label, cell.seed, cell.overrides) == ("base", 0, {})
+
+    def test_base_overrides_lose_to_config_overrides(self):
+        doc = make_doc(
+            base_overrides={"driver.batch_size": 128, "gpu.num_sms": 8},
+            configs=[{"label": "big", "overrides": {"driver.batch_size": 512}}],
+            seeds=[0],
+        )
+        spec = CampaignSpec.from_dict(doc)
+        for cell in spec.cells:
+            assert cell.overrides["driver.batch_size"] == 512
+            assert cell.overrides["gpu.num_sms"] == 8
+
+    def test_build_config_applies_overrides_and_seed(self):
+        doc = make_doc(seeds=[7])
+        spec = CampaignSpec.from_dict(doc)
+        cfg = spec.cells[3].build_config()  # vecadd/np/7
+        assert cfg.driver.prefetch_enabled is False
+        assert cfg.seed == 7
+        # Fresh instance every time: mutating one build leaks nowhere.
+        assert spec.cells[3].build_config() is not cfg
+
+
+class TestRunListExpansion:
+    def test_runs_in_listed_order(self):
+        doc = {
+            "name": "t",
+            "runs": [
+                {"workload": "stream", "seed": 3, "label": "a"},
+                {"workload": "vecadd"},
+            ],
+        }
+        spec = CampaignSpec.from_dict(doc)
+        assert [(c.workload, c.config_label, c.seed) for c in spec.cells] == [
+            ("stream", "a", 3),
+            ("vecadd", "base", 0),
+        ]
+
+    def test_base_overrides_merge_into_runs(self):
+        doc = {
+            "name": "t",
+            "base_overrides": {"gpu.num_sms": 8},
+            "runs": [{"workload": "vecadd", "overrides": {"gpu.num_sms": 4}}],
+        }
+        spec = CampaignSpec.from_dict(doc)
+        assert spec.cells[0].overrides == {"gpu.num_sms": 4}
+
+
+class TestValidation:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            CampaignSpec.from_dict(make_doc(workloads=["nope"]))
+
+    def test_duplicate_config_label_rejected(self):
+        doc = make_doc(configs=[{"label": "x"}, {"label": "x"}])
+        with pytest.raises(ConfigError, match="duplicate config label"):
+            CampaignSpec.from_dict(doc)
+
+    def test_duplicate_run_rejected(self):
+        doc = {
+            "name": "t",
+            "runs": [{"workload": "vecadd"}, {"workload": "vecadd"}],
+        }
+        with pytest.raises(ConfigError, match="same run"):
+            CampaignSpec.from_dict(doc)
+
+    def test_bad_override_path_fails_at_expansion(self):
+        doc = make_doc(base_overrides={"driver.no_such_knob": 1})
+        with pytest.raises(ConfigError):
+            CampaignSpec.from_dict(doc)
+
+    def test_runs_and_workloads_exclusive(self):
+        doc = make_doc(runs=[{"workload": "vecadd"}])
+        with pytest.raises(ConfigError, match="not both"):
+            CampaignSpec.from_dict(doc)
+
+    def test_empty_expansion_rejected(self):
+        with pytest.raises(ConfigError, match="zero cells"):
+            CampaignSpec.from_dict({"name": "t", "runs": []})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigError, match="name"):
+            CampaignSpec.from_dict({"workloads": ["vecadd"]})
+
+    def test_from_file_round_trip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(make_doc()))
+        spec = CampaignSpec.from_file(path)
+        assert spec.name == "t" and len(spec.cells) == 8
+
+    def test_from_file_invalid_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            CampaignSpec.from_file(path)

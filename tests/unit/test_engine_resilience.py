@@ -1,0 +1,163 @@
+"""Engine-side retry accounting on the CPU-touch D2H path.
+
+``Engine._d2h_with_retry`` has no BatchRecord to charge, so its retries,
+failovers, and backoff time land on :class:`repro.sim.engine.EngineCounters`
+and tick the same metric families the driver uses.  These are regression
+tests for the gap where backoff time was charged to the clock while the
+counters never moved.
+"""
+
+import pytest
+
+from repro.errors import RetryExhausted
+from repro.sim.checkpoint import EngineCheckpoint
+from repro.units import MB
+
+
+class ScriptedCeInjector:
+    """Injector double: scripted fire() outcomes for the ``ce.*`` sites."""
+
+    enabled = True
+
+    def __init__(self, fires):
+        self._fires = {site: list(seq) for site, seq in fires.items()}
+
+    def fire(self, site):
+        seq = self._fires.get(site)
+        return bool(seq.pop(0)) if seq else False
+
+    def factor(self, site):
+        return 2.0
+
+    def waste_frac(self, site):
+        return 0.5
+
+
+def metric_value(system, name, **labels):
+    family = system.metrics_snapshot().get(name)
+    if family is None:
+        return 0.0
+    for series in family["series"]:
+        if series["labels"] == labels:
+            return series["value"]
+    return 0.0
+
+
+@pytest.fixture
+def resident_system(system_factory):
+    """A system with 1 MiB device-resident (prefetched) managed memory."""
+    system = system_factory()
+    alloc = system.managed_alloc(1 * MB)
+    system.host_touch(alloc)
+    system.mem_prefetch(alloc)
+    return system, alloc
+
+
+def arm(system, fires):
+    stub = ScriptedCeInjector(fires)
+    for ce in system.engine.device.copy_engines:
+        ce.attach_injector(stub)
+    return stub
+
+
+class TestD2hRetryAccounting:
+    def test_clean_touch_leaves_counters_zero(self, resident_system):
+        system, alloc = resident_system
+        system.host_touch(alloc)
+        counters = system.engine.counters
+        assert counters.d2h_retries == 0
+        assert counters.d2h_failovers == 0
+        assert counters.d2h_backoff_usec == 0.0
+
+    def test_transient_fault_counts_a_retry(self, resident_system):
+        system, alloc = resident_system
+        arm(system, {"ce.transfer_fault": [True]})
+        before = system.clock.now
+        system.host_touch(alloc)
+        counters = system.engine.counters
+        assert counters.d2h_retries == 1
+        assert counters.d2h_failovers == 0
+        assert counters.d2h_backoff_usec > 0.0
+        # Backoff time is charged to the simulated clock, not just counted.
+        assert system.clock.now - before >= counters.d2h_backoff_usec
+
+    def test_retry_ticks_shared_ce_metric_family(self, resident_system):
+        system, alloc = resident_system
+        arm(system, {"ce.transfer_fault": [True, True]})
+        system.host_touch(alloc)
+        assert metric_value(system, "uvm_retries_total", site="ce") == 2
+        assert metric_value(system, "uvm_ce_failovers_total") == 0
+
+    def test_stuck_burst_fails_over_to_sibling(self, resident_system):
+        system, alloc = resident_system
+        arm(system, {"ce.stuck": [True]})
+        system.host_touch(alloc)
+        counters = system.engine.counters
+        assert counters.d2h_failovers == 1
+        assert counters.d2h_retries == 0
+        deadline = system.engine.driver.retry.deadline_usec
+        assert counters.d2h_backoff_usec == pytest.approx(deadline)
+        assert metric_value(system, "uvm_ce_failovers_total") == 1
+        # Stuck is a failover, never a retry (the driver's convention).
+        assert metric_value(system, "uvm_retries_total", site="ce") == 0
+
+    def test_exhaustion_raises_and_counts_every_attempt(self, resident_system):
+        system, alloc = resident_system
+        max_attempts = system.engine.driver.retry.max_attempts
+        arm(system, {"ce.transfer_fault": [True] * max_attempts})
+        with pytest.raises(RetryExhausted):
+            system.host_touch(alloc)
+        # The exhausted final attempt counts too.
+        assert system.engine.counters.d2h_retries == max_attempts
+        assert metric_value(system, "uvm_retries_total", site="ce") == max_attempts
+
+    def test_stuck_exhaustion_raises(self, resident_system):
+        system, alloc = resident_system
+        max_attempts = system.engine.driver.retry.max_attempts
+        arm(system, {"ce.stuck": [True] * max_attempts})
+        with pytest.raises(RetryExhausted):
+            system.host_touch(alloc)
+        assert system.engine.counters.d2h_failovers == max_attempts
+
+
+class TestCountersVsCheckpoint:
+    def test_restore_never_rewinds_engine_counters(self, resident_system):
+        """Like metrics, engine counters are instrumentation: a checkpoint
+        restore rewinds the simulated world but not the failure ledger."""
+        system, alloc = resident_system
+        ckpt = EngineCheckpoint.capture(system.engine)
+        arm(system, {"ce.transfer_fault": [True]})
+        system.host_touch(alloc)
+        assert system.engine.counters.d2h_retries == 1
+        ckpt.restore_into(system.engine)
+        assert system.engine.counters.d2h_retries == 1
+
+
+class TestSanitizerGate:
+    def test_nonzero_counters_without_injection_violate(self, system_factory):
+        system = system_factory()
+        system.config.check.enabled = True
+        engine = system.engine
+        from repro.check.sanitizer import make_sanitizer
+
+        san = make_sanitizer(system.config.check, engine.clock)
+        san.mode = "report"
+        engine.counters.d2h_retries = 3
+        san._check_engine_counters(engine)
+        assert san.total_violations == 1
+        assert "engine counter" in str(san.violations[0])
+
+    def test_counters_allowed_under_injection(self, system_factory):
+        system = system_factory()
+        system.config.check.enabled = True
+        system.config.inject.enabled = True
+        engine = system.engine
+        from repro.check.sanitizer import make_sanitizer
+
+        san = make_sanitizer(system.config.check, engine.clock)
+        san.mode = "report"
+        # Stand-in for an armed injector; never mutate the shared null one.
+        engine.injector = type("ArmedInjector", (), {"enabled": True})()
+        engine.counters.d2h_retries = 3
+        san._check_engine_counters(engine)
+        assert san.total_violations == 0
