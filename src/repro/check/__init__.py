@@ -1,12 +1,20 @@
-"""Correctness tooling: determinism lint + UVMSan runtime sanitizer.
+"""Correctness tooling: static analysis + UVMSan runtime sanitizer.
 
-Two complementary halves guard the reproduction's fidelity guarantee:
+Three complementary layers guard the reproduction's fidelity guarantee:
 
-* :mod:`repro.check.lint` — a static AST pass over the simulator flagging
-  nondeterminism hazards (wall-clock reads, unseeded randomness, set-order
-  iteration, per-iteration set rebuilds, ``id()`` sorts, mutable defaults)
-  with per-rule allowlists and ``# repro: lint-ok[rule]`` suppressions.
-  Run it with ``uvm-repro lint``.
+* :mod:`repro.check.lint` — the per-file AST rules flagging nondeterminism
+  hazards (wall-clock reads, unseeded randomness, set-order iteration,
+  per-iteration set rebuilds, ``id()`` sorts, mutable defaults) with
+  per-rule allowlists and ``# repro: lint-ok[rule]`` suppressions.
+* :mod:`repro.check.program` — the whole-program engine: a project IR
+  (module index, symbol tables, intra-package call graph) feeding the
+  interprocedural passes — ``sim-taint`` (wall-clock/unseeded-RNG values
+  flowing into the simulated timeline), ``metric-drift`` (call sites vs
+  the :mod:`repro.obs.catalog` declarations), ``mp-shared-state``
+  (module-global mutation reachable from campaign pool workers), and
+  ``suppression-hygiene`` — plus the committed baseline and SARIF export.
+  The per-file rules run as one more pass on the same engine; everything
+  is reachable through ``uvm-repro lint``.
 * :mod:`repro.check.sanitizer` — UVMSan, a config-gated runtime invariant
   layer (``CheckConfig``; null object when off) hooked into the driver, the
   GPU models, and the engine, asserting the paper's reverse-engineered

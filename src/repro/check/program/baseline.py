@@ -1,0 +1,124 @@
+"""Committed finding baseline: incremental adoption without losing the gate.
+
+A baseline is the set of *known, individually justified* findings the
+project has agreed to carry for now.  The engine subtracts baselined
+findings from the report, so ``uvm-repro lint`` stays a hard 0/1 gate on
+**new** findings while old debt is paid down entry by entry:
+
+* a finding whose fingerprint matches a baseline entry is filtered out
+  (and counted, so the report shows what the baseline is absorbing);
+* a baseline entry matching no current finding is *stale* — the debt was
+  paid; CI reports it as an improvement and the entry should be deleted
+  (``--write-baseline`` rewrites the file to match reality);
+* every entry carries a one-line ``reason``; entries without one are
+  rejected at load time so the file cannot silently accrete.
+
+Fingerprints hash rule + path + the flagged line's text + occurrence
+index (see :func:`repro.check.program.base.fingerprint_findings`), so
+unrelated edits that shift line numbers do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ...errors import ConfigError
+from .base import Finding
+
+BASELINE_VERSION = 1
+
+#: The committed project baseline (applies when linting the default target).
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent.parent / "lint_baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "reason": self.reason,
+        }
+
+
+def load_baseline(path) -> List[BaselineEntry]:
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"baseline {path} must be a dict with version={BASELINE_VERSION}"
+        )
+    entries: List[BaselineEntry] = []
+    for raw in doc.get("entries", []):
+        reason = str(raw.get("reason", "")).strip()
+        if not reason:
+            raise ConfigError(
+                f"baseline {path}: entry {raw.get('fingerprint')!r} has no "
+                "reason — every carried finding needs a one-line "
+                "justification"
+            )
+        entries.append(
+            BaselineEntry(
+                fingerprint=str(raw["fingerprint"]),
+                rule=str(raw.get("rule", "")),
+                path=str(raw.get("path", "")),
+                reason=reason,
+            )
+        )
+    return entries
+
+
+def save_baseline(path, findings: Sequence[Finding],
+                  reasons: Dict[str, str] = None,
+                  stable_paths: Dict[str, str] = None) -> None:
+    """Write the current findings as the new baseline (sorted, stable).
+
+    ``stable_paths`` (from the engine report) rewrites on-disk paths to
+    their checkout-independent form so the committed file has no absolute
+    paths in it; matching is by fingerprint, the path is documentation.
+    """
+    reasons = reasons or {}
+    stable_paths = stable_paths or {}
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": stable_paths.get(f.path, f.path).replace("\\", "/"),
+            "reason": reasons.get(f.fingerprint, "baselined pending fix"),
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    doc = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings into (new, baselined) and return stale entries."""
+    by_fp = {entry.fingerprint: entry for entry in entries}
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    matched = set()
+    for f in findings:
+        if f.fingerprint in by_fp:
+            matched.add(f.fingerprint)
+            baselined.append(f)
+        else:
+            new.append(f)
+    stale = [entry for entry in entries if entry.fingerprint not in matched]
+    return new, baselined, stale

@@ -1,0 +1,154 @@
+"""``suppression-hygiene``: stale ``lint-ok`` comments and dead allowlist
+entries.
+
+Suppressions are precision debt: every ``# repro: lint-ok[rule]`` and
+allowlist line is a hole the linter agreed to look away from.  Holes must
+keep paying rent — when the code under a suppression is fixed or deleted,
+the suppression should go too, or it will silently absorb the *next*,
+unrelated hazard introduced on that line or file.
+
+This pass runs *after* every other pass, against their raw (pre-filter)
+findings:
+
+* ``stale-suppression`` — a ``lint-ok`` comment on a line where no rule
+  fires at all, or naming specific rules that do not fire on that line;
+* ``unknown-suppression-rule`` — a bracketed rule id the engine has never
+  heard of (usually a typo that makes the suppression a no-op);
+* ``dead-allow-entry`` — an allowlist entry (``path: rule  # why``) that
+  matches zero raw findings anywhere in the analyzed project.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..lint import AllowEntry, LintFinding, _SUPPRESS_RE
+from .base import AnalysisPass, Finding, Rule
+from .ir import ProjectIR
+
+
+def iter_suppression_comments(source: str) -> Iterator[Tuple[int, int, str]]:
+    """(line, col, comment-text) for every real ``lint-ok`` *comment*.
+
+    Tokenizing (rather than regexing lines) keeps documentation that merely
+    *mentions* ``# repro: lint-ok[...]`` inside a docstring from being
+    audited as if it were a suppression.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT and _SUPPRESS_RE.search(tok.string):
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+class SuppressionHygienePass(AnalysisPass):
+    """Audit the suppression surface itself."""
+
+    name = "suppression-hygiene"
+    RULE_STALE = Rule(
+        "stale-suppression", "suppression-hygiene", "warning",
+        "`# repro: lint-ok` comment suppresses nothing (no rule fires on "
+        "its line, or the named rules do not fire there)",
+    )
+    RULE_UNKNOWN = Rule(
+        "unknown-suppression-rule", "suppression-hygiene", "warning",
+        "`lint-ok[...]` names a rule id the engine does not define "
+        "(the suppression is a silent no-op)",
+    )
+    RULE_DEAD_ALLOW = Rule(
+        "dead-allow-entry", "suppression-hygiene", "warning",
+        "allowlist entry matches no finding anywhere in the analyzed "
+        "project",
+    )
+    rules = (RULE_STALE, RULE_UNKNOWN, RULE_DEAD_ALLOW)
+
+    def __init__(
+        self,
+        known_rules: Sequence[str],
+        allowlist: Sequence[AllowEntry] = (),
+        allowlist_path: str = "",
+    ) -> None:
+        self.known_rules = set(known_rules) | {r.id for r in self.rules}
+        self.allowlist = list(allowlist)
+        self.allowlist_path = allowlist_path
+        #: Raw findings from the other passes; the engine injects these
+        #: before calling :meth:`run`.
+        self.raw_findings: Sequence[Finding] = ()
+
+    def run(self, ir: ProjectIR) -> List[Finding]:
+        by_line: Dict[Tuple[str, int], Set[str]] = {}
+        for f in self.raw_findings:
+            by_line.setdefault((f.path, f.line), set()).add(f.rule)
+
+        findings: List[Finding] = []
+        for _name, mod in sorted(ir.modules.items()):
+            for lineno, col, comment in iter_suppression_comments(mod.source):
+                match = _SUPPRESS_RE.search(comment)
+                fired = by_line.get((str(mod.path), lineno), set())
+                named = match.group(1)
+                if named is None:
+                    if not fired:
+                        findings.append(
+                            self.make_finding(
+                                self.RULE_STALE, path=str(mod.path),
+                                line=lineno, col=col,
+                                message="bare `lint-ok` suppresses nothing: "
+                                        "no rule fires on this line",
+                            )
+                        )
+                    continue
+                listed = [r.strip() for r in named.split(",") if r.strip()]
+                for rule_id in listed:
+                    if rule_id not in self.known_rules:
+                        findings.append(
+                            self.make_finding(
+                                self.RULE_UNKNOWN, path=str(mod.path),
+                                line=lineno, col=col,
+                                message=f"`lint-ok[{rule_id}]` names an "
+                                        "unknown rule id",
+                            )
+                        )
+                    elif rule_id not in fired:
+                        findings.append(
+                            self.make_finding(
+                                self.RULE_STALE, path=str(mod.path),
+                                line=lineno, col=col,
+                                message=f"`lint-ok[{rule_id}]` is stale: "
+                                        f"{rule_id} does not fire on this "
+                                        "line",
+                            )
+                        )
+
+        if self.allowlist:
+            shims = [
+                LintFinding(rule=f.rule, path=f.path, line=f.line,
+                            col=f.col, message=f.message)
+                for f in self.raw_findings
+            ]
+            module_paths = [
+                str(mod.path).replace("\\", "/")
+                for _name, mod in sorted(ir.modules.items())
+            ]
+            for idx, entry in enumerate(self.allowlist):
+                # Entries whose target file isn't in the analyzed scope at
+                # all (single-file invocations with the project allowlist)
+                # are out of scope, not dead.
+                if not any(p.endswith(entry.path_suffix) for p in module_paths):
+                    continue
+                if not any(entry.matches(s) for s in shims):
+                    findings.append(
+                        self.make_finding(
+                            self.RULE_DEAD_ALLOW,
+                            path=self.allowlist_path or "<allowlist>",
+                            line=idx + 1, col=0,
+                            message=f"allowlist entry "
+                                    f"'{entry.path_suffix}: {entry.rule}' "
+                                    "matches no finding in the analyzed "
+                                    "project",
+                        )
+                    )
+        return findings

@@ -1,0 +1,318 @@
+"""``metric-drift``: cross-check metric/span usage against the obs catalog.
+
+The observability layer registers families lazily at call sites
+(``metrics.counter("uvm_faults_total", ..., labels=("kind",))``), which is
+ergonomic but lets names and label sets drift silently: a renamed family
+keeps "working" while every dashboard, reconciliation identity, and
+cross-run diff quietly loses the series.  :mod:`repro.obs.catalog` is the
+single declarative source of truth; this pass statically extracts every
+registration and ``.span(...)`` site from the project IR and checks:
+
+* ``metric-undeclared`` — a family name registered anywhere in the project
+  that the catalog does not declare;
+* ``metric-mismatch`` — kind or label-key set at a call site disagreeing
+  with the declaration (including ``.labels(...)`` arity on chained calls);
+* ``metric-unused`` — a declared family or span no call site ever emits
+  (dead declaration, or the drifted half of a rename);
+* ``span-undeclared`` — a ``.span("name", ...)`` name missing from
+  ``SPAN_CATALOG``.
+
+The catalog is discovered *inside the analyzed project*: any module-level
+``METRIC_CATALOG`` / ``SPAN_CATALOG`` dict literal (parsed statically, no
+import of analyzed code).  Projects without a catalog — loose files handed
+to ``uvm-repro lint`` — skip the pass entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .base import AnalysisPass, Finding, Rule
+from .ir import ModuleInfo, ProjectIR
+
+_REGISTER_METHODS = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "histogram"}
+
+#: Span-recording call attributes: ``obs.span(...)``, ``spans.span(...)``
+#: and the manual ``spans.record(...)`` variant.
+_SPAN_METHODS = frozenset({"span"})
+_SPAN_RECORD_METHODS = frozenset({"record"})
+
+
+@dataclass
+class _Declaration:
+    kind: str
+    labels: Tuple[str, ...]
+    module: str
+    line: int
+
+
+@dataclass
+class _UseSite:
+    name: str
+    kind: str
+    labels: Optional[Tuple[str, ...]]  # None: no labels= literal at the site
+    chained_arity: Optional[int]  # .labels(...) argument count when chained
+    module: ModuleInfo
+    line: int
+    col: int
+
+
+def _literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _literal_str_tuple(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        out = []
+        for elt in node.elts:
+            value = _literal_str(elt)
+            if value is None:
+                return None
+            out.append(value)
+        return tuple(out)
+    return None
+
+
+def extract_catalogs(
+    ir: ProjectIR,
+) -> Tuple[Dict[str, _Declaration], Dict[str, _Declaration], Optional[str]]:
+    """Statically parse METRIC_CATALOG / SPAN_CATALOG dict literals."""
+    metrics: Dict[str, _Declaration] = {}
+    spans: Dict[str, _Declaration] = {}
+    catalog_module: Optional[str] = None
+    for _name, mod in sorted(ir.modules.items()):
+        for stmt in mod.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            names = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            if "METRIC_CATALOG" in names and isinstance(stmt.value, ast.Dict):
+                catalog_module = mod.name
+                for key, value in zip(stmt.value.keys, stmt.value.values):
+                    name = _literal_str(key)
+                    if name is None:
+                        continue
+                    try:
+                        spec = ast.literal_eval(value)
+                    except (ValueError, SyntaxError):
+                        continue
+                    if not isinstance(spec, dict):
+                        continue
+                    metrics[name] = _Declaration(
+                        kind=str(spec.get("kind", "counter")),
+                        labels=tuple(spec.get("labels", ())),
+                        module=mod.name,
+                        line=key.lineno,
+                    )
+            if "SPAN_CATALOG" in names and isinstance(stmt.value, ast.Dict):
+                catalog_module = catalog_module or mod.name
+                for key in stmt.value.keys:
+                    name = _literal_str(key)
+                    if name is not None:
+                        spans[name] = _Declaration(
+                            kind="span", labels=(), module=mod.name,
+                            line=key.lineno,
+                        )
+    return metrics, spans, catalog_module
+
+
+def _iter_use_sites(ir: ProjectIR):
+    """Yield every metric registration and span call in the project."""
+    for _name, mod in sorted(ir.modules.items()):
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            attr = func.attr
+            if attr in _REGISTER_METHODS and node.args:
+                name = _literal_str(node.args[0])
+                if name is None:
+                    continue  # np.histogram(arr, bins) and friends
+                labels: Optional[Tuple[str, ...]] = None
+                for kw in node.keywords:
+                    if kw.arg == "labels":
+                        labels = _literal_str_tuple(kw.value)
+                if labels is None and len(node.args) >= 3:
+                    labels = _literal_str_tuple(node.args[2])
+                yield _UseSite(
+                    name=name, kind=_REGISTER_METHODS[attr], labels=labels,
+                    chained_arity=None, module=mod, line=node.lineno,
+                    col=node.col_offset,
+                )
+            elif attr == "labels" and isinstance(func.value, ast.Call):
+                inner = func.value
+                if (
+                    isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in _REGISTER_METHODS
+                    and inner.args
+                ):
+                    name = _literal_str(inner.args[0])
+                    if name is not None:
+                        yield _UseSite(
+                            name=name, kind=_REGISTER_METHODS[inner.func.attr],
+                            labels=None, chained_arity=len(node.args),
+                            module=mod, line=node.lineno, col=node.col_offset,
+                        )
+            elif attr in _SPAN_METHODS and node.args:
+                name = _literal_str(node.args[0])
+                if name is not None and _looks_like_span_receiver(func.value):
+                    yield _UseSite(
+                        name=name, kind="span", labels=None,
+                        chained_arity=None, module=mod, line=node.lineno,
+                        col=node.col_offset,
+                    )
+            elif attr in _SPAN_RECORD_METHODS and node.args:
+                name = _literal_str(node.args[0])
+                if name is not None and _is_spans_receiver(func.value):
+                    yield _UseSite(
+                        name=name, kind="span", labels=None,
+                        chained_arity=None, module=mod, line=node.lineno,
+                        col=node.col_offset,
+                    )
+
+
+def _looks_like_span_receiver(node: ast.AST) -> bool:
+    """``obs.span`` / ``self.obs.span`` / ``spans.span`` — the receiver tail
+    names an observability handle, so ``soup.span(...)`` elsewhere is not
+    mistaken for a profiler call."""
+    tail = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else ""
+    )
+    return tail in ("obs", "spans", "profiler") or tail.endswith("_spans")
+
+
+def _is_spans_receiver(node: ast.AST) -> bool:
+    tail = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else ""
+    )
+    return tail in ("spans", "profiler")
+
+
+class MetricDriftPass(AnalysisPass):
+    """Catalog ↔ call-site consistency for metric families and spans."""
+
+    name = "metric-drift"
+    RULE_UNDECLARED = Rule(
+        "metric-undeclared", "metric-drift", "error",
+        "metric family registered at a call site but missing from "
+        "repro.obs METRIC_CATALOG",
+    )
+    RULE_MISMATCH = Rule(
+        "metric-mismatch", "metric-drift", "error",
+        "metric call site disagrees with the catalog declaration "
+        "(kind, label keys, or .labels() arity)",
+    )
+    RULE_UNUSED = Rule(
+        "metric-unused", "metric-drift", "warning",
+        "declared metric family or span never emitted by any call site",
+    )
+    RULE_SPAN_UNDECLARED = Rule(
+        "span-undeclared", "metric-drift", "error",
+        "span name used at a call site but missing from SPAN_CATALOG",
+    )
+    rules = (RULE_UNDECLARED, RULE_MISMATCH, RULE_UNUSED, RULE_SPAN_UNDECLARED)
+
+    def run(self, ir: ProjectIR) -> List[Finding]:
+        metrics, spans, catalog_module = extract_catalogs(ir)
+        if catalog_module is None:
+            return []
+        findings: List[Finding] = []
+        used_metrics: Dict[str, int] = {}
+        used_spans: Dict[str, int] = {}
+
+        for site in _iter_use_sites(ir):
+            if site.kind == "span":
+                used_spans[site.name] = used_spans.get(site.name, 0) + 1
+                if spans and site.name not in spans:
+                    findings.append(
+                        self.make_finding(
+                            self.RULE_SPAN_UNDECLARED,
+                            path=str(site.module.path),
+                            line=site.line, col=site.col,
+                            message=f"span {site.name!r} is not declared in "
+                                    f"SPAN_CATALOG ({catalog_module})",
+                        )
+                    )
+                continue
+            decl = metrics.get(site.name)
+            if site.chained_arity is None:
+                used_metrics[site.name] = used_metrics.get(site.name, 0) + 1
+            if decl is None:
+                if site.chained_arity is None:
+                    findings.append(
+                        self.make_finding(
+                            self.RULE_UNDECLARED,
+                            path=str(site.module.path),
+                            line=site.line, col=site.col,
+                            message=f"metric family {site.name!r} is not "
+                                    f"declared in METRIC_CATALOG "
+                                    f"({catalog_module})",
+                        )
+                    )
+                continue
+            if site.kind != decl.kind:
+                findings.append(
+                    self.make_finding(
+                        self.RULE_MISMATCH,
+                        path=str(site.module.path),
+                        line=site.line, col=site.col,
+                        message=f"{site.name!r} declared as {decl.kind} but "
+                                f"registered here as {site.kind}",
+                    )
+                )
+            if site.labels is not None and site.labels != decl.labels:
+                findings.append(
+                    self.make_finding(
+                        self.RULE_MISMATCH,
+                        path=str(site.module.path),
+                        line=site.line, col=site.col,
+                        message=f"{site.name!r} declared with label keys "
+                                f"{decl.labels!r} but registered here with "
+                                f"{site.labels!r}",
+                    )
+                )
+            if site.chained_arity is not None \
+                    and site.chained_arity != len(decl.labels):
+                findings.append(
+                    self.make_finding(
+                        self.RULE_MISMATCH,
+                        path=str(site.module.path),
+                        line=site.line, col=site.col,
+                        message=f"{site.name!r}.labels() called with "
+                                f"{site.chained_arity} value(s) but the "
+                                f"family declares {len(decl.labels)} "
+                                f"label key(s)",
+                    )
+                )
+
+        for name, decl in metrics.items():
+            if name not in used_metrics:
+                mod = ir.modules.get(decl.module)
+                findings.append(
+                    self.make_finding(
+                        self.RULE_UNUSED,
+                        path=str(mod.path) if mod else decl.module,
+                        line=decl.line, col=0,
+                        message=f"metric family {name!r} is declared but no "
+                                "call site ever registers or emits it",
+                    )
+                )
+        for name, decl in spans.items():
+            if name not in used_spans:
+                mod = ir.modules.get(decl.module)
+                findings.append(
+                    self.make_finding(
+                        self.RULE_UNUSED,
+                        path=str(mod.path) if mod else decl.module,
+                        line=decl.line, col=0,
+                        message=f"span {name!r} is declared but never "
+                                "recorded by any call site",
+                    )
+                )
+        return findings

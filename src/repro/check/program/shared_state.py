@@ -1,0 +1,314 @@
+"""``mp-shared-state``: module-level mutable state under pool fan-out.
+
+The campaign runner fans cells across a ``multiprocessing`` pool and
+promises byte-identical output for any ``--jobs`` value.  That promise dies
+quietly the moment a worker-reachable function leans on module-level
+mutable state: under ``fork`` the workers inherit whatever the parent
+mutated so far, under ``spawn`` they re-import fresh — either way a global
+written at runtime makes the cell a function of *schedule*, not of
+``(workload, config, seed)``.
+
+The pass finds worker entry points structurally: any project function
+passed by name into ``pool.map`` / ``imap`` / ``imap_unordered`` /
+``starmap`` / ``map_async`` / ``apply_async``, or as the ``target=`` of a
+``Process(...)`` construction.  From those roots it walks the IR call graph
+and flags, inside reachable functions only:
+
+* ``mp-global-write`` — rebinding via ``global``, subscript stores,
+  mutating method calls (``append``/``update``/``setdefault``/…), and
+  augmented assignment targeting a module-level global (of this module or,
+  through the import table, of another project module);
+* ``mp-global-read`` — reads of module-level *mutable* globals that some
+  reachable function also writes.  Read-only registries populated at import
+  time (every worker re-imports them identically) are deliberately not
+  flagged.
+
+The call graph covers direct calls, ``self.``-method calls, and class
+instantiation; dynamically dispatched work (``REGISTRY[name]().run()``)
+is out of reach and documented as such in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .base import AnalysisPass, Finding, Rule
+from .ir import FunctionInfo, ModuleInfo, ProjectIR, resolve_symbol
+
+_POOL_FANOUT_METHODS = frozenset(
+    {"map", "imap", "imap_unordered", "starmap", "starmap_async",
+     "map_async", "apply_async", "apply", "submit"}
+)
+
+_MUTATING_METHODS = frozenset(
+    {"append", "extend", "insert", "add", "update", "setdefault", "pop",
+     "popitem", "clear", "remove", "discard", "sort", "reverse",
+     "appendleft", "extendleft"}
+)
+
+
+@dataclass(frozen=True)
+class _Access:
+    """One global access inside a reachable function."""
+
+    global_qname: str
+    fn: FunctionInfo
+    module: ModuleInfo
+    line: int
+    col: int
+    how: str  # human fragment: "rebinding via `global`", ".append(...)", …
+
+
+def find_worker_entry_points(ir: ProjectIR) -> List[Tuple[str, FunctionInfo]]:
+    """(spawning-call description, entry function) pairs."""
+    out: List[Tuple[str, FunctionInfo]] = []
+    seen: Set[str] = set()
+    for _name, mod in sorted(ir.modules.items()):
+        for _local, fn in sorted(mod.functions.items()):
+            for site in fn.calls:
+                node = site.node
+                func = node.func
+                target_expr: Optional[ast.AST] = None
+                how = ""
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _POOL_FANOUT_METHODS
+                    and node.args
+                ):
+                    target_expr = node.args[0]
+                    how = f".{func.attr}(...) fan-out in {fn.qname}"
+                elif site.raw.endswith("Process") or site.raw == "Process":
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            target_expr = kw.value
+                            how = f"Process(target=...) in {fn.qname}"
+                if target_expr is None:
+                    continue
+                dotted = _expr_dotted(target_expr)
+                if dotted is None:
+                    continue
+                resolved = resolve_symbol(ir, mod, dotted)
+                if resolved is None and fn.owner_class and dotted.startswith("self."):
+                    rest = dotted[5:]
+                    method = mod.classes.get(fn.owner_class, {}).get(rest)
+                    resolved = method.qname if method else None
+                if resolved is not None and resolved in ir.functions \
+                        and resolved not in seen:
+                    seen.add(resolved)
+                    out.append((how, ir.functions[resolved]))
+    return sorted(out, key=lambda pair: pair[1].qname)
+
+
+def _expr_dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _GlobalAccessVisitor(ast.NodeVisitor):
+    """Collect global reads/writes inside one function body."""
+
+    def __init__(self, ir: ProjectIR, module: ModuleInfo, fn: FunctionInfo) -> None:
+        self.ir = ir
+        self.module = module
+        self.fn = fn
+        self.reads: List[_Access] = []
+        self.writes: List[_Access] = []
+        self._declared_global: Set[str] = set()
+        self._locals: Set[str] = set(fn.params)
+        # Pre-scan local bindings so plain `x = ...` / loop targets never
+        # count as global reads later in the body.
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not fn.node:
+                continue
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                self._locals.add(node.id)
+            elif isinstance(node, ast.Global):
+                self._declared_global.update(node.names)
+        self._locals -= self._declared_global
+
+    # ---------------------------------------------------------- resolution
+
+    def _global_of_name(self, name: str) -> Optional[str]:
+        if name in self._locals:
+            return None
+        var = self.module.globals.get(name)
+        return var.qname if var is not None else None
+
+    def _global_of_expr(self, node: ast.AST) -> Optional[str]:
+        """Resolve ``NAME`` or ``module_alias.NAME`` to a global qname."""
+        if isinstance(node, ast.Name):
+            return self._global_of_name(node.id)
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            base = node.value.id
+            if base in ("self", "cls") or base in self._locals:
+                return None
+            target = self.module.imports.get(base)
+            if target is not None:
+                holder = self.ir.modules.get(target)
+                if holder is not None and node.attr in holder.globals:
+                    return holder.globals[node.attr].qname
+        return None
+
+    def _record(self, bucket: List[_Access], qname: str, node: ast.AST,
+                how: str) -> None:
+        bucket.append(
+            _Access(
+                global_qname=qname, fn=self.fn, module=self.module,
+                line=getattr(node, "lineno", self.fn.line),
+                col=getattr(node, "col_offset", 0), how=how,
+            )
+        )
+
+    # ------------------------------------------------------------- visits
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    def _check_store(self, target: ast.AST, stmt: ast.AST) -> None:
+        if isinstance(target, ast.Subscript):
+            qname = self._global_of_expr(target.value)
+            if qname is not None:
+                self._record(self.writes, qname, stmt, "subscript store")
+        elif isinstance(target, ast.Attribute):
+            qname = self._global_of_expr(target.value)
+            if qname is not None:
+                self._record(self.writes, qname, stmt,
+                             f".{target.attr} attribute store")
+        elif isinstance(target, ast.Name) and target.id in self._declared_global:
+            qname = self._global_of_name(target.id) \
+                or f"{self.module.name}.{target.id}"
+            self._record(self.writes, qname, stmt, "assignment via `global`")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+            qname = self._global_of_expr(func.value)
+            if qname is not None:
+                self._record(self.writes, qname, node,
+                             f".{func.attr}(...) mutation")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            qname = self._global_of_name(node.id)
+            if qname is not None:
+                self._record(self.reads, qname, node, "read")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        qname = self._global_of_expr(node)
+        if qname is not None and isinstance(node.ctx, ast.Load):
+            self._record(self.reads, qname, node, "read")
+            return  # don't double-count the base Name
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node) -> None:
+        if node is self.fn.node:
+            self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node) -> None:
+        pass
+
+
+class SharedStatePass(AnalysisPass):
+    """Module-global mutation reachable from multiprocessing workers."""
+
+    name = "mp-shared-state"
+    RULE_WRITE = Rule(
+        "mp-global-write", "mp-shared-state", "error",
+        "function reachable from a multiprocessing worker entry point "
+        "writes a module-level global (schedule-dependent under pool "
+        "fan-out)",
+    )
+    RULE_READ = Rule(
+        "mp-global-read", "mp-shared-state", "warning",
+        "worker-reachable function reads a module-level mutable global "
+        "that worker-reachable code also writes",
+    )
+    rules = (RULE_WRITE, RULE_READ)
+
+    def run(self, ir: ProjectIR) -> List[Finding]:
+        entries = find_worker_entry_points(ir)
+        if not entries:
+            return []
+        roots = [fn.qname for _, fn in entries]
+        reachable = ir.reachable_from(roots)
+
+        reads: List[_Access] = []
+        writes: List[_Access] = []
+        for qname in sorted(reachable):
+            fn = ir.functions[qname]
+            module = ir.modules.get(fn.module)
+            if module is None:
+                continue
+            visitor = _GlobalAccessVisitor(ir, module, fn)
+            for stmt in fn.node.body:
+                visitor.visit(stmt)
+            reads.extend(visitor.reads)
+            writes.extend(visitor.writes)
+
+        findings: List[Finding] = []
+        for access in writes:
+            findings.append(
+                self.make_finding(
+                    self.RULE_WRITE,
+                    path=str(access.module.path),
+                    line=access.line, col=access.col,
+                    message=(
+                        f"{access.fn.qname} (worker-reachable) writes "
+                        f"module global {access.global_qname} "
+                        f"({access.how})"
+                    ),
+                )
+            )
+        written = {a.global_qname for a in writes}
+        mutable = {
+            var.qname
+            for mod in ir.modules.values()
+            for var in mod.globals.values()
+            if var.mutable
+        }
+        write_sites = {(a.global_qname, a.module.name, a.line) for a in writes}
+        seen_reads: Set[Tuple[str, str]] = set()
+        for access in reads:
+            if access.global_qname not in written \
+                    or access.global_qname not in mutable:
+                continue
+            # The receiver of a mutation (`VERDICTS.append(x)`) loads the
+            # global too; that line is already reported as the write.
+            if (access.global_qname, access.module.name, access.line) \
+                    in write_sites:
+                continue
+            key = (access.fn.qname, access.global_qname)
+            if key in seen_reads:
+                continue
+            seen_reads.add(key)
+            findings.append(
+                self.make_finding(
+                    self.RULE_READ,
+                    path=str(access.module.path),
+                    line=access.line, col=access.col,
+                    message=(
+                        f"{access.fn.qname} (worker-reachable) reads "
+                        f"mutable module global {access.global_qname}, "
+                        "which worker-reachable code also writes"
+                    ),
+                )
+            )
+        return findings

@@ -1,0 +1,445 @@
+"""``sim-taint``: interprocedural taint tracking from host-nondeterminism
+sources into simulated-time sinks.
+
+The per-file ``wall-clock`` rule flags a ``time.time()`` *call*; it cannot
+see the laundering the whole-program view exists for::
+
+    def _elapsed():                 # helpers.py
+        return time.time() - T0
+
+    clock.advance(_elapsed())       # driver.py — sim timeline now depends
+                                    # on the host clock
+
+Sources are the wall-clock and unseeded-RNG expressions the determinism
+lint already recognizes.  Sinks are the places a value becomes part of the
+simulated timeline: ``SimClock.advance`` / ``advance_to`` arguments, stores
+to ``BatchRecord`` timers and event-timestamp attributes (``time_*``,
+``*_ts``, ``timestamp``, ``sim_start`` …), and keyword arguments by those
+names at any call site.
+
+Propagation is a summary-based fixpoint over the call graph.  For every
+function the analysis computes:
+
+* ``returns_source`` — a source value can reach its return;
+* ``params_to_return`` — parameter indices that flow into the return;
+* ``params_to_sink`` — parameter indices that flow into a sink (directly
+  or through further calls).
+
+Intraprocedurally, local names carry label sets (``SRC`` and parameter
+indices) through assignments, arithmetic, containers, and calls; unresolved
+calls conservatively pass their arguments' taint through.  A finding fires
+where a ``SRC``-labeled value meets a sink — in the function holding the
+sink, or at the call site that feeds a tainted argument into a callee whose
+summary says that parameter reaches a sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..lint import (
+    _NUMPY_LEGACY_RANDOM,
+    _WALLCLOCK_DATETIME_FNS,
+    _WALLCLOCK_TIME_FNS,
+)
+from .base import AnalysisPass, Finding, Rule
+from .ir import FunctionInfo, ModuleInfo, ProjectIR, _dotted
+
+SRC = -1  # taint label: a host-nondeterminism source (params are >= 0)
+
+#: Method names whose argument values enter the simulated timeline.
+SINK_METHODS = frozenset({"advance", "advance_to"})
+
+#: Attribute / keyword names that hold simulated timestamps or timers.
+_SINK_EXACT = frozenset(
+    {"timestamp", "sim_start", "sim_dur", "sim_end", "t_start", "t_end",
+     "deadline_usec"}
+)
+
+
+def is_sink_name(name: str) -> bool:
+    return (
+        name in _SINK_EXACT
+        or name.startswith("time_")
+        or name.endswith("_ts")
+        or name.endswith("_usec_sink")
+    )
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def is_source_call(node: ast.Call) -> Optional[str]:
+    """A short reason string when ``node`` reads host time / entropy."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    if isinstance(base, ast.Name) and base.id == "time" \
+            and func.attr in _WALLCLOCK_TIME_FNS:
+        return f"time.{func.attr}()"
+    if func.attr in _WALLCLOCK_DATETIME_FNS and not node.args:
+        names = {"datetime", "date"}
+        if (isinstance(base, ast.Name) and base.id in names) or (
+            isinstance(base, ast.Attribute) and base.attr in names
+        ):
+            return f"datetime {func.attr}()"
+    if isinstance(base, ast.Name) and base.id == "random":
+        return f"random.{func.attr}()"
+    if (
+        isinstance(base, ast.Attribute)
+        and base.attr == "random"
+        and _root_name(base) in ("np", "numpy")
+        and func.attr in _NUMPY_LEGACY_RANDOM
+    ):
+        return f"numpy.random.{func.attr}()"
+    if func.attr == "default_rng" and not node.args and not node.keywords:
+        return "unseeded default_rng()"
+    return None
+
+
+@dataclass
+class FunctionSummary:
+    returns_source: bool = False
+    params_to_return: Set[int] = field(default_factory=set)
+    params_to_sink: Set[int] = field(default_factory=set)
+
+    def snapshot(self) -> Tuple:
+        return (
+            self.returns_source,
+            frozenset(self.params_to_return),
+            frozenset(self.params_to_sink),
+        )
+
+
+class _FunctionTaint(ast.NodeVisitor):
+    """One intraprocedural evaluation of a function body.
+
+    ``report`` toggles finding emission: the fixpoint rounds run silent and
+    only the final round reports, so every summary is stable first.
+    """
+
+    def __init__(
+        self,
+        owner: "SimTaintPass",
+        ir: ProjectIR,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        summaries: Dict[str, FunctionSummary],
+        report: bool,
+    ) -> None:
+        self.owner = owner
+        self.ir = ir
+        self.module = module
+        self.fn = fn
+        self.summaries = summaries
+        self.report = report
+        self.summary = summaries[fn.qname]
+        self.env: Dict[str, Set[int]] = {
+            name: {i} for i, name in enumerate(fn.params)
+        }
+        self.findings: List[Finding] = []
+
+    # ------------------------------------------------------------- labels
+
+    def eval(self, node: Optional[ast.AST]) -> Set[int]:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            return self.eval(node.value)
+        if isinstance(node, (ast.BinOp,)):
+            return self.eval(node.left) | self.eval(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out: Set[int] = set()
+            for v in node.values:
+                out |= self.eval(v)
+            return out
+        if isinstance(node, ast.Compare):
+            out = self.eval(node.left)
+            for c in node.comparators:
+                out |= self.eval(c)
+            return out
+        if isinstance(node, ast.IfExp):
+            return self.eval(node.body) | self.eval(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for elt in node.elts:
+                out |= self.eval(elt)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for k, v in zip(node.keys, node.values):
+                out |= self.eval(k) | self.eval(v)
+            return out
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            out = set()
+            for child in ast.iter_child_nodes(node):
+                out |= self.eval(child)
+            return out
+        if isinstance(node, ast.NamedExpr):
+            labels = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = set(labels)
+            return labels
+        return set()
+
+    def _eval_call(self, node: ast.Call) -> Set[int]:
+        reason = is_source_call(node)
+        if reason is not None:
+            return {SRC}
+
+        arg_labels = [self.eval(a) for a in node.args]
+        kw_labels = [self.eval(kw.value) for kw in node.keywords]
+
+        # Sink: clock.advance(x) / clock.advance_to(x) by method name.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in SINK_METHODS
+            and node.args
+        ):
+            self._hit_sink(
+                node, arg_labels[0],
+                f"argument of .{node.func.attr}() advances the simulated clock",
+            )
+
+        # Sink: timestamp-named keyword arguments anywhere.
+        for kw, labels in zip(node.keywords, kw_labels):
+            if kw.arg is not None and is_sink_name(kw.arg):
+                self._hit_sink(
+                    node, labels,
+                    f"keyword {kw.arg}= carries a simulated timestamp",
+                )
+
+        callee = None
+        site = self._callsite_for(node)
+        if site is not None:
+            callee = site.callee
+        summary = self.summaries.get(callee) if callee else None
+        if summary is not None:
+            out: Set[int] = set()
+            if summary.returns_source:
+                out.add(SRC)
+            callee_fn = self.ir.functions.get(callee)
+            offset = self._arg_offset(callee_fn, node)
+            for i, labels in enumerate(arg_labels):
+                callee_param = i + offset
+                if callee_param in summary.params_to_return:
+                    out |= labels
+                if callee_param in summary.params_to_sink:
+                    self._hit_sink(
+                        node, labels,
+                        f"argument {i} of {site.raw}() reaches a sim-time "
+                        "sink inside the callee",
+                    )
+            if callee_fn is not None:
+                names = callee_fn.params
+                for kw, labels in zip(node.keywords, kw_labels):
+                    if kw.arg in names:
+                        idx = names.index(kw.arg)
+                        if idx in summary.params_to_return:
+                            out |= labels
+                        if idx in summary.params_to_sink:
+                            self._hit_sink(
+                                node, labels,
+                                f"keyword {kw.arg}= of {site.raw}() reaches "
+                                "a sim-time sink inside the callee",
+                            )
+            return out
+
+        # Unknown callee: conservatively pass argument taint through the
+        # return value (str(time.time()) stays tainted).
+        out = set()
+        for labels in arg_labels + kw_labels:
+            out |= labels
+        return out
+
+    def _arg_offset(self, callee_fn: Optional[FunctionInfo], node: ast.Call) -> int:
+        """Positional offset for the implicit ``self`` of method calls."""
+        if callee_fn is None or callee_fn.owner_class is None:
+            return 0
+        # obj.method(a) → a binds to param 1; Class.method(obj, a) keeps 0.
+        raw = _dotted(node.func) or ""
+        head = raw.split(".")[0]
+        if head and head[0].isupper():
+            return 0
+        return 1 if isinstance(node.func, ast.Attribute) else 0
+
+    def _callsite_for(self, node: ast.Call):
+        for site in self.fn.calls:
+            if site.node is node:
+                return site
+        return None
+
+    # -------------------------------------------------------------- sinks
+
+    def _hit_sink(self, node: ast.AST, labels: Set[int], what: str) -> None:
+        if SRC in labels:
+            if self.report:
+                self.findings.append(
+                    self.owner.make_finding(
+                        self.owner.RULE_FLOW,
+                        path=str(self.module.path),
+                        line=getattr(node, "lineno", self.fn.line),
+                        col=getattr(node, "col_offset", 0),
+                        message=(
+                            f"host-nondeterministic value flows into the "
+                            f"simulated timeline: {what} "
+                            f"(in {self.fn.qname})"
+                        ),
+                    )
+                )
+        for label in labels:
+            if label >= 0:
+                self.summary.params_to_sink.add(label)
+
+    # --------------------------------------------------------- statements
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        labels = self.eval(node.value)
+        for target in node.targets:
+            self._bind(target, labels, node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind(node.target, self.eval(node.value), node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        labels = self.eval(node.value)
+        if isinstance(node.target, ast.Name):
+            self.env[node.target.id] = self.env.get(node.target.id, set()) | labels
+        else:
+            self._bind(node.target, labels, node)
+
+    def _bind(self, target: ast.AST, labels: Set[int], stmt: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(labels)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, labels, stmt)
+        elif isinstance(target, ast.Attribute) and is_sink_name(target.attr):
+            self._hit_sink(
+                stmt, labels,
+                f"store to .{target.attr} (simulated timer/timestamp field)",
+            )
+
+    def visit_Return(self, node: ast.Return) -> None:
+        labels = self.eval(node.value)
+        if SRC in labels:
+            self.summary.returns_source = True
+        for label in labels:
+            if label >= 0:
+                self.summary.params_to_return.add(label)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind(node.target, self.eval(node.iter), node)
+        for child in node.body + node.orelse:
+            self.visit(child)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            labels = self.eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind(item.optional_vars, labels, node)
+        for child in node.body:
+            self.visit(child)
+
+    visit_AsyncWith = visit_With
+    visit_AsyncFor = visit_For
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self.eval(node.value)
+
+    def visit_If(self, node: ast.If) -> None:
+        self.eval(node.test)
+        for child in node.body + node.orelse:
+            self.visit(child)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.eval(node.test)
+        for child in node.body + node.orelse:
+            self.visit(child)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for child in node.body:
+            self.visit(child)
+        for handler in node.handlers:
+            for child in handler.body:
+                self.visit(child)
+        for child in node.orelse + node.finalbody:
+            self.visit(child)
+
+    def visit_FunctionDef(self, node) -> None:
+        pass  # nested defs get their own summary via the module walk
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def run(self) -> List[Finding]:
+        # Two textual sweeps approximate loop-carried flows (a name tainted
+        # late in a loop body feeding a sink earlier in the next iteration).
+        for _ in range(2):
+            for stmt in self.fn.node.body:
+                self.visit(stmt)
+        return self.findings
+
+
+class SimTaintPass(AnalysisPass):
+    """Interprocedural wall-clock / unseeded-RNG → sim-time sink tracking."""
+
+    name = "sim-taint"
+    RULE_FLOW = Rule(
+        id="sim-taint",
+        pass_name="sim-taint",
+        severity="error",
+        description=(
+            "host wall-clock or unseeded-RNG value flows (possibly through "
+            "helper calls) into the simulated clock, an event timestamp, or "
+            "a BatchRecord timer"
+        ),
+    )
+    rules = (RULE_FLOW,)
+
+    def run(self, ir: ProjectIR) -> List[Finding]:
+        summaries: Dict[str, FunctionSummary] = {
+            qname: FunctionSummary() for qname in ir.functions
+        }
+        # Fixpoint on summaries (silent rounds).
+        for _ in range(len(ir.functions) + 2):
+            changed = False
+            for qname, fn in ir.functions.items():
+                module = ir.modules.get(fn.module)
+                if module is None:
+                    continue
+                before = summaries[qname].snapshot()
+                _FunctionTaint(self, ir, module, fn, summaries, report=False).run()
+                if summaries[qname].snapshot() != before:
+                    changed = True
+            if not changed:
+                break
+        # Reporting round against stable summaries.
+        findings: List[Finding] = []
+        for qname, fn in ir.functions.items():
+            module = ir.modules.get(fn.module)
+            if module is None:
+                continue
+            findings.extend(
+                _FunctionTaint(self, ir, module, fn, summaries, report=True).run()
+            )
+        # The double sweep in run() can report one flow twice.
+        unique = {(f.path, f.line, f.col, f.message): f for f in findings}
+        return list(unique.values())

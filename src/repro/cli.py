@@ -14,8 +14,12 @@ Subcommands:
   recorder on and write a Perfetto-loadable timeline;
 * ``metrics <workload>`` — run a workload and print its metrics registry
   (Prometheus text, or ``--json`` for the snapshot dict);
-* ``lint [paths...]`` — determinism lint over the simulator sources
-  (non-zero exit on findings; ``--format json`` for machine output);
+* ``lint [paths...]`` — whole-program static analysis over the simulator
+  sources: per-file determinism rules plus the interprocedural sim-taint,
+  metric-drift, mp-shared-state, and suppression-hygiene passes, filtered
+  through the allowlist and the committed baseline (exit 0 clean / 1
+  findings / 2 usage error; ``--format json|sarif`` for machine output,
+  ``--changed-only`` to scope reporting to a git diff);
 * ``validate <workload>`` — run a workload with UVMSan in report mode and
   print the validation verdict (non-zero exit on violations or a crashed
   run; ``--json`` for a machine-readable verdict with an ``ok`` field);
@@ -106,14 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     lint_p = sub.add_parser(
-        "lint", help="determinism lint over the simulator sources"
+        "lint",
+        help="whole-program static analysis over the simulator sources",
     )
     lint_p.add_argument(
         "paths", nargs="*",
         help="files or directories to lint (default: the repro package)",
     )
     lint_p.add_argument(
-        "--format", choices=("human", "json"), default="human",
+        "--format", choices=("human", "json", "sarif"), default="human",
         help="output format (default human)",
     )
     lint_p.add_argument(
@@ -123,6 +128,30 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--no-allowlist", action="store_true",
         help="ignore the allowlist entirely",
+    )
+    lint_p.add_argument(
+        "--baseline", default=None,
+        help="finding baseline file (default: repro/check/lint_baseline.json "
+             "when linting the default target)",
+    )
+    lint_p.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; report every finding",
+    )
+    lint_p.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file to match current findings "
+             "(existing per-entry reasons are preserved) and exit 0",
+    )
+    lint_p.add_argument(
+        "--changed-only", action="store_true",
+        help="report findings only in files changed vs --base-ref (the "
+             "analysis itself stays whole-program; falls back to the full "
+             "report outside a git checkout)",
+    )
+    lint_p.add_argument(
+        "--base-ref", default="HEAD",
+        help="git ref --changed-only diffs against (default HEAD)",
     )
 
     val_p = sub.add_parser(
@@ -323,33 +352,102 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "lint":
+        import json as _json
         from pathlib import Path
 
-        from .check.lint import (
-            DEFAULT_ALLOWLIST_PATH,
-            findings_to_json,
-            lint_paths,
-            load_allowlist,
-            render_findings,
+        from .check.lint import DEFAULT_ALLOWLIST_PATH, load_allowlist
+        from .check.program import (
+            DEFAULT_BASELINE_PATH,
+            changed_files,
+            load_baseline,
+            render_report,
+            report_to_json_dict,
+            run_analysis,
+            sarif_to_json,
+            save_baseline,
+            to_sarif,
         )
+        from .errors import ConfigError
 
         if args.paths:
             paths = [Path(p) for p in args.paths]
         else:
             paths = [Path(__file__).resolve().parent]
-        if args.no_allowlist:
-            allowlist = []
-        else:
-            allow_path = Path(args.allowlist) if args.allowlist else DEFAULT_ALLOWLIST_PATH
-            allowlist = load_allowlist(allow_path)
-        findings = lint_paths(paths, allowlist=allowlist)
+
+        try:
+            if args.no_allowlist:
+                allowlist, allow_path = [], ""
+            else:
+                allow_path = (
+                    Path(args.allowlist) if args.allowlist
+                    else DEFAULT_ALLOWLIST_PATH
+                )
+                allowlist = load_allowlist(allow_path)
+
+            # The committed baseline applies to the default target; explicit
+            # path lists get one only when --baseline names it.
+            baseline_path = None
+            if not args.no_baseline and not args.write_baseline:
+                if args.baseline:
+                    baseline_path = Path(args.baseline)
+                elif not args.paths and DEFAULT_BASELINE_PATH.exists():
+                    baseline_path = DEFAULT_BASELINE_PATH
+            baseline = load_baseline(baseline_path) if baseline_path else []
+        except (ConfigError, ValueError, OSError) as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+
+        changed = None
+        if args.changed_only:
+            changed = changed_files(args.base_ref)
+            if changed is None:
+                print(
+                    "lint: --changed-only needs a git checkout; "
+                    "falling back to the full report",
+                    file=sys.stderr,
+                )
+
+        report = run_analysis(
+            paths,
+            allowlist=allowlist,
+            allowlist_path=str(allow_path),
+            baseline=baseline,
+            changed=changed,
+        )
+
+        if args.write_baseline:
+            target = Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
+            reasons = {}
+            if target.exists():
+                try:
+                    reasons = {
+                        e.fingerprint: e.reason for e in load_baseline(target)
+                    }
+                except ConfigError:
+                    pass
+            save_baseline(target, report.findings, reasons=reasons,
+                          stable_paths=report.stable_paths)
+            print(
+                f"lint: wrote {len(report.findings)} entr"
+                f"{'y' if len(report.findings) == 1 else 'ies'} to {target}"
+            )
+            return 0
+
         if args.format == "json":
-            print(findings_to_json(findings))
-        elif findings:
-            print(render_findings(findings))
+            print(_json.dumps(report_to_json_dict(report), indent=2,
+                              sort_keys=True))
+        elif args.format == "sarif":
+            from . import __version__ as _version
+
+            root = paths[0] if len(paths) == 1 and paths[0].is_dir() \
+                else Path.cwd()
+            print(sarif_to_json(
+                to_sarif(report.findings, report.rules,
+                         tool_version=_version, root=root)
+            ))
         else:
-            print("lint: no determinism hazards found")
-        return 1 if findings else 0
+            print(render_report(report))
+        return 0 if report.ok else 1
 
     if args.command == "validate":
         import json as _json

@@ -23,6 +23,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .catalog import (
+    METRIC_CATALOG,
+    SPAN_CATALOG,
+    declared_label_keys,
+    metric_declaration,
+    validate_registry,
+)
 from .chrome_trace import (
     ChromeTraceBuilder,
     PID_COPY_ENGINE,
@@ -117,6 +124,11 @@ class Observability:
 
 __all__ = [
     "Observability",
+    "METRIC_CATALOG",
+    "SPAN_CATALOG",
+    "declared_label_keys",
+    "metric_declaration",
+    "validate_registry",
     "MetricsRegistry",
     "MetricFamily",
     "Counter",

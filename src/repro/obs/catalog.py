@@ -1,0 +1,196 @@
+"""Declarative catalog of every metric family and span name the simulator
+emits.
+
+The registry API registers families lazily at call sites, which is
+ergonomic but drift-prone: rename a family at its one registration site
+and every dashboard, reconciliation identity, and cross-run diff silently
+loses the series.  This module is the single declarative source of truth
+the ``metric-drift`` whole-program pass (:mod:`repro.check.program`)
+checks every call site in ``src/`` against:
+
+* a family registered anywhere but missing here → ``metric-undeclared``;
+* kind / label-key disagreement with the declaration → ``metric-mismatch``;
+* an entry here that no call site emits → ``metric-unused``;
+* a ``span(...)`` name missing from :data:`SPAN_CATALOG` →
+  ``span-undeclared``.
+
+The pass parses this file *statically* (the dict literals below must stay
+literals — no comprehensions, no computed keys).  A runtime cross-check in
+``tests/unit/check/test_obs_catalog.py`` additionally runs a real workload
+and asserts the registered families agree with these declarations, so the
+catalog can drift from reality in neither direction.
+
+When adding a metric: register it at the call site, declare it here, done —
+CI's ``lint-program`` job fails on either half alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: family name → {"kind": counter|gauge|histogram, "labels": (keys...),
+#: "help": one-liner}.  Keep alphabetical; keep values literal.
+METRIC_CATALOG: Dict[str, dict] = {
+    "uvm_batch_faults": {
+        "kind": "histogram",
+        "labels": (),
+        "help": "Raw faults per batch",
+    },
+    "uvm_batch_service_usec": {
+        "kind": "histogram",
+        "labels": (),
+        "help": "Batch servicing time (simulated us)",
+    },
+    "uvm_batches_total": {
+        "kind": "counter",
+        "labels": ("kind",),
+        "help": "Batches through the servicing path",
+    },
+    "uvm_bytes_total": {
+        "kind": "counter",
+        "labels": ("dir",),
+        "help": "Bytes migrated over the interconnect",
+    },
+    "uvm_ce_bursts_total": {
+        "kind": "counter",
+        "labels": ("dir",),
+        "help": "Copy-engine burst operations",
+    },
+    "uvm_ce_bytes_total": {
+        "kind": "counter",
+        "labels": ("dir",),
+        "help": "Bytes moved by the copy engines",
+    },
+    "uvm_ce_failovers_total": {
+        "kind": "counter",
+        "labels": (),
+        "help": "Copy-engine failovers after stuck bursts",
+    },
+    "uvm_crash_recoveries_total": {
+        "kind": "counter",
+        "labels": (),
+        "help": "Injected crashes recovered from a checkpoint",
+    },
+    "uvm_degrade_total": {
+        "kind": "counter",
+        "labels": ("kind",),
+        "help": "Graceful degradations on the fault path",
+    },
+    "uvm_engine_rounds_total": {
+        "kind": "counter",
+        "labels": (),
+        "help": "GPU fault-generation rounds",
+    },
+    "uvm_evictions_total": {
+        "kind": "counter",
+        "labels": ("policy",),
+        "help": "VABlocks evicted from device memory",
+    },
+    "uvm_faults_total": {
+        "kind": "counter",
+        "labels": ("kind",),
+        "help": "Faults fetched from the HW buffer",
+    },
+    "uvm_hostos_total": {
+        "kind": "counter",
+        "labels": ("op",),
+        "help": "Host-OS operations on the fault path",
+    },
+    "uvm_injected_total": {
+        "kind": "counter",
+        "labels": ("site",),
+        "help": "Injected faults by site",
+    },
+    "uvm_kernel_time_usec": {
+        "kind": "histogram",
+        "labels": (),
+        "help": "Kernel wall time (simulated us)",
+    },
+    "uvm_kernels_total": {
+        "kind": "counter",
+        "labels": (),
+        "help": "Kernel launches run",
+    },
+    "uvm_pages_total": {
+        "kind": "counter",
+        "labels": ("op",),
+        "help": "Pages handled on the fault path",
+    },
+    "uvm_peer_pages_total": {
+        "kind": "counter",
+        "labels": ("mode",),
+        "help": "Pages moved between devices",
+    },
+    "uvm_peer_time_usec_total": {
+        "kind": "counter",
+        "labels": ("mode",),
+        "help": "Simulated time spent on cross-device migration",
+    },
+    "uvm_resident_vablocks": {
+        "kind": "gauge",
+        "labels": (),
+        "help": "GPU-allocated VABlocks tracked by the eviction policy",
+    },
+    "uvm_retries_total": {
+        "kind": "counter",
+        "labels": ("site",),
+        "help": "Driver retries after transient fault-path failures",
+    },
+    "uvm_san_violations_total": {
+        "kind": "counter",
+        "labels": ("rule",),
+        "help": "UVMSan invariant violations detected",
+    },
+}
+
+#: span name → one-line description.  Covers ``obs.span(...)`` /
+#: ``spans.span(...)`` context spans and the manual ``spans.record(...)``
+#: replayed spans.  Keep alphabetical; keep literal.
+SPAN_CATALOG: Dict[str, str] = {
+    "driver.batch": "one batch envelope, reconciled against BatchRecord",
+    "driver.fetch": "drain the HW fault buffer into the batch",
+    "driver.preprocess": "dedup/sort/group faults into VABlock work",
+    "driver.replay": "replay the stalled warps after servicing",
+    "driver.vablock": "per-VABlock servicing slice (manual span)",
+    "driver.wake": "batch-trigger wakeup latency",
+    "engine.host_touch": "CPU-side touch of managed pages",
+    "engine.launch": "one kernel launch end-to-end",
+    "engine.resume": "resume a kernel after checkpoint restore",
+}
+
+
+def metric_declaration(name: str) -> dict:
+    """The declaration for ``name`` (raises KeyError when undeclared)."""
+    return METRIC_CATALOG[name]
+
+
+def declared_label_keys(name: str) -> Tuple[str, ...]:
+    return tuple(METRIC_CATALOG[name]["labels"])
+
+
+def validate_registry(registry) -> list:
+    """Runtime cross-check: every family a live registry holds must match
+    its declaration.  Returns human-readable problem strings (empty = ok).
+
+    Used by the catalog unit test after a real workload run, closing the
+    loop the static pass cannot: the pass proves call sites agree with the
+    catalog, this proves the *runtime* registry does too.
+    """
+    problems = []
+    snapshot = registry.snapshot()
+    for name in sorted(snapshot):
+        decl = METRIC_CATALOG.get(name)
+        family = registry.family(name)
+        if decl is None:
+            problems.append(f"{name}: registered at runtime but undeclared")
+            continue
+        if family.kind != decl["kind"]:
+            problems.append(
+                f"{name}: declared {decl['kind']}, registered {family.kind}"
+            )
+        if tuple(family.label_names) != tuple(decl["labels"]):
+            problems.append(
+                f"{name}: declared labels {tuple(decl['labels'])!r}, "
+                f"registered {tuple(family.label_names)!r}"
+            )
+    return problems

@@ -1,0 +1,6 @@
+"""Fixture mini-package for the whole-program analysis tests.
+
+Each module carries at least one deliberate true positive and one
+false-positive-avoidance case for one analysis pass; the tests assert the
+exact finding sets, so keep line movements deliberate.
+"""

@@ -1,0 +1,12 @@
+"""Simulated clock: the sink surface for the sim-taint fixture."""
+
+
+class SimClock:
+    def __init__(self):
+        self.now_usec = 0.0
+
+    def advance(self, dt_usec):
+        self.now_usec += dt_usec
+
+    def advance_to(self, t_usec):
+        self.now_usec = max(self.now_usec, t_usec)

@@ -1,0 +1,38 @@
+"""Call-graph fixture: every direct intra-package call form must resolve."""
+
+from . import clock as clock_mod
+from .clock import SimClock
+from .timing import drive_clean
+
+
+def local_helper(x):
+    return x + 1
+
+
+def plain_call():
+    return local_helper(1)
+
+
+def imported_symbol_call():
+    c = SimClock()
+    drive_clean(c, local_helper)
+    return c
+
+
+def module_attr_call():
+    return clock_mod.SimClock()
+
+
+class Stepper:
+    def __init__(self):
+        self.clock = SimClock()
+
+    def _tick(self):
+        return local_helper(0)
+
+    def step(self):
+        return self._tick()
+
+
+def method_via_instance():
+    return Stepper().step()

@@ -1,0 +1,12 @@
+"""suppression-hygiene fixture: one live, one stale, one unknown-rule."""
+
+import time
+
+# Live suppression (false-positive-avoidance: must NOT be reported).
+T0 = time.time()  # repro: lint-ok[wall-clock]
+
+# TRUE POSITIVE: nothing fires on this line, the suppression is stale.
+PAGE_SHIFT = 12  # repro: lint-ok[wall-clock]
+
+# TRUE POSITIVE: the rule id does not exist (typo'd suppression).
+BLOCK_PAGES = 16  # repro: lint-ok[wall-clok]

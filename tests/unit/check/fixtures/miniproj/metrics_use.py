@@ -1,0 +1,30 @@
+"""metric-drift fixture: call sites that must agree with obs_catalog."""
+
+
+def instrument(metrics, obs):
+    # Declared family, matching labels: clean.
+    batches = metrics.counter(
+        "mini_batches_total", "replayed fault batches", labels=("kind",)
+    )
+    batches.labels("replay").inc()
+    # Declared family, no labels: clean.
+    metrics.counter("mini_faults_total", "page faults observed").inc()
+    # Declared gauge: clean.
+    metrics.gauge("mini_resident_pages", "pages resident on device").set(0)
+    # Declared span: clean.
+    with obs.span("mini.batch"):
+        pass
+
+
+def instrument_replay(metrics):
+    # Second emission site of the same family: the rename test rewrites
+    # this one and must observe exactly one metric-undeclared finding.
+    metrics.counter(
+        "mini_batches_total", "replayed fault batches", labels=("kind",)
+    ).labels("prefetch").inc()
+
+
+def not_a_metric(np, arr):
+    # FP-avoidance: numpy.histogram is not a metric registration.
+    counts, edges = np.histogram(arr, bins=4)
+    return counts, edges

@@ -1,0 +1,23 @@
+"""Declarative metric/span catalog for the metric-drift fixture."""
+
+METRIC_CATALOG = {
+    "mini_batches_total": {
+        "kind": "counter",
+        "help": "replayed fault batches",
+        "labels": ("kind",),
+    },
+    "mini_faults_total": {
+        "kind": "counter",
+        "help": "page faults observed",
+        "labels": (),
+    },
+    "mini_resident_pages": {
+        "kind": "gauge",
+        "help": "pages resident on device",
+        "labels": (),
+    },
+}
+
+SPAN_CATALOG = {
+    "mini.batch": "one fault batch end to end",
+}

@@ -1,0 +1,32 @@
+"""mp-shared-state fixture: worker-reachable global mutation vs safe state."""
+
+import multiprocessing
+
+# Mutable module global written by worker-reachable code: the hazard.
+VERDICTS = []
+
+# Mutable module global populated at import time and only *read* by
+# workers: every worker re-imports it identically, so it must NOT be
+# flagged (false-positive-avoidance).
+REGISTRY = {"streaming": 1, "random": 2}
+
+# Immutable module global: never a hazard.
+PAGE_SIZE = 4096
+
+
+def _record(verdict):
+    # TRUE POSITIVE: reachable from `work`, mutates a module global.
+    VERDICTS.append(verdict)
+
+
+def work(cell):
+    kind = REGISTRY.get(cell, 0)
+    _record(kind)
+    local_cache = {}
+    local_cache[cell] = kind * PAGE_SIZE
+    return local_cache[cell]
+
+
+def run_all(cells):
+    with multiprocessing.Pool(2) as pool:
+        return list(pool.map(work, sorted(cells)))

@@ -1,0 +1,69 @@
+"""Runtime half of the metric contract: a real workload run registers only
+families the catalog declares, with matching kinds and label keys — closing
+the loop the static metric-drift pass cannot (the pass proves call sites
+agree with the catalog; this proves the live registry does too)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import UvmSystem
+from repro.config import default_config
+from repro.obs.catalog import (
+    METRIC_CATALOG,
+    SPAN_CATALOG,
+    declared_label_keys,
+    metric_declaration,
+    validate_registry,
+)
+from repro.units import MB
+from repro.workloads import StreamTriad
+
+
+@pytest.fixture(scope="module")
+def metered_system():
+    cfg = default_config()
+    cfg.gpu.memory_bytes = 32 * MB
+    cfg.seed = 7
+    cfg.obs.metrics = True
+    cfg.obs.spans = True
+    system = UvmSystem(cfg)
+    StreamTriad(nbytes=4 * MB).run(system)
+    return system
+
+
+class TestCatalogShape:
+    def test_every_entry_is_literal_and_complete(self):
+        for name, spec in METRIC_CATALOG.items():
+            assert spec["kind"] in ("counter", "gauge", "histogram"), name
+            assert isinstance(spec["labels"], tuple), name
+            assert spec["help"], name
+        assert all(isinstance(v, str) for v in SPAN_CATALOG.values())
+
+    def test_helpers(self):
+        assert metric_declaration("uvm_faults_total")["kind"] == "counter"
+        assert declared_label_keys("uvm_faults_total") == ("kind",)
+        with pytest.raises(KeyError):
+            metric_declaration("no_such_family")
+
+
+class TestRuntimeAgreement:
+    def test_live_registry_matches_catalog(self, metered_system):
+        problems = validate_registry(metered_system.metrics)
+        assert problems == [], "\n".join(problems)
+
+    def test_run_actually_registered_core_families(self, metered_system):
+        snapshot = metered_system.metrics.snapshot()
+        assert "uvm_faults_total" in snapshot
+        assert "uvm_batches_total" in snapshot
+
+    def test_recorded_spans_are_declared(self, metered_system):
+        names = {s.name for s in metered_system.obs.spans.records}
+        undeclared = names - set(SPAN_CATALOG)
+        assert not undeclared, f"spans missing from SPAN_CATALOG: {undeclared}"
+
+    def test_validate_registry_catches_an_imposter(self, metered_system):
+        registry = metered_system.metrics
+        registry.counter("uvm_imposter_total", "not in the catalog").inc()
+        problems = validate_registry(registry)
+        assert any("uvm_imposter_total" in p for p in problems)
