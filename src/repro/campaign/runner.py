@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .cache import ResultCache, cache_key
 from .spec import CampaignCell, CampaignSpec
+from .telemetry import emit as telemetry_emit
 
 #: BatchRecord resilience counters summed into each cell summary (same set
 #: as the chaos report).
@@ -51,16 +53,73 @@ def _execute_cell(payload: dict) -> dict:
     stack loads inside the worker.  Instruments are forced off — campaign
     summaries come from batch records and engine counters, both of which
     exist regardless of observability config, and dark cells run faster.
+    The two optional side-channels ride inside the payload (never through
+    module globals): ``bundle_dir`` arms crash-bundle forensics for this
+    cell, ``telemetry`` is a queue proxy for lifecycle events.
+
+    A failing cell returns a *failure summary* instead of raising — one bad
+    (workload, config, seed) point must not abort a thousand-cell sweep.
+    The failure is deterministic data (error class + message + bundle
+    path), so merged output stays byte-identical across worker counts.
     """
     from ..api import UvmSystem
     from ..workloads import WORKLOAD_REGISTRY
+    from .telemetry import HeartbeatThread, emit
 
+    bundle_dir = payload.pop("bundle_dir", None)
+    telemetry = payload.pop("telemetry", None)
     cell = CampaignCell(**payload)
-    cfg = cell.build_config()
-    cfg.obs = cfg.obs.disabled()
-    system = UvmSystem(cfg)
-    result = WORKLOAD_REGISTRY[cell.workload]().run(system)
-    return summarize_run(system, result)
+    emit(
+        telemetry,
+        {
+            "type": "job.start",
+            "index": cell.index,
+            "workload": cell.workload,
+            "config": cell.config_label,
+            "seed": cell.seed,
+        },
+    )
+    system = None
+    try:
+        cfg = cell.build_config()
+        if bundle_dir is not None:
+            cfg.obs.bundle_dir = bundle_dir
+        cfg.obs = cfg.obs.disabled()
+        system = UvmSystem(cfg)
+        beat = HeartbeatThread(
+            telemetry, cell.index, lambda: len(system.driver.log)
+        )
+        with beat:
+            result = WORKLOAD_REGISTRY[cell.workload]().run(system)
+        summary = summarize_run(system, result)
+    except Exception as exc:
+        bundle = getattr(system, "engine", None) and system.engine.last_bundle
+        summary = {
+            "failed": True,
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+            "bundle": str(bundle) if bundle else None,
+        }
+        emit(
+            telemetry,
+            {
+                "type": "job.failed",
+                "index": cell.index,
+                "error": summary["error_type"],
+                "bundle": summary["bundle"],
+            },
+        )
+        return summary
+    emit(
+        telemetry,
+        {
+            "type": "job.done",
+            "index": cell.index,
+            "batches": summary["batches"],
+            "clock_usec": summary["clock_usec"],
+        },
+    )
+    return summary
 
 
 def summarize_run(system, result) -> dict:
@@ -91,21 +150,42 @@ def summarize_run(system, result) -> dict:
 
 
 def _make_row(cell: CampaignCell, summary: dict) -> dict:
-    return {
+    row = {
         "index": cell.index,
         "workload": cell.workload,
         "config": cell.config_label,
         "seed": cell.seed,
-        "result": summary,
     }
+    if summary.get("failed"):
+        row["status"] = "failed"
+        row["error"] = {
+            "type": summary["error_type"],
+            "message": summary["error"],
+        }
+        row["bundle"] = summary.get("bundle")
+    else:
+        row["status"] = "ok"
+        row["result"] = summary
+    return row
 
 
 def run_campaign(
     spec: CampaignSpec,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    bundle_dir: Optional[str] = None,
+    monitor=None,
 ) -> CampaignOutcome:
-    """Run every cell of ``spec``; rows come back in spec order."""
+    """Run every cell of ``spec``; rows come back in spec order.
+
+    ``bundle_dir`` arms per-cell crash-bundle forensics (cell ``i`` writes
+    under ``<bundle_dir>/cell-<i>``).  ``monitor`` is an optional
+    :class:`~repro.campaign.telemetry.CampaignMonitor`: workers stream
+    lifecycle events onto its queue and the runner polls it while the pool
+    works.  Neither changes the merged rows — telemetry is a side-channel
+    and bundle paths are a pure function of the spec — so byte-identity
+    across worker counts and cache temperatures holds with both on.
+    """
     rows: List[Optional[dict]] = [None] * len(spec.cells)
     pending: List[Tuple[CampaignCell, Optional[str]]] = []
     for cell in spec.cells:
@@ -118,6 +198,19 @@ def run_campaign(
                 continue
         pending.append((cell, key))
 
+    telemetry = monitor.queue if monitor is not None else None
+    if monitor is not None:
+        telemetry_emit(
+            telemetry,
+            {
+                "type": "campaign.start",
+                "name": spec.name,
+                "cells": len(spec.cells),
+                "cached": len(spec.cells) - len(pending),
+            },
+        )
+        monitor.poll()
+
     if pending:
         payloads = [
             {
@@ -126,18 +219,46 @@ def run_campaign(
                 "config_label": cell.config_label,
                 "seed": cell.seed,
                 "overrides": cell.overrides,
+                "bundle_dir": os.path.join(bundle_dir, f"cell-{cell.index}")
+                if bundle_dir is not None
+                else None,
+                "telemetry": telemetry,
             }
             for cell, _ in pending
         ]
         if jobs <= 1 or len(pending) == 1:
-            summaries = [_execute_cell(p) for p in payloads]
+            summaries = []
+            for payload in payloads:
+                summaries.append(_execute_cell(payload))
+                if monitor is not None:
+                    monitor.poll()
         else:
             with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
-                summaries = pool.map(_execute_cell, payloads)
+                async_result = pool.map_async(_execute_cell, payloads)
+                while monitor is not None and not async_result.ready():
+                    monitor.poll()
+                    async_result.wait(0.25)
+                summaries = async_result.get()
         for (cell, key), summary in zip(pending, summaries):
             rows[cell.index] = _make_row(cell, summary)
-            if cache is not None and key is not None:
+            if cache is not None and key is not None and not summary.get("failed"):
                 cache.put(key, {"result": summary})
+
+    if monitor is not None:
+        telemetry_emit(
+            telemetry,
+            {
+                "type": "campaign.done",
+                "hits": cache.hits if cache is not None else 0,
+                "misses": cache.misses
+                if cache is not None
+                else len(spec.cells),
+                "failed": sum(
+                    1 for row in rows if row and row.get("status") == "failed"
+                ),
+            },
+        )
+        monitor.poll()
 
     return CampaignOutcome(
         spec=spec,

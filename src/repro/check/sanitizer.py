@@ -115,6 +115,10 @@ class Sanitizer:
             self._m_violations = MetricsRegistry(enabled=False).counter(
                 "uvm_san_violations_total", "", labels=("rule",)
             )
+        from ..obs.flight import NULL_FLIGHT
+
+        #: Flight recorder: violations land in the crash-bundle ring too.
+        self._flight = obs.flight if obs is not None else NULL_FLIGHT
         #: Monotonicity watermark for the shared simulated clock.
         self._last_clock = clock.now
         #: Context: batch currently being serviced (None between batches).
@@ -141,6 +145,7 @@ class Sanitizer:
             context=context,
         )
         self._m_violations.labels(rule).inc()
+        self._flight.record("san.violation", rule, self._batch_id)
         self.total_violations += 1
         if self.mode == "raise":
             raise violation

@@ -30,7 +30,16 @@ Subcommands:
 * ``campaign <spec.json>`` — expand a campaign spec (workloads × configs ×
   seeds) and run every cell across a worker pool with a content-addressed
   result cache; the NDJSON output is byte-identical for any ``--jobs``
-  value (see ``docs/performance.md``).
+  value (see ``docs/performance.md``); ``--watch`` renders live progress
+  from worker telemetry, ``--telemetry`` logs the lifecycle events,
+  ``--bundle-dir`` arms per-cell crash bundles;
+* ``analyze <input...>`` — post-hoc report over observability NDJSON logs
+  or crash-bundle directories: fault-latency percentiles, per-phase stall
+  attribution, overflow-storm/thrashing detectors; ``--diff A B`` compares
+  two logs with a relative tolerance (see ``docs/diagnostics.md``);
+* ``bench`` — run ``benchmarks/bench_simperf.py``; ``--check`` gates the
+  fresh run against the committed ``BENCH_baseline.json`` and exits
+  non-zero on a performance regression (the CI ``bench-gate`` job).
 """
 
 from __future__ import annotations
@@ -93,6 +102,8 @@ def build_parser() -> argparse.ArgumentParser:
     mt.add_argument("--json", action="store_true",
                     help="print the snapshot dict as JSON instead of "
                          "Prometheus text")
+    mt.add_argument("--percentiles", action="store_true",
+                    help="also print p50/p95/p99 for every histogram series")
 
     cmp_p = sub.add_parser(
         "compare", help="A/B a workload: prefetch on vs off (or custom caps)"
@@ -185,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the chaos report as JSON")
     ch_p.add_argument("--list-profiles", action="store_true",
                       help="list bundled injection profiles and exit")
+    ch_p.add_argument("--bundle-dir", default="uvm-bundles",
+                      help="directory for crash bundles (default "
+                           "uvm-bundles; 'none' disables bundle writes)")
+    ch_p.add_argument("--no-recovery", action="store_true",
+                      help="disable checkpoint crash recovery: an injected "
+                           "crash kills the run (and writes a bundle)")
 
     cam = sub.add_parser(
         "campaign",
@@ -202,6 +219,58 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default .uvm-campaign-cache)")
     cam.add_argument("--no-cache", action="store_true",
                      help="recompute every cell, reading and writing no cache")
+    cam.add_argument("--watch", action="store_true",
+                     help="render live progress (jobs done/running/failed, "
+                          "cache hit rate, batches/sec, ETA) while the "
+                          "pool works")
+    cam.add_argument("--telemetry", default=None, metavar="PATH",
+                     help="write worker lifecycle events (job start/done/"
+                          "failed, heartbeats) to an NDJSON file")
+    cam.add_argument("--stall-timeout", type=float, default=30.0,
+                     help="seconds of worker silence before a job is "
+                          "flagged stalled in --watch (default 30)")
+    cam.add_argument("--bundle-dir", default=None,
+                     help="arm per-cell crash bundles under this directory "
+                          "(cell i writes <dir>/cell-<i>)")
+
+    an = sub.add_parser(
+        "analyze",
+        help="post-hoc analysis of NDJSON logs, campaign rows, or crash "
+             "bundles (fault-latency percentiles, phase stall attribution, "
+             "overflow/thrashing detectors, A/B diff)",
+    )
+    an.add_argument("inputs", nargs="+",
+                    help="NDJSON log file(s) or crash-bundle directory(ies)")
+    an.add_argument("--diff", action="store_true",
+                    help="compare exactly two record inputs (A B); exit 1 "
+                         "when any metric moves beyond --tolerance")
+    an.add_argument("--tolerance", type=float, default=0.10,
+                    help="relative tolerance for --diff (default 0.10)")
+    an.add_argument("--json", action="store_true",
+                    help="print reports as JSON")
+
+    be = sub.add_parser(
+        "bench",
+        help="run the micro-benchmark suite (benchmarks/bench_simperf.py); "
+             "--check gates against the committed baseline",
+    )
+    be.add_argument("--check", action="store_true",
+                    help="compare against the baseline and exit non-zero "
+                         "on a performance regression")
+    be.add_argument("--baseline", default=None,
+                    help="baseline JSON (default BENCH_baseline.json at the "
+                         "repo root)")
+    be.add_argument("--report", default=None,
+                    help="use a pre-computed bench report JSON instead of "
+                         "running the suite (testing/CI replay)")
+    be.add_argument("--out", default=None,
+                    help="write the fresh bench report JSON to this path")
+    be.add_argument("--tolerance", type=float, default=0.35,
+                    help="allowed relative speedup drop vs baseline "
+                         "(default 0.35 — run-to-run speedup noise reaches "
+                         "~25%%; a real 2x slowdown is a 50%% drop)")
+    be.add_argument("--json", action="store_true",
+                    help="print the bench report as JSON")
     return parser
 
 
@@ -227,7 +296,14 @@ def _run_workload(args, chrome_trace: bool = False, tweak_config=None):
     if tweak_config is not None:
         tweak_config(cfg)
     system = UvmSystem(cfg)
-    result = WORKLOAD_REGISTRY[args.workload]().run(system)
+    try:
+        result = WORKLOAD_REGISTRY[args.workload]().run(system)
+    except Exception as exc:
+        # Callers that report crashes (chaos) need the dead system — e.g.
+        # the crash-bundle path the engine just wrote — so ride it on the
+        # exception rather than widening every return site.
+        exc.uvm_system = system
+        raise
     return system, result
 
 
@@ -349,6 +425,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_json.dumps(system.metrics_snapshot(), indent=2, sort_keys=True))
         else:
             print(system.prometheus_metrics(), end="")
+        if args.percentiles:
+            registry = system.metrics
+            print("# histogram percentiles (p50/p95/p99)")
+            for name in sorted(system.metrics_snapshot()):
+                family = registry.family(name)
+                if family.kind != "histogram":
+                    continue
+                for key, child in sorted(family.series.items()):
+                    labels = (
+                        "{" + ",".join(
+                            f'{k}="{v}"'
+                            for k, v in zip(family.label_names, key)
+                        ) + "}"
+                        if key
+                        else ""
+                    )
+                    qs = child.quantiles()
+                    stats = "  ".join(
+                        f"{q}={'n/a' if v is None else f'{v:.1f}'}"
+                        for q, v in qs.items()
+                    )
+                    print(f"{name}{labels}: {stats} (count {child.count})")
         return 0
 
     if args.command == "lint":
@@ -542,6 +640,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             cfg.inject.enabled = True
             cfg.inject.profile = args.profile
             cfg.inject.checkpoint_every = args.checkpoint_every
+            if args.no_recovery:
+                cfg.inject.crash_recovery = False
+            if args.bundle_dir and args.bundle_dir != "none":
+                cfg.obs.bundle_dir = args.bundle_dir
 
         try:
             system, result = _run_workload(args, tweak_config=_enable_chaos)
@@ -550,10 +652,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         except UvmError as exc:
             report = crash_report(args.workload, args.profile, exc)
+            crashed = getattr(exc, "uvm_system", None)
+            bundle = crashed.engine.last_bundle if crashed is not None else None
+            report["bundle"] = str(bundle) if bundle else None
             if args.json:
                 print(_json.dumps(report, indent=2, sort_keys=True))
             else:
                 print(render_chaos_report(report))
+                if bundle:
+                    print(f"crash bundle: {bundle} "
+                          f"(inspect with `uvm-repro analyze {bundle}`)")
             return 1
         if system is None:
             return 2
@@ -582,13 +690,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("error: --jobs must be >= 1", file=sys.stderr)
             return 2
         cache = None if args.no_cache else ResultCache(args.cache_dir)
+        monitor = None
+        if args.watch or args.telemetry:
+            from .campaign.telemetry import CampaignMonitor
+
+            monitor = CampaignMonitor(
+                len(spec.cells),
+                jobs=args.jobs,
+                path=args.telemetry,
+                stall_timeout_sec=args.stall_timeout,
+                watch=args.watch,
+            )
         t0 = time.perf_counter()
-        outcome = run_campaign(spec, jobs=args.jobs, cache=cache)
+        try:
+            outcome = run_campaign(
+                spec,
+                jobs=args.jobs,
+                cache=cache,
+                bundle_dir=args.bundle_dir,
+                monitor=monitor,
+            )
+        finally:
+            if monitor is not None:
+                monitor.close()
         wall = time.perf_counter() - t0
         out_path = Path(args.out) if args.out else Path(f"{spec.name}.ndjson")
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(to_ndjson(outcome.rows), encoding="utf-8")
-        sim_total = sum(row["result"]["clock_usec"] for row in outcome.rows)
+        ok_rows = [row for row in outcome.rows if row["status"] == "ok"]
+        failed_rows = [row for row in outcome.rows if row["status"] == "failed"]
+        sim_total = sum(row["result"]["clock_usec"] for row in ok_rows)
         print(
             f"campaign {spec.name}: {len(outcome.rows)} cells, "
             f"jobs={args.jobs}, cache hits {outcome.cache_hits}, "
@@ -598,7 +729,133 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"wrote {out_path} (simulated {sim_total / 1e6:.2f}s total, "
             f"wall {wall:.1f}s)"
         )
+        if failed_rows:
+            print(f"{len(failed_rows)} cells FAILED:")
+            for row in failed_rows:
+                where = f" [bundle: {row['bundle']}]" if row.get("bundle") else ""
+                print(
+                    f"  #{row['index']} {row['workload']}/{row['config']} "
+                    f"seed={row['seed']}: {row['error']['type']}: "
+                    f"{row['error']['message']}{where}"
+                )
+            return 1
         return 0
+
+    if args.command == "analyze":
+        import json as _json
+
+        from .obs.analyze import (
+            analyze_path,
+            diff_reports,
+            render_bundle_report,
+            render_diff,
+            render_report,
+        )
+
+        try:
+            analyzed = [analyze_path(p) for p in args.inputs]
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.diff:
+            if len(analyzed) != 2:
+                print("error: --diff takes exactly two inputs", file=sys.stderr)
+                return 2
+            (kind_a, rep_a), (kind_b, rep_b) = analyzed
+            if kind_a != "records" or kind_b != "records":
+                print("error: --diff compares two record logs, not bundles",
+                      file=sys.stderr)
+                return 2
+            diff = diff_reports(rep_a, rep_b, tolerance=args.tolerance)
+            if args.json:
+                print(_json.dumps(diff, indent=2, sort_keys=True))
+            else:
+                print(render_diff(diff, args.inputs[0], args.inputs[1]))
+            return 0 if diff["within_tolerance"] else 1
+        for path, (kind, report) in zip(args.inputs, analyzed):
+            if args.json:
+                print(_json.dumps(report, indent=2, sort_keys=True, default=str))
+            elif kind == "bundle":
+                print(render_bundle_report(report))
+            else:
+                print(render_report(report, title=f"analyze {path}"))
+        return 0
+
+    if args.command == "bench":
+        import json as _json
+        from pathlib import Path
+
+        from .obs.analyze import bench_gate
+
+        if args.report:
+            try:
+                with open(args.report, "r", encoding="utf-8") as fh:
+                    fresh = _json.load(fh)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read report: {exc}", file=sys.stderr)
+                return 2
+        else:
+            bench_path = (
+                Path(__file__).resolve().parents[2]
+                / "benchmarks"
+                / "bench_simperf.py"
+            )
+            if not bench_path.is_file():
+                print(
+                    f"error: {bench_path} not found (pass --report to gate "
+                    "a pre-computed run)",
+                    file=sys.stderr,
+                )
+                return 2
+            import importlib.util
+
+            spec_mod = importlib.util.spec_from_file_location(
+                "bench_simperf", bench_path
+            )
+            module = importlib.util.module_from_spec(spec_mod)
+            spec_mod.loader.exec_module(module)
+            fresh = module.run_suite()
+        if args.out:
+            Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(fresh, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        if not args.check:
+            if args.json:
+                print(_json.dumps(fresh, indent=2, sort_keys=True))
+            else:
+                for name in sorted(fresh.get("hot_paths", {})):
+                    stats = fresh["hot_paths"][name]
+                    print(f"{name}: {stats['speedup']:.2f}x speedup")
+                e2e = fresh.get("end_to_end", {})
+                if e2e:
+                    print(
+                        f"end_to_end: {e2e.get('batches')} batches in "
+                        f"{e2e.get('wall_sec', 0):.2f}s wall"
+                    )
+            return 0
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else Path(__file__).resolve().parents[2] / "BENCH_baseline.json"
+        )
+        try:
+            with open(baseline_path, "r", encoding="utf-8") as fh:
+                baseline = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        ok, problems = bench_gate(fresh, baseline, tolerance=args.tolerance)
+        if ok:
+            print(
+                f"bench check OK vs {baseline_path} "
+                f"(tolerance {args.tolerance:.0%})"
+            )
+            return 0
+        print(f"bench check FAILED vs {baseline_path}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
 
     if args.command == "run":
         for exp_id in args.experiments:

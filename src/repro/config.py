@@ -219,11 +219,32 @@ class ObsConfig:
     chrome_max_events: int = 1_000_000
     #: Retention cap for completed spans (None = unbounded).
     max_spans: Optional[int] = None
+    #: Always-on flight recorder: a bounded ring of recent structured events
+    #: (batch open/close, retries, evictions, injections, violations) that
+    #: crash bundles dump for post-mortem forensics.  Purely observational —
+    #: the simulated timeline is bit-identical with it on or off.
+    flight_recorder: bool = True
+    #: Flight-recorder ring capacity (events retained, newest win).
+    flight_cap: int = 512
+    #: Directory crash bundles are written under on an unhandled
+    #: :class:`~repro.errors.UvmError`, invariant violation, or injected
+    #: crash (None = never write bundles).
+    bundle_dir: Optional[str] = None
 
     def disabled(self) -> "ObsConfig":
-        """A copy with every instrument off (perf-sensitive sweeps)."""
+        """A copy with every instrument off (perf-sensitive sweeps).
+
+        The flight recorder goes dark too — unless a ``bundle_dir`` is set,
+        in which case crash forensics stay armed (a dark cell that dies
+        should still leave a bundle behind).
+        """
         return dataclasses.replace(
-            self, metrics=False, spans=False, chrome_trace=False, ndjson_path=None
+            self,
+            metrics=False,
+            spans=False,
+            chrome_trace=False,
+            ndjson_path=None,
+            flight_recorder=self.bundle_dir is not None,
         )
 
     def validate(self) -> None:
@@ -233,6 +254,8 @@ class ObsConfig:
             raise ConfigError("chrome_max_events must be positive")
         if self.max_spans is not None and self.max_spans <= 0:
             raise ConfigError("max_spans must be positive or None")
+        if self.flight_cap <= 0:
+            raise ConfigError("flight_cap must be positive")
 
 
 @dataclass

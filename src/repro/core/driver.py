@@ -250,6 +250,9 @@ class UvmDriver:
         #: nothing consumes them.
         self._spans_on = self.obs.spans.enabled
         self._obs_block_on = self._spans_on or self.obs.chrome.enabled
+        #: Flight recorder (bounded ring of recent events; null object when
+        #: off, so the per-batch paths call it unconditionally).
+        self.flight = self.obs.flight
         self.eviction.attach_obs(self.obs)
         #: Simulated timestamp where the current VABlock's service started on
         #: the trace timeline (per-block costs apply to the clock only after
@@ -281,6 +284,7 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, hinted=True)
         self._batch_id += 1
         record.t_start = self.clock.now
+        self.flight.record("batch.open", record.batch_id, "migrate")
         self.san.on_batch_start(self, record)
         try:
             by_block: Dict[int, List[int]] = {}
@@ -335,6 +339,7 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, hinted=True)
         self._batch_id += 1
         record.t_start = self.clock.now
+        self.flight.record("batch.open", record.batch_id, "advise")
         self.san.on_batch_start(self, record)
         try:
             self._advise_accessed_by(record, pages)
@@ -362,6 +367,7 @@ class UvmDriver:
             except DmaMapFault as exc:
                 record.retries_dma += 1
                 self._m_retries_dma.inc()
+                self.flight.record("retry", "dma", attempt, record.batch_id)
                 if attempt >= self.retry.max_attempts:
                     if self.retry.fail_fast:
                         raise RetryExhausted("dma.map_fail", attempt, exc)
@@ -424,6 +430,7 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, slept_before=slept)
         self._batch_id += 1
         record.t_start = self.clock.now
+        self.flight.record("batch.open", record.batch_id, "fault")
         self.san.on_batch_start(self, record)
         try:
             outcome = self._service_batch_body(record, slept)
@@ -588,6 +595,7 @@ class UvmDriver:
             except DmaMapFault as exc:
                 record.retries_dma += 1
                 self._m_retries_dma.inc()
+                self.flight.record("retry", "dma", attempt, record.batch_id)
                 if attempt >= self.retry.max_attempts:
                     if self.retry.fail_fast:
                         raise RetryExhausted("dma.map_fail", attempt, exc)
@@ -628,6 +636,7 @@ class UvmDriver:
                 spend(exc.wasted_usec, "time_retry_backoff")
                 record.retries_transfer += 1
                 self._m_retries_ce.inc()
+                self.flight.record("retry", "ce", attempt, record.batch_id)
                 if attempt >= self.retry.max_attempts:
                     if self.retry.fail_fast or not allow_degrade:
                         raise RetryExhausted("ce.transfer_fault", attempt, exc)
@@ -637,6 +646,7 @@ class UvmDriver:
                 spend(self.retry.deadline_usec, "time_retry_backoff")
                 record.ce_failovers += 1
                 self._m_failovers.inc()
+                self.flight.record("failover", "ce", attempt, record.batch_id)
                 if attempt >= self.retry.max_attempts:
                     if self.retry.fail_fast or not allow_degrade:
                         raise RetryExhausted("ce.stuck", attempt, exc)
@@ -784,6 +794,7 @@ class UvmDriver:
             # off, then retry the population.
             record.retries_populate += 1
             self._m_retries_populate.inc()
+            self.flight.record("retry", "populate", 1, record.batch_id)
             if (
                 self.config.driver.eviction_enabled
                 and self.eviction.pick_victim(pinned) is not None
@@ -884,6 +895,7 @@ class UvmDriver:
         record.pages_evicted += len(pages)
         outcome.evicted_pages.extend(pages)
         self._m_pages_evicted.inc(len(pages))
+        self.flight.record("evict", victim_id, len(pages), record.batch_id)
         if self.obs.chrome.enabled:
             self.obs.chrome.duration(
                 f"evict block {victim_id}",
@@ -1034,6 +1046,12 @@ class UvmDriver:
     def _finish_record_obs(self, record: BatchRecord) -> None:
         """Fold one finished batch into metrics, spans, trace, and sink."""
         obs = self.obs
+        self.flight.record(
+            "batch.abort" if record.aborted else "batch.close",
+            record.batch_id,
+            record.num_faults_raw,
+            record.duration,
+        )
         (self._m_batches_hinted if record.hinted else self._m_batches_fault).inc()
         self._m_faults_raw.inc(record.num_faults_raw)
         self._m_faults_unique.inc(record.num_faults_unique)

@@ -42,6 +42,7 @@ from .chrome_trace import (
     TID_PHASE,
     TID_VABLOCK,
 )
+from .flight import NULL_FLIGHT, FlightRecorder
 from .metrics import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_TIME_BUCKETS_USEC,
@@ -74,6 +75,11 @@ class Observability:
         self.sink: Optional[NdjsonSink] = (
             NdjsonSink(config.ndjson_path) if config.ndjson_path else None
         )
+        self.flight = (
+            FlightRecorder(clock, config.flight_cap)
+            if config.flight_recorder
+            else NULL_FLIGHT
+        )
         if self.chrome.enabled:
             self.chrome.register_tracks(pid_base, label)
 
@@ -91,6 +97,7 @@ class Observability:
         view.spans = self.spans
         view.chrome = self.chrome
         view.sink = self.sink
+        view.flight = self.flight
         if view.chrome.enabled:
             view.chrome.register_tracks(pid_base, label)
         return view
@@ -140,6 +147,8 @@ __all__ = [
     "SpanProfiler",
     "SpanRecord",
     "NULL_SPAN",
+    "FlightRecorder",
+    "NULL_FLIGHT",
     "ChromeTraceBuilder",
     "NdjsonSink",
     "read_ndjson",

@@ -46,6 +46,11 @@ METRIC_CATALOG: Dict[str, dict] = {
         "labels": ("kind",),
         "help": "Batches through the servicing path",
     },
+    "uvm_bundles_written_total": {
+        "kind": "counter",
+        "labels": (),
+        "help": "Crash bundles written",
+    },
     "uvm_bytes_total": {
         "kind": "counter",
         "labels": ("dir",),

@@ -1,0 +1,159 @@
+"""Always-on flight recorder: a bounded ring of recent structured events.
+
+Chaos runs used to die with a stack trace and nothing else — the batch log
+shows *completed* batches, the metrics registry shows totals, but neither
+says what the system was doing in the moments before it fell over.  The
+flight recorder is the black box: a fixed-capacity ring
+(:class:`collections.deque`) of small ``(sim_time, kind, args)`` tuples fed
+by the engine, driver, copy engines, injector, and sanitizer at their
+interesting transitions — batch open/close/abort, retries and failovers,
+evictions, checkpoints, injected crashes, invariant violations.
+
+Design contract (same as every :mod:`repro.obs` instrument):
+
+* **timeline-neutral** — the recorder only *observes*; it never advances the
+  :class:`~repro.sim.clock.SimClock` or draws RNG, so the simulated timeline
+  is bit-identical with it on or off (and its contents are deterministic:
+  equal seeds produce byte-identical event dumps);
+* **near-zero cost** — one tuple build plus one deque append per event when
+  on; the shared :data:`NULL_FLIGHT` null object when off, so call sites
+  never branch;
+* **bounded** — the ring keeps the newest :attr:`capacity` events and counts
+  overwrites in :attr:`dropped`, so a week-long soak costs the same memory
+  as a smoke test.
+
+Crash bundles (:mod:`repro.obs.bundle`) dump the ring on the way down; the
+``uvm-repro analyze`` report engine replays it to name the failing batch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Optional, Tuple
+
+#: One recorded event: (simulated time µs, event kind, kind-specific args).
+FlightEvent = Tuple[float, str, Tuple]
+
+#: Event kinds the stock hooks emit (call sites may add more; the bundle
+#: schema treats the kind as an open string).
+KNOWN_KINDS = (
+    "batch.open",
+    "batch.close",
+    "batch.abort",
+    "retry",
+    "failover",
+    "evict",
+    "checkpoint",
+    "crash.injected",
+    "crash.recovered",
+    "launch",
+    "launch.done",
+    "resume",
+    "san.violation",
+    "inject.crash_due",
+)
+
+
+class FlightRecorder:
+    """Bounded ring of recent structured events (the run's black box)."""
+
+    __slots__ = ("clock", "capacity", "dropped", "_ring")
+
+    enabled = True
+
+    def __init__(self, clock, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.clock = clock
+        self.capacity = capacity
+        self.dropped = 0
+        self._ring: deque = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, kind: str, *args) -> None:
+        """Append one event stamped with the current simulated time."""
+        ring = self._ring
+        if len(ring) == self.capacity:
+            self.dropped += 1
+        ring.append((self.clock.now, kind, args))
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[FlightEvent]:
+        return iter(self._ring)
+
+    def events(self) -> List[FlightEvent]:
+        return list(self._ring)
+
+    def tail(self, n: int) -> List[FlightEvent]:
+        """The newest ``n`` events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]
+
+    def select(self, kind: str) -> List[FlightEvent]:
+        return [e for e in self._ring if e[1] == kind]
+
+    def last(self, kind: str) -> Optional[FlightEvent]:
+        """Newest event of ``kind`` (None when the ring holds none)."""
+        for event in reversed(self._ring):
+            if event[1] == kind:
+                return event
+        return None
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    # --------------------------------------------------------- serialization
+
+    def to_dicts(self) -> List[dict]:
+        """The ring as JSON-ready dicts, oldest first (the bundle format)."""
+        return [
+            {"t": time, "kind": kind, "args": list(args)}
+            for time, kind, args in self._ring
+        ]
+
+
+class _NullFlightRecorder:
+    """Shared no-op stand-in when the flight recorder is off."""
+
+    __slots__ = ()
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+
+    def record(self, kind: str, *args) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def events(self) -> List[FlightEvent]:
+        return []
+
+    def tail(self, n: int) -> List[FlightEvent]:
+        return []
+
+    def select(self, kind: str) -> List[FlightEvent]:
+        return []
+
+    def last(self, kind: str) -> Optional[FlightEvent]:
+        return None
+
+    def clear(self) -> None:
+        pass
+
+    def to_dicts(self) -> List[dict]:
+        return []
+
+
+NULL_FLIGHT = _NullFlightRecorder()

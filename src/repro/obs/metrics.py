@@ -117,6 +117,38 @@ class Histogram:
         cumulative.append({"le": float("inf"), "count": self.count})
         return {"buckets": cumulative, "sum": self.sum, "count": self.count}
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (Prometheus ``histogram_quantile``
+        semantics: linear interpolation within the landing bucket, values in
+        the +Inf tail clamp to the highest finite bound).  None when empty.
+
+        >>> h = Histogram(buckets=(10.0, 20.0))
+        >>> for v in (5.0, 15.0, 15.0, 15.0): h.observe(v)
+        >>> h.quantile(0.5)
+        15.0
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        running = 0
+        for i, bound in enumerate(self.bounds):
+            prev = running
+            running += self.counts[i]
+            if running >= rank:
+                if self.counts[i] == 0:
+                    return bound
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                frac = (rank - prev) / self.counts[i]
+                return lower + (bound - lower) * frac
+        # Tail bucket: no finite upper edge to interpolate against.
+        return self.bounds[-1]
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> Dict[str, Optional[float]]:
+        """The standard latency percentiles as a ``{"p50": ...}`` dict."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
 
 class _NullInstrument:
     """Shared no-op stand-in handed out by a disabled registry."""

@@ -31,8 +31,10 @@ import pickle
 from typing import Dict, List
 
 #: Attribute names that are wiring, not simulation state, on any component.
+#: ``_flight`` is the flight recorder: instrumentation like metrics, it
+#: never rewinds on restore (the pre-crash events are the forensic value).
 _SKIP_COMMON = frozenset(
-    {"_san", "_inj", "_obs", "_clock", "_pid", "config", "cost_model", "sink"}
+    {"_san", "_inj", "_obs", "_clock", "_pid", "config", "cost_model", "sink", "_flight"}
 )
 #: Per-kind extra exclusions (references into other captured components).
 _SKIP_EXTRA: Dict[str, frozenset] = {

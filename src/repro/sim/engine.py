@@ -40,6 +40,7 @@ from ..errors import (
     SimulationError,
     TransferFault,
     TransferStuck,
+    UvmError,
 )
 from ..gpu.copy_engine import contiguous_runs
 from ..inject import make_injector
@@ -192,6 +193,15 @@ class Engine:
             for ce in self.device.copy_engines:
                 ce.attach_injector(self.injector)
             self.dma.attach_injector(self.injector)
+        #: Flight recorder (black box): a null object when off, so hooks on
+        #: the paths below cost one no-op call at most.
+        self.flight = self.obs.flight
+        if self.flight.enabled:
+            for ce in self.device.copy_engines:
+                ce.attach_flight(self.flight)
+        #: Where the latest crash bundle landed (None until a crash writes
+        #: one; see :meth:`_capture_bundle`).
+        self.last_bundle = None
         metrics = self.obs.metrics
         self._m_kernels = metrics.counter("uvm_kernels_total", "Kernel launches run")
         self._m_kernel_usec = metrics.histogram(
@@ -199,6 +209,9 @@ class Engine:
         )
         self._m_rounds = metrics.counter(
             "uvm_engine_rounds_total", "GPU fault-generation rounds"
+        )
+        self._m_bundles = metrics.counter(
+            "uvm_bundles_written_total", "Crash bundles written"
         )
         #: Engine-side resilience counters (no BatchRecord on these paths).
         self.counters = EngineCounters()
@@ -268,23 +281,27 @@ class Engine:
             return
         if thread_of is None:
             thread_of = lambda page: 0
-        with self.obs.span("engine.host_touch", "engine", pages=len(pages)):
-            is_remote = self.driver.is_remote_mapped
-            resident = [
-                p
-                for p in pages
-                if self.device.page_table.is_resident(p) and not is_remote(p)
-            ]
-            if resident:
-                resident.sort()
-                self.clock.advance(self._d2h_with_retry(contiguous_runs(resident)))
-                self.device.page_table.unmap_pages(resident)
-                for page in resident:
-                    block = self.driver.vablocks.get_for_page(page)
-                    block.resident_pages.discard(page)
-                self.host_vm.mark_valid(resident)
-            self.host_vm.cpu_touch(pages, thread_of)
-            self.clock.advance(self.host_cpu.touch_cost_usec(len(pages)))
+        try:
+            with self.obs.span("engine.host_touch", "engine", pages=len(pages)):
+                is_remote = self.driver.is_remote_mapped
+                resident = [
+                    p
+                    for p in pages
+                    if self.device.page_table.is_resident(p) and not is_remote(p)
+                ]
+                if resident:
+                    resident.sort()
+                    self.clock.advance(self._d2h_with_retry(contiguous_runs(resident)))
+                    self.device.page_table.unmap_pages(resident)
+                    for page in resident:
+                        block = self.driver.vablocks.get_for_page(page)
+                        block.resident_pages.discard(page)
+                    self.host_vm.mark_valid(resident)
+                self.host_vm.cpu_touch(pages, thread_of)
+                self.clock.advance(self.host_cpu.touch_cost_usec(len(pages)))
+        except UvmError as exc:
+            self._capture_bundle(exc)
+            raise
 
     def _d2h_with_retry(self, run_lengths) -> float:
         """CPU-side fault migration burst with the driver's retry policy.
@@ -310,6 +327,7 @@ class Engine:
                 counters.d2h_backoff_usec += exc.wasted_usec
                 counters.d2h_retries += 1
                 self._m_retries_ce.inc()
+                self.flight.record("retry", "ce", attempt)
                 if attempt >= retry.max_attempts:
                     raise RetryExhausted("ce.transfer_fault", attempt, exc)
                 backoff = retry.backoff_usec(attempt)
@@ -320,6 +338,7 @@ class Engine:
                 counters.d2h_backoff_usec += retry.deadline_usec
                 counters.d2h_failovers += 1
                 self._m_failovers.inc()
+                self.flight.record("failover", "ce", attempt)
                 if attempt >= retry.max_attempts:
                     raise RetryExhausted("ce.stuck", attempt, exc)
                 ce = self.device.sibling_of(ce)
@@ -328,10 +347,23 @@ class Engine:
     # -------------------------------------------------------------- launch
 
     def launch(self, kernel: KernelLaunch) -> LaunchResult:
-        """Run a kernel to completion; returns its launch summary."""
+        """Run a kernel to completion; returns its launch summary.
+
+        A launch that dies with a :class:`~repro.errors.UvmError` (retry
+        exhaustion, raise-mode invariant violation, unrecovered injected
+        crash, deadlock) writes a crash bundle on the way out when
+        ``config.obs.bundle_dir`` is set; the exception then propagates
+        unchanged.
+        """
         t0 = self.clock.now
-        with self.obs.span("engine.launch", "engine", kernel=kernel.name):
-            result = self._launch(kernel)
+        self.flight.record("launch", kernel.name, len(kernel.programs))
+        try:
+            with self.obs.span("engine.launch", "engine", kernel=kernel.name):
+                result = self._launch(kernel)
+        except UvmError as exc:
+            self._capture_bundle(exc)
+            raise
+        self.flight.record("launch.done", kernel.name, result.num_batches)
         self._m_kernels.inc()
         self._m_kernel_usec.observe(result.kernel_time_usec)
         if self._chrome_on:
@@ -385,8 +417,13 @@ class Engine:
         """
         if self._progress is None or self._progress.done:
             raise SimulationError("no in-flight launch to resume")
-        with self.obs.span("engine.resume", "engine", kernel=self._progress.name):
-            return self._run_loop()
+        self.flight.record("resume", self._progress.name)
+        try:
+            with self.obs.span("engine.resume", "engine", kernel=self._progress.name):
+                return self._run_loop()
+        except UvmError as exc:
+            self._capture_bundle(exc)
+            raise
 
     def _run_loop(self) -> LaunchResult:
         device = self.device
@@ -443,6 +480,28 @@ class Engine:
         """Snapshot the full simulation state (see :mod:`.checkpoint`)."""
         return EngineCheckpoint.capture(self)
 
+    def _capture_bundle(self, exc: BaseException) -> None:
+        """Write a crash bundle for ``exc`` when ``obs.bundle_dir`` is set.
+
+        Best-effort by contract: a bundle-write failure must never mask the
+        original exception, so filesystem errors are swallowed (the bundle
+        simply does not exist).  The written path lands in
+        :attr:`last_bundle` for callers (CLI, campaign workers) to surface.
+        """
+        bundle_root = self.config.obs.bundle_dir
+        if bundle_root is None:
+            return
+        from ..obs.bundle import unique_bundle_dir, write_bundle
+
+        name = f"crash-{type(exc).__name__.lower()}"
+        try:
+            self.last_bundle = write_bundle(
+                unique_bundle_dir(bundle_root, name), self, exc
+            )
+            self._m_bundles.inc()
+        except OSError:
+            self.last_bundle = None
+
     def _after_batch(self, batch_id: int) -> None:
         """Batch-boundary hooks: test callbacks, periodic auto-checkpoints,
         and the one-shot injected crash + recovery."""
@@ -453,6 +512,7 @@ class Engine:
         every = self.config.inject.checkpoint_every
         if every > 0 and batch_id % every == 0:
             self._auto_checkpoint = EngineCheckpoint.capture(self)
+            self.flight.record("checkpoint", batch_id)
         if self.injector.crash_due(batch_id):
             self.injector.record_crash()
             if self.config.inject.crash_recovery and self._auto_checkpoint is not None:
@@ -460,9 +520,12 @@ class Engine:
                 # Recovery charges no simulated time: the simulated world
                 # itself rolls back, and determinism of the replayed
                 # timeline is the property under test.
+                self.flight.record("crash.injected", batch_id)
                 self._auto_checkpoint.restore_into(self)
                 self.injector.record_recovery()
+                self.flight.record("crash.recovered", batch_id)
             else:
+                self.flight.record("crash.injected", batch_id)
                 raise InjectedCrash(batch_id, self.clock.now)
 
     # ------------------------------------------------------------ GPU round

@@ -1,0 +1,177 @@
+"""Campaign failure classification, crash-bundle forensics, and live
+telemetry — and the determinism contract with all of them switched on:
+merged rows stay byte-identical across worker counts.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultCache, run_campaign, to_ndjson
+from repro.campaign.telemetry import CampaignMonitor, read_telemetry
+from repro.cli import main
+from repro.obs.bundle import is_bundle_dir, read_manifest
+
+#: Two healthy cells and two that die at batch 2 (inline crash site with
+#: recovery off), so every run exercises both row shapes.
+SPEC_DOC = {
+    "name": "obs-camp",
+    "workloads": ["stream"],
+    "configs": [
+        {"label": "base", "overrides": {}},
+        {
+            "label": "crash",
+            "overrides": {
+                "inject.enabled": True,
+                "inject.crash_recovery": False,
+                "inject.sites": {"engine.crash": {"at_batch": 2}},
+            },
+        },
+    ],
+    "seeds": [0, 1],
+    "base_overrides": {"gpu.memory_bytes": 33554432},
+}
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return CampaignSpec.from_dict(SPEC_DOC)
+
+
+class TestFailureClassification:
+    def test_failed_cells_become_rows_not_aborts(self, spec):
+        outcome = run_campaign(spec, jobs=1)
+        by_status = {}
+        for row in outcome.rows:
+            by_status.setdefault(row["status"], []).append(row)
+        assert len(by_status["ok"]) == 2
+        assert len(by_status["failed"]) == 2
+        for row in by_status["failed"]:
+            assert row["config"] == "crash"
+            assert row["error"]["type"] == "InjectedCrash"
+            assert row["bundle"] is None  # bundles not armed
+            assert "result" not in row
+        for row in by_status["ok"]:
+            assert row["result"]["batches"] > 0
+
+    def test_bundle_dir_arms_per_cell_forensics(self, spec, tmp_path):
+        outcome = run_campaign(spec, jobs=1, bundle_dir=str(tmp_path))
+        failed = [r for r in outcome.rows if r["status"] == "failed"]
+        assert len(failed) == 2
+        for row in failed:
+            assert row["bundle"] is not None
+            assert f"cell-{row['index']}" in row["bundle"]
+            assert is_bundle_dir(row["bundle"])
+            manifest = read_manifest(row["bundle"])
+            assert manifest["error"]["batch_id"] == 2
+            assert manifest["seed"] == row["seed"]
+
+    def test_failures_never_cached(self, spec, tmp_path):
+        cold = run_campaign(spec, jobs=1, cache=ResultCache(tmp_path / "c"))
+        assert (cold.cache_hits, cold.cache_misses) == (0, 4)
+        warm = run_campaign(spec, jobs=1, cache=ResultCache(tmp_path / "c"))
+        # Only the two ok cells hit; the failed cells re-execute.
+        assert (warm.cache_hits, warm.cache_misses) == (2, 2)
+        assert to_ndjson(warm.rows) == to_ndjson(cold.rows)
+
+
+class TestByteIdentity:
+    def test_jobs_parallel_identical_with_failures(self, spec):
+        serial = to_ndjson(run_campaign(spec, jobs=1).rows)
+        parallel = to_ndjson(run_campaign(spec, jobs=2).rows)
+        assert parallel == serial
+
+    def test_identical_with_telemetry_and_bundles(self, spec, tmp_path):
+        with CampaignMonitor(len(spec.cells), jobs=1) as mon_a:
+            serial = run_campaign(
+                spec, jobs=1, bundle_dir=str(tmp_path / "a"), monitor=mon_a
+            )
+        with CampaignMonitor(len(spec.cells), jobs=2) as mon_b:
+            parallel = run_campaign(
+                spec, jobs=2, bundle_dir=str(tmp_path / "b"), monitor=mon_b
+            )
+        # Bundle paths embed the (different) root dirs; normalize those and
+        # the rest of the bytes must match exactly.
+        text_a = to_ndjson(serial.rows).replace(str(tmp_path / "a"), "ROOT")
+        text_b = to_ndjson(parallel.rows).replace(str(tmp_path / "b"), "ROOT")
+        assert text_a == text_b
+
+
+class TestTelemetryRoundTrip:
+    def test_event_stream_shape(self, spec, tmp_path):
+        path = tmp_path / "telemetry.ndjson"
+        with CampaignMonitor(len(spec.cells), jobs=1, path=path) as monitor:
+            run_campaign(spec, jobs=1, monitor=monitor)
+        events = read_telemetry(path)
+        types = [e["type"] for e in events]
+        assert types[0] == "campaign.start"
+        assert types[-1] == "campaign.done"
+        assert types.count("job.start") == 4
+        assert types.count("job.done") == 2
+        assert types.count("job.failed") == 2
+        start = events[0]
+        assert start["cells"] == 4 and start["cached"] == 0
+        done = events[-1]
+        assert done["failed"] == 2
+        for event in events:
+            if event["type"] == "job.failed":
+                assert event["error"] == "InjectedCrash"
+        # Arrival stamps are monotonic.
+        stamps = [e["t"] for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_monitor_progress_counts(self, spec):
+        with CampaignMonitor(len(spec.cells), jobs=1) as monitor:
+            run_campaign(spec, jobs=1, monitor=monitor)
+            progress = monitor.progress
+        assert progress.done == 2
+        assert progress.failed == 2
+        assert progress.finished == 4
+        assert progress.running == {}
+
+
+class TestCampaignCli:
+    def run_cli(self, tmp_path, *extra):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_DOC))
+        out = tmp_path / "out.ndjson"
+        argv = ["campaign", str(spec_path), "--out", str(out), "--no-cache",
+                *extra]
+        return main(argv), out
+
+    def test_failed_cells_reported_and_exit_1(self, tmp_path, capsys):
+        code, out = self.run_cli(
+            tmp_path, "--bundle-dir", str(tmp_path / "bundles")
+        )
+        assert code == 1
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [r["status"] for r in rows] == ["ok", "ok", "failed", "failed"]
+        text = capsys.readouterr().out
+        assert "2 cells FAILED" in text
+        assert "InjectedCrash" in text
+        assert "[bundle:" in text
+
+    def test_watch_and_telemetry_flags(self, tmp_path, capsys):
+        tele = tmp_path / "tele.ndjson"
+        code, _ = self.run_cli(
+            tmp_path, "--watch", "--telemetry", str(tele), "--jobs", "2"
+        )
+        assert code == 1
+        events = read_telemetry(tele)
+        assert events[0]["type"] == "campaign.start"
+        assert events[-1]["type"] == "campaign.done"
+        # --watch renders progress frames on stderr.
+        err = capsys.readouterr().err
+        assert "campaign:" in err and "/4 cells" in err
+
+    def test_all_ok_campaign_exits_0(self, tmp_path, capsys):
+        doc = {**SPEC_DOC, "configs": [{"label": "base", "overrides": {}}]}
+        spec_path = tmp_path / "ok.json"
+        spec_path.write_text(json.dumps(doc))
+        out = tmp_path / "ok.ndjson"
+        code = main(
+            ["campaign", str(spec_path), "--out", str(out), "--no-cache",
+             "--watch"]
+        )
+        assert code == 0
+        assert "FAILED" not in capsys.readouterr().out

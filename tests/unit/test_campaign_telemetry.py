@@ -1,0 +1,255 @@
+"""Unit tests for live campaign telemetry (:mod:`repro.campaign.telemetry`)."""
+
+from __future__ import annotations
+
+import json
+import queue
+import time
+
+from repro.campaign.telemetry import (
+    CampaignMonitor,
+    CampaignProgress,
+    HeartbeatThread,
+    JobState,
+    apply_event,
+    emit,
+    format_eta,
+    read_telemetry,
+    render_progress,
+    stalled_jobs,
+)
+
+
+def _progress_with_jobs():
+    """A hand-built mid-campaign state for renderer/stall tests."""
+    progress = CampaignProgress(total=10, cached=2, done=3, failed=1)
+    progress.started_at = 100.0
+    progress.batches_done = 120
+    progress.running = {
+        0: JobState(
+            index=0, workload="stream", config="base", seed=0,
+            batches=7, started_at=110.0, last_seen=158.0,
+        ),
+        3: JobState(
+            index=3, workload="hpgmg", config="crash", seed=1,
+            batches=2, started_at=112.0, last_seen=115.0,
+        ),
+    }
+    return progress
+
+
+class TestEmit:
+    def test_none_channel_is_noop(self):
+        emit(None, {"type": "heartbeat"})
+
+    def test_puts_on_queue(self):
+        q = queue.Queue()
+        emit(q, {"type": "job.start", "index": 0})
+        assert q.get_nowait() == {"type": "job.start", "index": 0}
+
+    def test_never_raises(self):
+        class Dead:
+            def put(self, event):
+                raise ConnectionError("manager gone")
+
+        emit(Dead(), {"type": "heartbeat"})  # must not propagate
+
+
+class TestApplyEvent:
+    def test_lifecycle(self):
+        progress = CampaignProgress(total=4)
+        apply_event(progress, {"type": "campaign.start", "cached": 1}, 10.0)
+        assert progress.started_at == 10.0
+        assert progress.cached == 1
+
+        apply_event(
+            progress,
+            {
+                "type": "job.start",
+                "index": 2,
+                "workload": "stream",
+                "config": "base",
+                "seed": 0,
+            },
+            11.0,
+        )
+        assert progress.running[2].workload == "stream"
+        assert progress.running[2].last_seen == 11.0
+
+        apply_event(
+            progress, {"type": "heartbeat", "index": 2, "batches": 9}, 12.5
+        )
+        assert progress.running[2].batches == 9
+        assert progress.running[2].last_seen == 12.5
+
+        apply_event(
+            progress, {"type": "job.done", "index": 2, "batches": 20}, 14.0
+        )
+        assert 2 not in progress.running
+        assert progress.done == 1
+        assert progress.batches_done == 20
+        assert progress.finished == 2
+        assert progress.remaining == 2
+
+    def test_job_failed(self):
+        progress = CampaignProgress(total=2)
+        apply_event(
+            progress,
+            {"type": "job.start", "index": 0, "workload": "w", "config": "c", "seed": 0},
+            1.0,
+        )
+        apply_event(progress, {"type": "job.failed", "index": 0}, 2.0)
+        assert progress.failed == 1
+        assert progress.running == {}
+
+    def test_heartbeat_for_unknown_job_ignored(self):
+        progress = CampaignProgress(total=1)
+        apply_event(progress, {"type": "heartbeat", "index": 9, "batches": 1}, 1.0)
+        assert progress.running == {}
+
+    def test_done_without_start_counts(self):
+        # Events can outrun job.start when a cached cell short-circuits.
+        progress = CampaignProgress(total=1)
+        apply_event(progress, {"type": "job.done", "index": 0, "batches": 5}, 1.0)
+        assert progress.done == 1
+        assert progress.batches_done == 5
+
+
+class TestStallDetector:
+    def test_quiet_jobs_stalled_oldest_first(self):
+        progress = _progress_with_jobs()
+        stalled = stalled_jobs(progress, now=160.0, timeout_sec=30.0)
+        assert [job.index for job in stalled] == [3]
+        stalled = stalled_jobs(progress, now=300.0, timeout_sec=30.0)
+        assert [job.index for job in stalled] == [3, 0]
+
+    def test_fresh_jobs_not_stalled(self):
+        progress = _progress_with_jobs()
+        assert stalled_jobs(progress, now=116.0, timeout_sec=30.0) == []
+
+
+class TestRenderProgress:
+    def test_exact_snapshot(self):
+        progress = _progress_with_jobs()
+        view = render_progress(progress, now=160.0, stall_timeout_sec=30.0)
+        assert view == (
+            "campaign: 6/10 cells (3 run, 2 cached, 1 failed) | 2 running\n"
+            "  batches/sec 2.0 | cache hit rate 20% | elapsed 60s | eta 60s\n"
+            "  #0 stream/base seed=0 batches=7\n"
+            "  #3 hpgmg/crash seed=1 batches=2  [STALLED]"
+        )
+
+    def test_no_stall_timeout_means_no_flags(self):
+        progress = _progress_with_jobs()
+        view = render_progress(progress, now=300.0)
+        assert "[STALLED]" not in view
+
+    def test_empty_campaign_renders(self):
+        view = render_progress(CampaignProgress(total=0), now=0.0)
+        assert "0/0 cells" in view
+
+
+class TestFormatEta:
+    def test_unknown_before_first_completion(self):
+        progress = CampaignProgress(total=5)
+        progress.started_at = 10.0
+        assert format_eta(progress, now=20.0) == "?"
+
+    def test_seconds_and_minutes(self):
+        progress = CampaignProgress(total=10, done=5)
+        progress.started_at = 0.0
+        # 5 cells in 50s -> 10s/cell -> 5 remaining -> 50s
+        assert format_eta(progress, now=50.0) == "50s"
+        # 5 cells in 500s -> 100s/cell -> 500s -> minutes
+        assert format_eta(progress, now=500.0) == "8.3m"
+
+
+class TestCampaignMonitor:
+    def test_ndjson_round_trip(self, tmp_path):
+        path = tmp_path / "telemetry.ndjson"
+        with CampaignMonitor(total_cells=2, jobs=1, path=path) as monitor:
+            emit(monitor.queue, {"type": "campaign.start", "cached": 0})
+            emit(
+                monitor.queue,
+                {
+                    "type": "job.start",
+                    "index": 0,
+                    "workload": "stream",
+                    "config": "base",
+                    "seed": 0,
+                },
+            )
+            drained = monitor.poll()
+            assert [e["type"] for e in drained] == [
+                "campaign.start",
+                "job.start",
+            ]
+            emit(monitor.queue, {"type": "job.done", "index": 0, "batches": 4})
+        # close() drains the tail; the file holds all three, stamped.
+        events = read_telemetry(path)
+        assert [e["type"] for e in events] == [
+            "campaign.start",
+            "job.start",
+            "job.done",
+        ]
+        assert all("t" in e for e in events)
+        assert all(e["t"] >= 0 for e in events)
+        # Lines are compact sorted-key JSON.
+        raw = path.read_text().splitlines()
+        assert raw[0] == json.dumps(
+            events[0], sort_keys=True, separators=(",", ":")
+        )
+
+    def test_progress_tracks_events(self):
+        monitor = CampaignMonitor(total_cells=3, jobs=1)
+        emit(monitor.queue, {"type": "campaign.start", "cached": 1})
+        emit(
+            monitor.queue,
+            {"type": "job.start", "index": 0, "workload": "w",
+             "config": "c", "seed": 0},
+        )
+        emit(monitor.queue, {"type": "job.done", "index": 0, "batches": 7})
+        monitor.poll()
+        assert monitor.progress.cached == 1
+        assert monitor.progress.done == 1
+        assert monitor.progress.batches_done == 7
+        monitor.close()
+
+    def test_watch_prints_on_change(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        monitor = CampaignMonitor(
+            total_cells=1, jobs=1, watch=True, stream=stream
+        )
+        emit(monitor.queue, {"type": "campaign.start", "cached": 0})
+        monitor.poll()
+        assert "campaign: 0/1 cells" in stream.getvalue()
+        monitor.close()
+
+    def test_poll_empty_queue(self):
+        monitor = CampaignMonitor(total_cells=1, jobs=1)
+        assert monitor.poll() == []
+        monitor.close()
+
+    def test_stalled_requires_timeout(self):
+        monitor = CampaignMonitor(total_cells=1, jobs=1)
+        assert monitor.stalled() == []
+        monitor.close()
+
+
+class TestHeartbeatThread:
+    def test_none_channel_never_starts(self):
+        hb = HeartbeatThread(None, 0, lambda: 0, interval_sec=0.01)
+        with hb:
+            pass
+        assert not hb._thread.is_alive()
+
+    def test_beats_progress_onto_channel(self):
+        q = queue.Queue()
+        with HeartbeatThread(q, 5, lambda: 42, interval_sec=0.01):
+            deadline = time.time() + 2.0
+            while q.empty() and time.time() < deadline:
+                time.sleep(0.01)
+        event = q.get_nowait()
+        assert event == {"type": "heartbeat", "index": 5, "batches": 42}

@@ -1,0 +1,245 @@
+"""Unit tests for the flight recorder, histogram quantiles, and crash
+bundles (:mod:`repro.obs.flight`, :mod:`repro.obs.bundle`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import ObsConfig, default_config
+from repro.errors import ConfigError
+from repro.obs import Observability
+from repro.obs.bundle import (
+    BUNDLE_SCHEMA,
+    is_bundle_dir,
+    read_manifest,
+    unique_bundle_dir,
+    write_bundle,
+)
+from repro.obs.flight import FlightRecorder, NULL_FLIGHT
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.sim.clock import SimClock
+
+
+# ------------------------------------------------------------------- flight
+
+
+class TestFlightRecorder:
+    def test_records_stamped_with_sim_time(self):
+        clock = SimClock()
+        flight = FlightRecorder(clock, capacity=8)
+        flight.record("batch.open", 0, "fault")
+        clock.advance(10.0)
+        flight.record("batch.close", 0, 5, 10.0)
+        assert flight.events() == [
+            (0.0, "batch.open", (0, "fault")),
+            (10.0, "batch.close", (0, 5, 10.0)),
+        ]
+        assert len(flight) == 2
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        flight = FlightRecorder(SimClock(), capacity=3)
+        for i in range(5):
+            flight.record("evict", i)
+        assert len(flight) == 3
+        assert flight.dropped == 2
+        assert [e[2][0] for e in flight.events()] == [2, 3, 4]
+
+    def test_tail_select_last(self):
+        flight = FlightRecorder(SimClock(), capacity=8)
+        flight.record("batch.open", 0)
+        flight.record("retry", "dma", 1)
+        flight.record("batch.open", 1)
+        assert flight.tail(2) == flight.events()[-2:]
+        assert flight.tail(0) == []
+        assert [e[2][0] for e in flight.select("batch.open")] == [0, 1]
+        assert flight.last("batch.open")[2] == (1,)
+        assert flight.last("missing") is None
+
+    def test_clear_resets_ring_and_drop_count(self):
+        flight = FlightRecorder(SimClock(), capacity=1)
+        flight.record("a")
+        flight.record("b")
+        assert flight.dropped == 1
+        flight.clear()
+        assert len(flight) == 0
+        assert flight.dropped == 0
+
+    def test_to_dicts_round_trips_through_json(self):
+        flight = FlightRecorder(SimClock(), capacity=4)
+        flight.record("evict", 3, 64, 7)
+        dumped = json.loads(json.dumps(flight.to_dicts()))
+        assert dumped == [{"t": 0.0, "kind": "evict", "args": [3, 64, 7]}]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(SimClock(), capacity=0)
+
+    def test_null_flight_is_inert(self):
+        NULL_FLIGHT.record("anything", 1, 2)
+        assert not NULL_FLIGHT.enabled
+        assert len(NULL_FLIGHT) == 0
+        assert NULL_FLIGHT.events() == []
+        assert NULL_FLIGHT.tail(5) == []
+        assert NULL_FLIGHT.select("x") == []
+        assert NULL_FLIGHT.last("x") is None
+        assert NULL_FLIGHT.to_dicts() == []
+        NULL_FLIGHT.clear()
+
+
+class TestObsConfigFlightKnobs:
+    def test_flight_on_by_default(self):
+        obs = Observability(ObsConfig(), SimClock())
+        assert obs.flight.enabled
+        assert obs.flight.capacity == ObsConfig().flight_cap
+
+    def test_flight_off_installs_null_object(self):
+        obs = Observability(ObsConfig(flight_recorder=False), SimClock())
+        assert obs.flight is NULL_FLIGHT
+
+    def test_scoped_view_shares_the_flight(self):
+        obs = Observability(ObsConfig(), SimClock())
+        view = obs.scoped(1000, "gpu1")
+        assert view.flight is obs.flight
+
+    def test_flight_cap_validated(self):
+        with pytest.raises(ConfigError):
+            ObsConfig(flight_cap=0).validate()
+
+    def test_disabled_keeps_flight_only_when_bundles_armed(self):
+        dark = ObsConfig().disabled()
+        assert not dark.flight_recorder
+        armed = ObsConfig(bundle_dir="/tmp/b").disabled()
+        assert armed.flight_recorder
+        assert armed.bundle_dir == "/tmp/b"
+
+
+# ---------------------------------------------------------------- quantiles
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        assert h.quantile(0.5) is None
+        assert h.quantiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram(buckets=(10.0, 20.0))
+        for v in (5.0, 15.0, 15.0, 15.0):
+            h.observe(v)
+        # p50: rank 2 of 4 lands in the (10, 20] bucket.
+        assert h.quantile(0.5) == pytest.approx(15.0, abs=5.0)
+        assert h.quantile(0.0) == pytest.approx(0.0, abs=10.0)
+        assert h.quantile(1.0) == pytest.approx(20.0)
+
+    def test_inf_tail_clamps_to_highest_bound(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 1.0
+
+    def test_quantile_range_checked(self):
+        h = Histogram(buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantiles_keys(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in range(1, 101):
+            h.observe(float(v))
+        qs = h.quantiles()
+        assert set(qs) == {"p50", "p95", "p99"}
+        assert qs["p50"] <= qs["p95"] <= qs["p99"]
+
+    def test_registry_histogram_exposes_quantiles(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat", buckets=(10.0, 100.0))
+        fam.observe(50.0)
+        assert fam.labels().quantile(1.0) == pytest.approx(100.0)
+
+
+# ------------------------------------------------------------------ bundles
+
+
+def _crash_engine(tmp_path, seed=0):
+    """A small crashed run with bundles armed; returns (engine, error)."""
+    from repro.api import UvmSystem
+    from repro.errors import InjectedCrash
+    from repro.units import MB
+    from repro.workloads import WORKLOAD_REGISTRY
+
+    cfg = default_config()
+    cfg.gpu.memory_bytes = 32 * MB
+    cfg.seed = seed
+    cfg.inject.enabled = True
+    cfg.inject.sites = {"engine.crash": {"at_batch": 3}}
+    cfg.inject.crash_recovery = False
+    cfg.inject.checkpoint_every = 2
+    cfg.obs.bundle_dir = str(tmp_path / "bundles")
+    system = UvmSystem(cfg)
+    with pytest.raises(InjectedCrash) as excinfo:
+        WORKLOAD_REGISTRY["stream"]().run(system)
+    return system.engine, excinfo.value
+
+
+class TestBundleWriter:
+    def test_unique_bundle_dir_suffixes(self, tmp_path):
+        first = unique_bundle_dir(tmp_path, "crash")
+        first.mkdir()
+        second = unique_bundle_dir(tmp_path, "crash")
+        assert second.name == "crash-2"
+
+    def test_engine_writes_bundle_on_crash(self, tmp_path):
+        engine, error = _crash_engine(tmp_path)
+        bundle = engine.last_bundle
+        assert bundle is not None and is_bundle_dir(bundle)
+        manifest = read_manifest(bundle)
+        assert manifest["schema"] == BUNDLE_SCHEMA
+        assert manifest["error"]["type"] == "InjectedCrash"
+        assert manifest["error"]["batch_id"] == 3
+        assert manifest["seed"] == 0
+        assert manifest["kernel"] == "stream"
+        assert manifest["checkpoint"]["file"] == "checkpoint.bin"
+        assert (bundle / "checkpoint.bin").is_file()
+        assert (bundle / "config.json").is_file()
+        assert (bundle / "metrics.json").is_file()
+        assert (bundle / "spans.json").is_file()
+        assert manifest["flight"]["recorded"] == len(engine.flight)
+
+    def test_bundle_counts_in_metrics(self, tmp_path):
+        engine, _ = _crash_engine(tmp_path)
+        snap = engine.obs.metrics.snapshot()
+        assert snap["uvm_bundles_written_total"]["series"][0]["value"] == 1.0
+
+    def test_no_bundle_dir_means_no_bundle(self):
+        from repro.api import UvmSystem
+        from repro.errors import InjectedCrash
+        from repro.units import MB
+        from repro.workloads import WORKLOAD_REGISTRY
+
+        cfg = default_config()
+        cfg.gpu.memory_bytes = 32 * MB
+        cfg.inject.enabled = True
+        cfg.inject.sites = {"engine.crash": {"at_batch": 3}}
+        cfg.inject.crash_recovery = False
+        system = UvmSystem(cfg)
+        with pytest.raises(InjectedCrash):
+            WORKLOAD_REGISTRY["stream"]().run(system)
+        assert system.engine.last_bundle is None
+
+    def test_on_demand_snapshot_without_error(self, tmp_path, small_system):
+        from repro.workloads import WORKLOAD_REGISTRY
+
+        WORKLOAD_REGISTRY["vecadd"]().run(small_system)
+        bundle = write_bundle(
+            tmp_path / "snap", small_system.engine, label="snapshot"
+        )
+        manifest = read_manifest(bundle)
+        assert manifest["error"] is None
+        assert manifest["label"] == "snapshot"
+
+    def test_existing_directory_rejected(self, tmp_path, small_system):
+        target = tmp_path / "dup"
+        target.mkdir()
+        with pytest.raises(OSError):
+            write_bundle(target, small_system.engine)
