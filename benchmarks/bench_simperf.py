@@ -13,8 +13,9 @@ hot path with a faithful re-creation of its previous implementation:
 - ``metric_labels``: cached label-handle ``inc()`` vs per-call
   ``family.labels(...).inc()`` lookup.
 
-Results (plus an end-to-end workload timing and a UVMSan timeline-identity
-check) are written to ``BENCH_perf.json`` at the repo root.  The suite
+Results (plus an end-to-end workload timing, a UVMSan timeline-identity
+check, and the whole-program lint's per-pass wall time) are written to
+``BENCH_perf.json`` at the repo root.  The suite
 asserts at least one pair shows a >= 1.2x speedup, and that the sanitizer
 observes a bit-identical timeline around every optimisation.
 
@@ -172,6 +173,22 @@ def _end_to_end() -> dict:
     }
 
 
+def _lint_timing() -> dict:
+    """Time the whole-program analysis over ``src/repro`` using the
+    engine's own per-pass timings, so the gate can hold a wall ceiling on
+    the interprocedural fixpoints (sim-taint, dimensions)."""
+    from repro.check.program import run_analysis
+
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    report = run_analysis([str(src)])
+    return {
+        "total_sec": round(report.timings.get("total", 0.0), 3),
+        "ir_sec": round(report.timings.get("ir", 0.0), 3),
+        "dimensions_sec": round(report.timings.get("dimensions", 0.0), 3),
+        "raw_findings": sum(report.raw_by_pass.values()),
+    }
+
+
 def _uvmsan_identity() -> dict:
     """The optimized paths must be invisible to UVMSan: the same workload
     with the sanitizer off and on (report mode) yields the identical
@@ -210,6 +227,7 @@ def run_suite() -> dict:
         "hot_paths": hot_paths,
         "end_to_end": _end_to_end(),
         "uvmsan": _uvmsan_identity(),
+        "lint": _lint_timing(),
     }
     PERF_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report

@@ -2,16 +2,19 @@
 
 PR 2's determinism lint sees one file at a time; this package sees the
 project.  A shared IR (:mod:`~repro.check.program.ir`: module index,
-symbol tables, intra-package call graph) feeds five passes through one
+symbol tables, intra-package call graph) feeds six passes through one
 engine (:mod:`~repro.check.program.engine`):
 
 * ``determinism`` — the per-file hazard rules, ported onto the IR;
 * ``sim-taint`` — interprocedural taint from wall-clock / unseeded-RNG
   sources into sim-clock, event-timestamp, and BatchRecord-timer sinks;
 * ``metric-drift`` — metric/span call sites cross-checked against the
-  declarative :mod:`repro.obs.catalog`;
+  declarative :mod:`repro.obs.catalog` (units included);
 * ``mp-shared-state`` — module-global reads/writes reachable from
   multiprocessing worker entry points;
+* ``dimensions`` — interprocedural units-and-dimensions inference
+  (bytes/page/region/vablock vs sim-µs/wall-s;
+  :mod:`~repro.check.program.dimensions`);
 * ``suppression-hygiene`` — stale ``lint-ok`` comments and dead
   allowlist entries.
 
@@ -29,6 +32,7 @@ from .baseline import (
     load_baseline,
     save_baseline,
 )
+from .dimensions import DimensionsPass
 from .engine import (
     AnalysisReport,
     all_rules,
@@ -51,6 +55,7 @@ __all__ = [
     "AnalysisReport",
     "BaselineEntry",
     "DEFAULT_BASELINE_PATH",
+    "DimensionsPass",
     "Finding",
     "LocalRulesPass",
     "MetricDriftPass",

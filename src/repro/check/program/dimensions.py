@@ -1,0 +1,1172 @@
+"""``dimensions`` (the *uvm-units* checker): interprocedural
+units-and-dimensions inference over the project IR.
+
+Every UVMSan conservation bug fixed in PRs 2–4 was ultimately a quantity
+used at the wrong granularity — a page id where a byte address belonged, a
+byte count compared against a page count, wall seconds leaking into
+simulated microseconds.  The planned structure-of-arrays core rewrite
+turns per-fault objects into raw int columns, so the type system loses
+what little granularity information it had; this pass recovers it
+statically.
+
+Abstract interpretation over :class:`~repro.check.program.ir.ProjectIR`
+with the lattice in :mod:`~repro.check.program.dims`.  Facts are seeded
+from three places:
+
+* the :mod:`repro.units` helper signatures (``page_of: bytes→page``,
+  shifts/multiplies by ``PAGE_SIZE``/``REGION_SIZE``/``VABLOCK_SIZE``,
+  ``USEC``/``MSEC``/``SEC``) and wall-clock reads (``time.perf_counter``);
+* ``# dim:`` source annotations on assignments and function defs;
+* the declared ``unit`` of every metric/span in the obs catalog.
+
+Propagation is summary-based (same fixpoint style as
+:mod:`~repro.check.program.taint`): per-function parameter/return dims,
+a global attribute-field table, and module-global dims all iterate to a
+fixpoint before a final reporting round fires the rules:
+
+* ``dim-mixed-arith`` — ``+``/``-``/comparison across granularities, or an
+  argument contradicting a dimension-annotated parameter;
+* ``dim-page-index`` — page↔byte confusion in container indexing,
+  membership tests, and ``range`` construction;
+* ``dim-time-mix`` — simulated-µs and wall-second values meeting in
+  arithmetic, comparison, or an annotated time parameter (complements
+  sim-taint, which only tracks *nondeterminism*, not unit confusion);
+* ``dim-metric-unit`` — a metric ``observe``/``inc``/``set`` argument
+  whose dimension contradicts the catalog's declared unit;
+* ``dim-shift`` — a shift on a granularity-dimensioned value whose amount
+  matches no known conversion constant;
+* ``dim-annotation`` — a ``# dim:`` comment that does not parse.
+
+Conflicting evidence joins to ⊤ and stays silent: the pass reports only
+positive contradictions between two live facts, which is what lets the
+committed baseline for this rule family start — and stay — empty.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lint import _WALLCLOCK_DATETIME_FNS, _WALLCLOCK_TIME_FNS
+from .base import AnalysisPass, Finding, Rule
+from .dims import (
+    BOT,
+    BYTES,
+    CHUNK,
+    COUNT,
+    GRANULAR,
+    MULT_CONVERSIONS,
+    NONE,
+    PAGE,
+    REGION,
+    SHIFT_LEFT,
+    SHIFT_RIGHT,
+    STRONG,
+    TOP,
+    UNKNOWN,
+    UNITS_CONSTS,
+    UNITS_FUNCS,
+    VABLOCK,
+    WALL_S,
+    DimAnnotation,
+    DimValue,
+    collect_annotations,
+    dv,
+    is_mixing,
+    is_units_module,
+    join,
+    mixing_family,
+    unit_allows,
+)
+from .ir import FunctionInfo, ModuleInfo, ProjectIR, _dotted, resolve_symbol
+from .metric_drift import extract_catalogs
+
+#: Metric-emission methods whose first argument carries the observed value.
+_EMIT_METHODS = frozenset({"inc", "dec", "observe", "set"})
+#: Metric-registration methods (receiver is a registry).
+_REGISTER_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Builtins whose result preserves the (joined) dimension of their inputs.
+_DIM_PRESERVING = frozenset(
+    {"min", "max", "abs", "int", "float", "round", "sorted", "reversed",
+     "list", "set", "tuple", "frozenset"}
+)
+
+
+@dataclass
+class DimSummary:
+    """Inferred dimension signature of one function."""
+
+    params: List[DimValue] = field(default_factory=list)
+    pinned: List[bool] = field(default_factory=list)
+    ret: DimValue = UNKNOWN
+    ret_pinned: bool = False
+
+    def snapshot(self) -> Tuple:
+        return (tuple(self.params), self.ret)
+
+
+@dataclass
+class _Context:
+    """Shared pre-computed facts for every evaluation round."""
+
+    ir: ProjectIR
+    #: module name → {line → DimAnnotation}
+    annotations: Dict[str, Dict[int, DimAnnotation]]
+    #: module name → [(line, bad fragment)]
+    annotation_errors: Dict[str, List[Tuple[int, str]]]
+    #: attribute name → inferred dim (global, joined across classes).
+    attr_dims: Dict[str, DimValue] = field(default_factory=dict)
+    #: attribute names pinned by a ``# dim:`` annotation (joins skipped).
+    attr_pinned: Set[str] = field(default_factory=set)
+    #: module-global qname → dim.
+    global_dims: Dict[str, DimValue] = field(default_factory=dict)
+    #: cached-handle attribute name → metric family (None = conflicting).
+    attr_handles: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: property name → getter qnames (reads go through their summaries).
+    properties: Dict[str, List[str]] = field(default_factory=dict)
+    #: metric family → declared unit (absent unit → not checked here).
+    metric_units: Dict[str, str] = field(default_factory=dict)
+    summaries: Dict[str, DimSummary] = field(default_factory=dict)
+
+    def attr_read(self, name: str) -> DimValue:
+        value = self.attr_dims.get(name, UNKNOWN)
+        if value.dim == BOT and name in self.properties:
+            out = UNKNOWN
+            for qname in self.properties[name]:
+                summary = self.summaries.get(qname)
+                if summary is not None:
+                    out = out.join(summary.ret)
+            return out
+        return value
+
+    def attr_write(self, name: str, value: DimValue) -> None:
+        if name in self.attr_pinned:
+            return
+        self.attr_dims[name] = self.attr_dims.get(name, UNKNOWN).join(value)
+
+
+def _const_of(value: DimValue) -> Optional[int]:
+    if value.const is None:
+        return None
+    as_int = int(value.const)
+    return as_int if as_int == value.const else None
+
+
+def _is_wallclock_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    base = func.value
+    if isinstance(base, ast.Name) and base.id == "time" \
+            and func.attr in _WALLCLOCK_TIME_FNS:
+        return True
+    if func.attr in _WALLCLOCK_DATETIME_FNS and not node.args:
+        names = {"datetime", "date"}
+        if (isinstance(base, ast.Name) and base.id in names) or (
+            isinstance(base, ast.Attribute) and base.attr in names
+        ):
+            return True
+    return False
+
+
+def _registration_family(node: ast.Call) -> Optional[str]:
+    """``metrics.counter("name", ...)`` → ``"name"`` (literal only)."""
+    if (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in _REGISTER_METHODS
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    ):
+        return node.args[0].value
+    return None
+
+
+class _DimEval(ast.NodeVisitor):
+    """One abstract evaluation of a function body (or module top level).
+
+    ``report`` toggles finding emission: fixpoint rounds run silent so
+    every summary is stable before anything is reported (mirroring
+    :class:`repro.check.program.taint._FunctionTaint`).
+    """
+
+    def __init__(
+        self,
+        owner: "DimensionsPass",
+        ctx: _Context,
+        module: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        report: bool,
+    ) -> None:
+        self.owner = owner
+        self.ctx = ctx
+        self.module = module
+        self.fn = fn
+        self.report = report
+        self.findings: List[Finding] = []
+        self.env: Dict[str, DimValue] = {}
+        self.handles: Dict[str, str] = {}  # local name → metric family
+        self.summary: Optional[DimSummary] = None
+        if fn is not None:
+            self.summary = ctx.summaries[fn.qname]
+            for i, name in enumerate(fn.params):
+                self.env[name] = self.summary.params[i]
+
+    # ------------------------------------------------------------ reporting
+
+    def _emit(self, rule: Rule, node: ast.AST, message: str) -> None:
+        if not self.report:
+            return
+        where = self.fn.qname if self.fn is not None else self.module.name
+        self.findings.append(
+            self.owner.make_finding(
+                rule,
+                path=str(self.module.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=f"{message} (in {where})",
+            )
+        )
+
+    def _report_mix(self, node: ast.AST, a: str, b: str, what: str) -> None:
+        rule = (
+            self.owner.RULE_TIME
+            if mixing_family(a, b) == "time"
+            else self.owner.RULE_MIXED
+        )
+        self._emit(rule, node, f"{what}: {a} vs {b}")
+
+    # ----------------------------------------------------------- resolution
+
+    def _annotation_at(self, line: int) -> Optional[DimAnnotation]:
+        return self.ctx.annotations.get(self.module.name, {}).get(line)
+
+    def _resolve_name(self, name: str) -> DimValue:
+        if name in self.env:
+            return self.env[name]
+        if is_units_module(self.module.name) and name in UNITS_CONSTS:
+            dim, const = UNITS_CONSTS[name]
+            return DimValue(dim=dim, const=const, unit_const=name)
+        qname = resolve_symbol(self.ctx.ir, self.module, name)
+        if qname is None:
+            if name in self.module.globals:
+                qname = self.module.globals[name].qname
+        if qname is not None:
+            holder, _, leaf = qname.rpartition(".")
+            if is_units_module(holder) and leaf in UNITS_CONSTS:
+                dim, const = UNITS_CONSTS[leaf]
+                return DimValue(dim=dim, const=const, unit_const=leaf)
+            hit = self.ctx.global_dims.get(qname)
+            if hit is not None:
+                return hit
+        return UNKNOWN
+
+    def _callsite_callee(self, node: ast.Call) -> Optional[str]:
+        if self.fn is not None:
+            for site in self.fn.calls:
+                if site.node is node:
+                    return site.callee
+            return None
+        raw = _dotted(node.func)
+        if raw is None:
+            return None
+        return resolve_symbol(self.ctx.ir, self.module, raw)
+
+    def _family_of(self, node: ast.AST) -> Optional[str]:
+        """Metric family behind a handle expression, if statically known."""
+        if isinstance(node, ast.Call):
+            family = _registration_family(node)
+            if family is not None:
+                return family
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "labels":
+                return self._family_of(node.func.value)
+            return None
+        if isinstance(node, ast.Attribute):
+            return self.ctx.attr_handles.get(node.attr)
+        if isinstance(node, ast.Name):
+            return self.handles.get(node.id)
+        return None
+
+    # ------------------------------------------------------------- the eval
+
+    def eval(self, node: Optional[ast.AST]) -> DimValue:
+        if node is None:
+            return UNKNOWN
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return UNKNOWN
+
+    def _eval_Constant(self, node: ast.Constant) -> DimValue:
+        if isinstance(node.value, bool) or not isinstance(
+            node.value, (int, float)
+        ):
+            return dv(NONE)
+        return DimValue(dim=NONE, const=float(node.value))
+
+    def _eval_Name(self, node: ast.Name) -> DimValue:
+        return self._resolve_name(node.id)
+
+    def _eval_Attribute(self, node: ast.Attribute) -> DimValue:
+        # A dotted units constant (units.PAGE_SIZE) resolves like a name.
+        raw = _dotted(node)
+        if raw is not None and "." in raw:
+            qname = resolve_symbol(self.ctx.ir, self.module, raw)
+            if qname is not None:
+                holder, _, leaf = qname.rpartition(".")
+                if is_units_module(holder) and leaf in UNITS_CONSTS:
+                    dim, const = UNITS_CONSTS[leaf]
+                    return DimValue(dim=dim, const=const, unit_const=leaf)
+                hit = self.ctx.global_dims.get(qname)
+                if hit is not None:
+                    return hit
+        self.eval(node.value)
+        return self.ctx.attr_read(node.attr)
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> DimValue:
+        inner = self.eval(node.operand)
+        if isinstance(node.op, ast.USub) and inner.const is not None:
+            return DimValue(dim=inner.dim, const=-inner.const)
+        if isinstance(node.op, ast.Not):
+            return dv(NONE)
+        return DimValue(dim=inner.dim)
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> DimValue:
+        out = UNKNOWN
+        for value in node.values:
+            out = out.join(self.eval(value))
+        return out
+
+    def _eval_IfExp(self, node: ast.IfExp) -> DimValue:
+        self.eval(node.test)
+        return self.eval(node.body).join(self.eval(node.orelse))
+
+    def _eval_NamedExpr(self, node: ast.NamedExpr) -> DimValue:
+        value = self.eval(node.value)
+        if isinstance(node.target, ast.Name):
+            self.env[node.target.id] = value
+        return value
+
+    def _eval_Starred(self, node: ast.Starred) -> DimValue:
+        return self.eval(node.value)
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr) -> DimValue:
+        for child in ast.walk(node):
+            if isinstance(child, ast.FormattedValue):
+                self.eval(child.value)
+        return dv(NONE)
+
+    def _eval_Tuple(self, node: ast.Tuple) -> DimValue:
+        elem = BOT
+        for elt in node.elts:
+            elem = join(elem, self.eval(elt).dim)
+        return DimValue(elem=elem)
+
+    _eval_List = _eval_Tuple
+
+    def _eval_Set(self, node: ast.Set) -> DimValue:
+        elem = BOT
+        for elt in node.elts:
+            elem = join(elem, self.eval(elt).dim)
+        return DimValue(elem=elem, key=elem)
+
+    def _eval_Dict(self, node: ast.Dict) -> DimValue:
+        key = elem = BOT
+        for k, v in zip(node.keys, node.values):
+            if k is not None:
+                key = join(key, self.eval(k).dim)
+            elem = join(elem, self.eval(v).dim)
+        return DimValue(key=key, elem=elem)
+
+    def _comp_bind(self, generators) -> None:
+        for gen in generators:
+            source = self.eval(gen.iter)
+            self._bind_target(gen.target, dv(source.elem))
+            for cond in gen.ifs:
+                self.eval(cond)
+
+    def _eval_ListComp(self, node: ast.ListComp) -> DimValue:
+        self._comp_bind(node.generators)
+        return DimValue(elem=self.eval(node.elt).dim)
+
+    _eval_GeneratorExp = _eval_ListComp
+
+    def _eval_SetComp(self, node: ast.SetComp) -> DimValue:
+        self._comp_bind(node.generators)
+        elem = self.eval(node.elt).dim
+        return DimValue(elem=elem, key=elem)
+
+    def _eval_DictComp(self, node: ast.DictComp) -> DimValue:
+        self._comp_bind(node.generators)
+        return DimValue(key=self.eval(node.key).dim,
+                        elem=self.eval(node.value).dim)
+
+    # -------------------------------------------------------------- binops
+
+    def _eval_BinOp(self, node: ast.BinOp) -> DimValue:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        op = node.op
+        if isinstance(op, (ast.LShift, ast.RShift)):
+            return self._eval_shift(node, left, right)
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if is_mixing(left.dim, right.dim):
+                self._report_mix(
+                    node, left.dim, right.dim,
+                    "mixed-dimension "
+                    + ("addition" if isinstance(op, ast.Add) else "subtraction"),
+                )
+                return dv(TOP)
+            out = join(left.dim, right.dim)
+            # id − id is a distance, not an id (page ids: a page count).
+            if (
+                isinstance(op, ast.Sub)
+                and left.dim == right.dim
+                and left.dim in (PAGE, REGION, VABLOCK, CHUNK)
+            ):
+                out = COUNT
+            const = None
+            if left.const is not None and right.const is not None:
+                const = (left.const + right.const
+                         if isinstance(op, ast.Add)
+                         else left.const - right.const)
+            return DimValue(dim=out, const=const)
+        if isinstance(op, ast.Mult):
+            return self._eval_mult(left, right)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return self._eval_div(left, right)
+        if isinstance(op, ast.Mod):
+            return DimValue(dim=left.dim)
+        return dv(NONE)
+
+    def _eval_shift(self, node: ast.BinOp, left: DimValue,
+                    right: DimValue) -> DimValue:
+        amount = _const_of(right)
+        table = (SHIFT_LEFT if isinstance(node.op, ast.LShift)
+                 else SHIFT_RIGHT)
+        if left.dim in GRANULAR:
+            if amount is None:
+                return UNKNOWN  # dynamic shift amount: stay silent
+            converted = table.get((left.dim, amount))
+            if converted is not None:
+                return dv(converted)
+            arrow = "<<" if isinstance(node.op, ast.LShift) else ">>"
+            self._emit(
+                self.owner.RULE_SHIFT, node,
+                f"shift of a {left.dim}-dimensioned value by {amount} "
+                f"({arrow}) matches no known granularity conversion "
+                "(PAGE/REGION/VABLOCK_SHIFT or their differences)",
+            )
+            return dv(TOP)
+        const = None
+        lc = _const_of(left)
+        if lc is not None and amount is not None and 0 <= amount < 63:
+            const = float(lc << amount if isinstance(node.op, ast.LShift)
+                          else lc >> amount)
+        return DimValue(dim=NONE if left.dim in (NONE, BOT) else left.dim,
+                        const=const)
+
+    def _eval_mult(self, left: DimValue, right: DimValue) -> DimValue:
+        for a, b in ((left, right), (right, left)):
+            converted = MULT_CONVERSIONS.get((a.dim, b.unit_const))
+            if converted is not None:
+                return dv(converted)
+        const = None
+        if left.const is not None and right.const is not None:
+            const = left.const * right.const
+        if left.dim in (NONE, COUNT, BOT):
+            return DimValue(dim=right.dim, const=const,
+                            unit_const=right.unit_const)
+        if right.dim in (NONE, COUNT, BOT):
+            return DimValue(dim=left.dim, const=const,
+                            unit_const=left.unit_const)
+        return DimValue(dim=TOP, const=const)
+
+    def _eval_div(self, left: DimValue, right: DimValue) -> DimValue:
+        # A ⊥ denominator may carry any dimension (rates like
+        # bytes-per-usec are common), so only *known* weak denominators
+        # preserve the numerator's dimension.
+        if right.dim in (NONE, COUNT):
+            return DimValue(dim=left.dim)
+        if left.dim == right.dim and left.dim != BOT:
+            return dv(COUNT)  # ratio: nbytes // PAGE_SIZE is a page count
+        return UNKNOWN
+
+    # ------------------------------------------------------------ compares
+
+    def _eval_Compare(self, node: ast.Compare) -> DimValue:
+        left = self.eval(node.left)
+        for op, comp in zip(node.ops, node.comparators):
+            right = self.eval(comp)
+            if isinstance(op, (ast.In, ast.NotIn)):
+                self._check_membership(node, left, right)
+            elif is_mixing(left.dim, right.dim):
+                self._report_mix(node, left.dim, right.dim,
+                                 "mixed-dimension comparison")
+            left = right
+        return dv(NONE)
+
+    def _check_membership(self, node: ast.AST, needle: DimValue,
+                          haystack: DimValue) -> None:
+        slot = haystack.key or haystack.elem
+        if needle.dim in STRONG and slot in STRONG and needle.dim != slot:
+            if mixing_family(needle.dim, slot) == "time":
+                self._report_mix(node, needle.dim, slot,
+                                 "membership test across time domains")
+            else:
+                self._emit(
+                    self.owner.RULE_INDEX, node,
+                    f"membership test with a {needle.dim} value against a "
+                    f"container keyed by {slot}",
+                )
+
+    # ------------------------------------------------------------ subscript
+
+    def _eval_Subscript(self, node: ast.Subscript) -> DimValue:
+        container = self.eval(node.value)
+        if isinstance(node.slice, ast.Slice):
+            for bound in (node.slice.lower, node.slice.upper,
+                          node.slice.step):
+                self.eval(bound)
+            return container
+        index = self.eval(node.slice)
+        self._check_index(node, index, container)
+        return dv(container.elem)
+
+    def _check_index(self, node: ast.AST, index: DimValue,
+                     container: DimValue) -> None:
+        if (
+            index.dim in STRONG
+            and container.key in STRONG
+            and index.dim != container.key
+        ):
+            if mixing_family(index.dim, container.key) == "time":
+                self._report_mix(node, index.dim, container.key,
+                                 "index across time domains")
+            else:
+                self._emit(
+                    self.owner.RULE_INDEX, node,
+                    f"container keyed by {container.key} indexed with a "
+                    f"{index.dim} value",
+                )
+
+    # ---------------------------------------------------------------- calls
+
+    def _eval_Call(self, node: ast.Call) -> DimValue:
+        if _is_wallclock_call(node):
+            for arg in node.args:
+                self.eval(arg)
+            return dv(WALL_S)
+
+        func = node.func
+        arg_values = [self.eval(a) for a in node.args]
+        kw_values = [(kw.arg, self.eval(kw.value)) for kw in node.keywords]
+
+        if isinstance(func, ast.Name):
+            builtin = self._eval_builtin(func.id, node, arg_values)
+            if builtin is not None:
+                return builtin
+
+        if isinstance(func, ast.Attribute):
+            handled = self._eval_method(node, func, arg_values)
+            if handled is not None:
+                return handled
+
+        callee = self._callsite_callee(node)
+        if callee is not None:
+            sig = self._units_signature(callee)
+            if sig is not None:
+                self._check_signature_args(node, sig.params, arg_values,
+                                           callee.rpartition(".")[2])
+                return sig.ret
+            summary = self.ctx.summaries.get(callee)
+            if summary is not None:
+                self._flow_into_summary(node, callee, summary, arg_values,
+                                        kw_values)
+                return summary.ret
+        self.eval(func)
+        return UNKNOWN
+
+    def _units_signature(self, callee: str):
+        holder, _, leaf = callee.rpartition(".")
+        if is_units_module(holder):
+            return UNITS_FUNCS.get(leaf)
+        return None
+
+    def _brand(self, arg_node: ast.AST, got: DimValue, want: str) -> None:
+        """Back-inference: a ⊥ local handed to a dimension-typed parameter
+        *is* that dimension (``page_of(addr)`` brands ``addr`` as bytes)."""
+        if (
+            want in STRONG
+            and got.dim == BOT
+            and isinstance(arg_node, ast.Name)
+        ):
+            prior = self.env.get(arg_node.id, UNKNOWN)
+            if prior.dim == BOT:
+                self.env[arg_node.id] = DimValue(
+                    dim=want, elem=prior.elem, key=prior.key
+                )
+
+    def _check_signature_args(
+        self, node: ast.Call, expected: Sequence[str],
+        args: Sequence[DimValue], fn_name: str,
+    ) -> None:
+        for i, (want, got) in enumerate(zip(expected, args)):
+            if i < len(node.args):
+                self._brand(node.args[i], got, want)
+            if want in STRONG and got.dim in STRONG and got.dim != want:
+                if mixing_family(want, got.dim) == "time":
+                    self._report_mix(
+                        node, got.dim, want,
+                        f"argument {i} of {fn_name}() expects {want}",
+                    )
+                elif {want, got.dim} & {BYTES, PAGE}:
+                    self._emit(
+                        self.owner.RULE_INDEX, node,
+                        f"argument {i} of {fn_name}() expects {want}, "
+                        f"got {got.dim} (page/byte confusion)",
+                    )
+                else:
+                    self._emit(
+                        self.owner.RULE_MIXED, node,
+                        f"argument {i} of {fn_name}() expects {want}, "
+                        f"got {got.dim}",
+                    )
+
+    def _arg_offset(self, callee_fn: Optional[FunctionInfo],
+                    node: ast.Call) -> int:
+        if callee_fn is None or callee_fn.owner_class is None:
+            return 0
+        raw = _dotted(node.func) or ""
+        parts = raw.split(".")
+        # Instantiation resolved to __init__: the class name is the call
+        # target, so positional args start at the parameter after self.
+        if callee_fn.node.name == "__init__" and parts[-1] != "__init__":
+            return 1
+        if isinstance(node.func, ast.Attribute):
+            head = parts[0]
+            return 0 if head and head[0].isupper() else 1
+        return 0
+
+    def _flow_into_summary(
+        self,
+        node: ast.Call,
+        callee: str,
+        summary: DimSummary,
+        args: Sequence[DimValue],
+        kwargs: Sequence[Tuple[Optional[str], DimValue]],
+    ) -> None:
+        callee_fn = self.ctx.ir.functions.get(callee)
+        offset = self._arg_offset(callee_fn, node)
+        names = callee_fn.params if callee_fn is not None else []
+        for i, value in enumerate(args):
+            idx = i + offset
+            if idx >= len(summary.params):
+                continue
+            self._flow_param(node, callee, summary, idx, value,
+                             names[idx] if idx < len(names) else f"#{idx}",
+                             arg_node=node.args[i])
+        for kw in node.keywords:
+            if kw.arg in names:
+                idx = names.index(kw.arg)
+                value = dict(kwargs).get(kw.arg, UNKNOWN)
+                self._flow_param(node, callee, summary, idx, value, kw.arg,
+                                 arg_node=kw.value)
+
+    def _flow_param(self, node: ast.Call, callee: str, summary: DimSummary,
+                    idx: int, value: DimValue, param_name: str,
+                    arg_node: Optional[ast.AST] = None) -> None:
+        if summary.pinned[idx]:
+            want = summary.params[idx].dim
+            if arg_node is not None:
+                self._brand(arg_node, value, want)
+            if want in STRONG and value.dim in STRONG and value.dim != want:
+                leaf = callee.rpartition(".")[2]
+                if mixing_family(want, value.dim) == "time":
+                    self._report_mix(
+                        node, value.dim, want,
+                        f"{param_name}= of {leaf}() is annotated {want}",
+                    )
+                else:
+                    self._emit(
+                        self.owner.RULE_MIXED, node,
+                        f"{param_name}= of {leaf}() is annotated {want}, "
+                        f"got {value.dim}",
+                    )
+            return
+        summary.params[idx] = summary.params[idx].join(value)
+
+    def _eval_builtin(self, name: str, node: ast.Call,
+                      args: Sequence[DimValue]) -> Optional[DimValue]:
+        # Builtins shadowed by a project definition resolve as calls.
+        if self._callsite_callee(node) is not None:
+            return None
+        if name == "len":
+            return dv(COUNT)
+        if name == "range":
+            if len(args) >= 2:
+                a, b = args[0], args[1]
+                if is_mixing(a.dim, b.dim):
+                    if mixing_family(a.dim, b.dim) == "time":
+                        self._report_mix(node, a.dim, b.dim,
+                                         "range across time domains")
+                    else:
+                        self._emit(
+                            self.owner.RULE_INDEX, node,
+                            f"range() constructed across granularities: "
+                            f"{a.dim} start vs {b.dim} stop",
+                        )
+                return DimValue(elem=join(a.dim, b.dim))
+            return DimValue(elem=COUNT)
+        if name == "sum" and args:
+            return dv(args[0].elem or args[0].dim)
+        if name in ("min", "max") and len(args) == 1:
+            src = args[0]
+            return dv(src.elem or src.dim)
+        if name in _DIM_PRESERVING:
+            out = UNKNOWN
+            for value in args:
+                out = out.join(value)
+            return out
+        return None
+
+    def _eval_method(self, node: ast.Call, func: ast.Attribute,
+                     args: Sequence[DimValue]) -> Optional[DimValue]:
+        attr = func.attr
+        if attr in _EMIT_METHODS:
+            family = self._family_of(func.value)
+            if family is not None:
+                self._check_metric_emit(node, family, args)
+                return dv(NONE)
+        if attr == "labels":
+            # Chained handle: family unchanged, value methods follow.
+            if self._family_of(func.value) is not None:
+                return dv(NONE)
+        receiver: Optional[DimValue] = None
+        if attr in ("get", "pop", "setdefault") and args:
+            receiver = self.eval(func.value)
+            self._check_index(node, args[0], receiver)
+            default = args[1] if len(args) > 1 else UNKNOWN
+            return dv(join(receiver.elem, default.dim))
+        if attr in ("add", "append", "discard", "remove") and args:
+            receiver = self.eval(func.value)
+            grown = DimValue(elem=join(receiver.elem, args[0].dim),
+                             key=receiver.key)
+            self._store_container(func.value, grown)
+            return dv(NONE)
+        if attr == "keys":
+            receiver = self.eval(func.value)
+            return DimValue(elem=receiver.key)
+        if attr == "values":
+            receiver = self.eval(func.value)
+            return DimValue(elem=receiver.elem)
+        return None
+
+    def _check_metric_emit(self, node: ast.Call, family: str,
+                           args: Sequence[DimValue]) -> None:
+        unit = self.ctx.metric_units.get(family)
+        if unit is None or not args:
+            return
+        got = args[0].dim
+        if not unit_allows(unit, got):
+            self._emit(
+                self.owner.RULE_METRIC, node,
+                f"metric {family!r} declares unit {unit!r} but this "
+                f"argument carries dimension {got!r}",
+            )
+
+    # ------------------------------------------------------------- binding
+
+    def _store_container(self, target: ast.AST, value: DimValue) -> None:
+        """Join container facts (elem/key) back into the receiver."""
+        if isinstance(target, ast.Name):
+            prior = self.env.get(target.id, UNKNOWN)
+            self.env[target.id] = prior.join(value)
+        elif isinstance(target, ast.Attribute):
+            self.ctx.attr_write(target.attr, value)
+
+    def _bind_target(self, target: ast.AST, value: DimValue,
+                     check: bool = False, stmt: ast.AST = None) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, dv(value.elem), check=False)
+        elif isinstance(target, ast.Attribute):
+            self.eval(target.value)
+            self.ctx.attr_write(target.attr, value)
+        elif isinstance(target, ast.Subscript):
+            container = self.eval(target.value)
+            if not isinstance(target.slice, ast.Slice):
+                index = self.eval(target.slice)
+                self._check_index(stmt or target, index, container)
+                self._store_container(
+                    target.value,
+                    DimValue(key=join(container.key, index.dim),
+                             elem=join(container.elem, value.dim)),
+                )
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, value)
+
+    # ----------------------------------------------------------- statements
+
+    def _annotated_value(self, stmt: ast.stmt,
+                         value: DimValue) -> DimValue:
+        """Apply a bare ``# dim: X`` comment on the statement's first line."""
+        ann = self._annotation_at(stmt.lineno)
+        if ann is not None and ann.default is not None:
+            return ann.default
+        return value
+
+    def _apply_named_bindings(self, stmt: ast.stmt) -> None:
+        ann = self._annotation_at(stmt.lineno)
+        if ann is not None:
+            for name, value in ann.bindings.items():
+                self.env[name] = value
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = self._annotated_value(node, self.eval(node.value))
+        family = None
+        if isinstance(node.value, ast.Call):
+            family = self._family_of(node.value)
+        for target in node.targets:
+            self._bind_target(target, value, stmt=node)
+            if family is not None and isinstance(target, ast.Name):
+                self.handles[target.id] = family
+        self._apply_named_bindings(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            value = self._annotated_value(node, self.eval(node.value))
+            self._bind_target(node.target, value, stmt=node)
+        self._apply_named_bindings(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        value = self.eval(node.value)
+        if isinstance(node.target, ast.Name):
+            prior = self.env.get(node.target.id, UNKNOWN)
+        elif isinstance(node.target, ast.Attribute):
+            prior = self.ctx.attr_read(node.target.attr)
+        else:
+            prior = UNKNOWN
+        if isinstance(node.op, (ast.Add, ast.Sub)) \
+                and is_mixing(prior.dim, value.dim):
+            self._report_mix(node, prior.dim, value.dim,
+                             "mixed-dimension augmented assignment")
+        if isinstance(node.target, ast.Name):
+            self.env[node.target.id] = prior.join(value)
+        elif isinstance(node.target, ast.Attribute):
+            self.ctx.attr_write(node.target.attr, value)
+        else:
+            self._bind_target(node.target, value, stmt=node)
+        self._apply_named_bindings(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        value = self.eval(node.value)
+        if self.summary is not None and not self.summary.ret_pinned:
+            self.summary.ret = self.summary.ret.join(value)
+
+    def visit_For(self, node: ast.For) -> None:
+        source = self.eval(node.iter)
+        self._bind_target(node.target, dv(source.elem))
+        for child in node.body + node.orelse:
+            self.visit(child)
+
+    visit_AsyncFor = visit_For
+
+    def visit_While(self, node: ast.While) -> None:
+        self.eval(node.test)
+        for child in node.body + node.orelse:
+            self.visit(child)
+
+    def visit_If(self, node: ast.If) -> None:
+        self.eval(node.test)
+        for child in node.body + node.orelse:
+            self.visit(child)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            value = self.eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars, value)
+        for child in node.body:
+            self.visit(child)
+
+    visit_AsyncWith = visit_With
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for child in node.body:
+            self.visit(child)
+        for handler in node.handlers:
+            for child in handler.body:
+                self.visit(child)
+        for child in node.orelse + node.finalbody:
+            self.visit(child)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self.eval(node.value)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.eval(node.test)
+
+    def visit_FunctionDef(self, node) -> None:
+        pass  # nested defs carry their own summaries via the module walk
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def run(self, body: Sequence[ast.stmt]) -> List[Finding]:
+        # Two sweeps approximate loop-carried dims (a name dimensioned late
+        # in a loop body used earlier in the next iteration).
+        for _ in range(2):
+            for stmt in body:
+                self.visit(stmt)
+        return self.findings
+
+
+# --------------------------------------------------------------- pre-passes
+
+
+def _collect_handle_table(ir: ProjectIR) -> Dict[str, Optional[str]]:
+    """attribute name → metric family, resolved through ``.labels`` chains.
+
+    Conflicting families for one attribute name collapse to ``None`` so no
+    emission through that handle is ever checked against the wrong unit.
+    """
+    table: Dict[str, Optional[str]] = {}
+
+    def family_of(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Call):
+            direct = _registration_family(node)
+            if direct is not None:
+                return direct
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "labels":
+                return family_of(node.func.value)
+            return None
+        if isinstance(node, ast.Attribute):
+            return table.get(node.attr)
+        return None
+
+    for _round in range(3):
+        changed = False
+        for _name, mod in sorted(ir.modules.items()):
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Attribute):
+                    continue
+                family = family_of(node.value)
+                if family is None:
+                    continue
+                prior = table.get(target.attr, family)
+                resolved = family if prior == family else None
+                if table.get(target.attr, "\0") != resolved:
+                    table[target.attr] = resolved
+                    changed = True
+        if not changed:
+            break
+    return table
+
+
+def _collect_properties(ir: ProjectIR) -> Dict[str, List[str]]:
+    props: Dict[str, List[str]] = {}
+    for qname, fn in sorted(ir.functions.items()):
+        node = fn.node
+        for dec in getattr(node, "decorator_list", []):
+            if isinstance(dec, ast.Name) and dec.id == "property":
+                props.setdefault(node.name, []).append(qname)
+    return props
+
+
+def _metric_units(ir: ProjectIR) -> Dict[str, str]:
+    metrics, _spans, _module = extract_catalogs(ir)
+    return {
+        name: decl.unit
+        for name, decl in metrics.items()
+        if decl.unit is not None
+    }
+
+
+def _seed_class_annotations(ctx: _Context, ir: ProjectIR) -> None:
+    """Pin attribute dims from ``# dim:`` comments in class bodies."""
+    for _name, mod in sorted(ir.modules.items()):
+        anns = ctx.annotations.get(mod.name, {})
+        if not anns:
+            continue
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                ann = anns.get(stmt.lineno)
+                if ann is None or ann.default is None:
+                    continue
+                targets: List[str] = []
+                if isinstance(stmt, ast.AnnAssign) \
+                        and isinstance(stmt.target, ast.Name):
+                    targets = [stmt.target.id]
+                elif isinstance(stmt, ast.Assign):
+                    targets = [t.id for t in stmt.targets
+                               if isinstance(t, ast.Name)]
+                for name in targets:
+                    ctx.attr_dims[name] = ann.default
+                    ctx.attr_pinned.add(name)
+
+
+def _seed_summaries(ctx: _Context, ir: ProjectIR) -> None:
+    for qname, fn in ir.functions.items():
+        summary = DimSummary(
+            params=[UNKNOWN] * len(fn.params),
+            pinned=[False] * len(fn.params),
+        )
+        mod = ir.modules.get(fn.module)
+        ann = None
+        if mod is not None:
+            ann = ctx.annotations.get(mod.name, {}).get(fn.node.lineno)
+        if ann is not None:
+            for i, name in enumerate(fn.params):
+                if name in ann.bindings:
+                    summary.params[i] = ann.bindings[name]
+                    summary.pinned[i] = True
+            if ann.ret is not None:
+                summary.ret = ann.ret
+                summary.ret_pinned = True
+        # units.py's own helpers carry their seeded signatures.
+        if mod is not None and is_units_module(mod.name) \
+                and fn.local_name in UNITS_FUNCS:
+            sig = UNITS_FUNCS[fn.local_name]
+            for i, dim in enumerate(sig.params):
+                if i < len(summary.params):
+                    summary.params[i] = dv(dim)
+                    summary.pinned[i] = True
+            summary.ret = sig.ret
+            summary.ret_pinned = True
+        ctx.summaries[qname] = summary
+
+
+class DimensionsPass(AnalysisPass):
+    """Interprocedural units-and-dimensions checking (*uvm-units*)."""
+
+    name = "dimensions"
+    RULE_MIXED = Rule(
+        "dim-mixed-arith", "dimensions", "error",
+        "values of different granularities (bytes/page/region/vablock/"
+        "chunk) meet in +, -, a comparison, or a dimension-annotated "
+        "parameter",
+    )
+    RULE_INDEX = Rule(
+        "dim-page-index", "dimensions", "error",
+        "page/byte confusion in container indexing, membership, range "
+        "construction, or a units.py conversion argument",
+    )
+    RULE_TIME = Rule(
+        "dim-time-mix", "dimensions", "error",
+        "simulated-microsecond and wall-second values meet in arithmetic, "
+        "a comparison, or an annotated time parameter",
+    )
+    RULE_METRIC = Rule(
+        "dim-metric-unit", "dimensions", "error",
+        "metric observe/inc/set argument dimension contradicts the "
+        "catalog's declared unit",
+    )
+    RULE_SHIFT = Rule(
+        "dim-shift", "dimensions", "error",
+        "dimension-changing shift whose amount matches no known "
+        "granularity conversion constant",
+    )
+    RULE_ANNOTATION = Rule(
+        "dim-annotation", "dimensions", "warning",
+        "`# dim:` comment does not parse (unknown dimension name or "
+        "malformed entry)",
+    )
+    rules = (RULE_MIXED, RULE_INDEX, RULE_TIME, RULE_METRIC, RULE_SHIFT,
+             RULE_ANNOTATION)
+
+    #: Fixpoint round cap; the lattice is flat so real code converges in a
+    #: handful of rounds — the cap only bounds adversarial inputs.
+    MAX_ROUNDS = 12
+
+    def run(self, ir: ProjectIR) -> List[Finding]:
+        annotations: Dict[str, Dict[int, DimAnnotation]] = {}
+        annotation_errors: Dict[str, List[Tuple[int, str]]] = {}
+        for name, mod in sorted(ir.modules.items()):
+            parsed, bad = collect_annotations(mod.lines)
+            if parsed:
+                annotations[name] = parsed
+            if bad:
+                annotation_errors[name] = bad
+
+        ctx = _Context(ir=ir, annotations=annotations,
+                       annotation_errors=annotation_errors)
+        ctx.attr_handles = _collect_handle_table(ir)
+        ctx.properties = _collect_properties(ir)
+        ctx.metric_units = _metric_units(ir)
+        _seed_class_annotations(ctx, ir)
+        _seed_summaries(ctx, ir)
+
+        def sweep(report: bool) -> List[Finding]:
+            findings: List[Finding] = []
+            for name, mod in sorted(ir.modules.items()):
+                top = _DimEval(self, ctx, mod, fn=None, report=report)
+                findings.extend(
+                    top.run([s for s in mod.tree.body
+                             if not isinstance(s, (ast.FunctionDef,
+                                                   ast.AsyncFunctionDef,
+                                                   ast.ClassDef))])
+                )
+                # Record module-global dims for cross-module reads.
+                for gname, gvar in mod.globals.items():
+                    if gname in top.env:
+                        prior = ctx.global_dims.get(gvar.qname, UNKNOWN)
+                        ctx.global_dims[gvar.qname] = prior.join(
+                            top.env[gname]
+                        )
+            for qname, fn in sorted(ir.functions.items()):
+                mod = ir.modules.get(fn.module)
+                if mod is None:
+                    continue
+                body = _DimEval(self, ctx, mod, fn, report=report)
+                findings.extend(body.run(fn.node.body))
+            return findings
+
+        for _round in range(self.MAX_ROUNDS):
+            before = (
+                tuple(s.snapshot() for _q, s in sorted(ctx.summaries.items())),
+                tuple(sorted(ctx.attr_dims.items())),
+                tuple(sorted(ctx.global_dims.items())),
+            )
+            sweep(report=False)
+            after = (
+                tuple(s.snapshot() for _q, s in sorted(ctx.summaries.items())),
+                tuple(sorted(ctx.attr_dims.items())),
+                tuple(sorted(ctx.global_dims.items())),
+            )
+            if before == after:
+                break
+
+        findings = sweep(report=True)
+        for name, errors in sorted(annotation_errors.items()):
+            mod = ir.modules.get(name)
+            if mod is None:
+                continue
+            for line, fragment in errors:
+                findings.append(
+                    self.make_finding(
+                        self.RULE_ANNOTATION,
+                        path=str(mod.path), line=line, col=0,
+                        message=f"unparseable `# dim:` entry {fragment} "
+                                "(see docs/static-analysis.md for the "
+                                "vocabulary)",
+                    )
+                )
+        # The double sweep inside run() can report one site twice.
+        unique = {(f.path, f.line, f.col, f.rule, f.message): f
+                  for f in findings}
+        return list(unique.values())

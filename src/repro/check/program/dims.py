@@ -1,0 +1,361 @@
+"""Dimension lattice, seed facts, and the ``# dim:`` annotation vocabulary.
+
+The simulator juggles four incompatible granularities — byte addresses,
+4 KiB OS pages, 64 KiB upgrade regions, 2 MiB VABlocks (paper §2.2,
+mirrored in :mod:`repro.units`) — plus two time domains (simulated µs vs
+host wall seconds).  The ``dimensions`` pass
+(:mod:`repro.check.program.dimensions`) infers one of the dims below for
+every local, parameter, return, and attribute field; this module is the
+shared vocabulary: the lattice and its join, the conversion tables for
+shifts and multiplies, the seeded :mod:`repro.units` signatures, and the
+parser for ``# dim:`` source annotations.
+
+Lattice (⊥ below everything, ⊤ above)::
+
+                     ⊤  (mixed — conflicting evidence, always silent)
+      bytes page region vablock chunk us wall      ("strong" dims)
+                   count   none                    ("weak" — compatible
+                     ⊥  (no information)            with everything)
+
+Weak dims absorb into strong ones on join (``page + 1`` stays a page id);
+two *different* strong dims join to ⊤, and only explicit mixing operations
+(``+``/``-``/comparisons/known-signature calls) on two live strong dims are
+reported — ⊤ itself never fires, which keeps the pass conservative.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+# --------------------------------------------------------------- the lattice
+
+BOT = ""          # no information
+TOP = "mixed"     # conflicting evidence — deliberately silent
+BYTES = "bytes"   # byte addresses AND byte sizes (flat managed VA space)
+PAGE = "page"     # 4 KiB OS page ids
+REGION = "region"  # 64 KiB upgrade-region ids
+VABLOCK = "vablock"  # 2 MiB VABlock ids
+CHUNK = "chunk"   # device-memory chunk ids
+SIM_US = "us"     # simulated time, microseconds
+WALL_S = "wall"   # host wall-clock time, seconds
+COUNT = "count"   # cardinalities (len(), fault counts, loop trip counts)
+NONE = "none"     # dimensionless (ratios, literals, flags)
+
+#: Dims that can participate in a reportable mixing.
+STRONG = frozenset({BYTES, PAGE, REGION, VABLOCK, CHUNK, SIM_US, WALL_S})
+#: The spatial granularities (page↔byte confusion family).
+GRANULAR = frozenset({BYTES, PAGE, REGION, VABLOCK, CHUNK})
+#: The time domains (sim-vs-wall mixing family).
+TIME = frozenset({SIM_US, WALL_S})
+#: Weak dims: compatible with everything, absorbed on join.
+WEAK = frozenset({COUNT, NONE})
+
+#: Every name the ``# dim:`` annotation vocabulary accepts.
+ANNOTATABLE = frozenset(
+    {BYTES, PAGE, REGION, VABLOCK, CHUNK, SIM_US, WALL_S, COUNT, NONE}
+)
+
+
+def join(a: str, b: str) -> str:
+    """Lattice join.  Weak dims absorb into strong; strong conflict → ⊤."""
+    if a == b:
+        return a
+    if not a:
+        return b
+    if not b:
+        return a
+    if a == TOP or b == TOP:
+        return TOP
+    if a in WEAK:
+        return b
+    if b in WEAK:
+        return a
+    return TOP
+
+
+def is_mixing(a: str, b: str) -> bool:
+    """True when two dims meeting in ``+``/``-``/comparison is a bug."""
+    return a in STRONG and b in STRONG and a != b
+
+
+def mixing_family(a: str, b: str) -> str:
+    """Which rule family a mixing belongs to: ``"time"`` or ``"granularity"``."""
+    return "time" if (a in TIME or b in TIME) else "granularity"
+
+
+@dataclass(frozen=True)
+class DimValue:
+    """Abstract value: scalar dim plus optional container element/key dims.
+
+    ``const`` carries a statically-known numeric value (shift amounts,
+    conversion constants); ``unit_const`` names the :mod:`repro.units`
+    constant it came from so ``page * PAGE_SIZE`` can be recognized as a
+    conversion rather than a plain multiply.
+    """
+
+    dim: str = BOT
+    elem: str = BOT
+    key: str = BOT
+    const: Optional[float] = None
+    unit_const: str = ""
+
+    def join(self, other: "DimValue") -> "DimValue":
+        return DimValue(
+            dim=join(self.dim, other.dim),
+            elem=join(self.elem, other.elem),
+            key=join(self.key, other.key),
+            const=self.const if self.const == other.const else None,
+            unit_const=(self.unit_const
+                        if self.unit_const == other.unit_const else ""),
+        )
+
+
+UNKNOWN = DimValue()
+
+
+def dv(dim: str, **kw) -> DimValue:
+    return DimValue(dim=dim, **kw)
+
+
+# ----------------------------------------------------- conversion constants
+
+#: :mod:`repro.units` module-level constants: name → (dim, numeric value).
+#: Sizes are byte quantities; shifts and per-X counts are weak; USEC/MSEC/SEC
+#: are simulated-µs conversion factors.
+UNITS_CONSTS: Dict[str, Tuple[str, float]] = {
+    "KB": (BYTES, 1024.0),
+    "MB": (BYTES, 1024.0 ** 2),
+    "GB": (BYTES, 1024.0 ** 3),
+    "PAGE_SIZE": (BYTES, 4096.0),
+    "REGION_SIZE": (BYTES, 65536.0),
+    "VABLOCK_SIZE": (BYTES, 2097152.0),
+    "PAGE_SHIFT": (NONE, 12.0),
+    "REGION_SHIFT": (NONE, 16.0),
+    "VABLOCK_SHIFT": (NONE, 21.0),
+    "PAGES_PER_REGION": (COUNT, 16.0),
+    "PAGES_PER_VABLOCK": (COUNT, 512.0),
+    "REGIONS_PER_VABLOCK": (COUNT, 32.0),
+    "USEC": (SIM_US, 1.0),
+    "MSEC": (SIM_US, 1e3),
+    "SEC": (SIM_US, 1e6),
+}
+
+#: ``x >> amount`` conversions: (operand dim, amount) → result dim.
+SHIFT_RIGHT: Dict[Tuple[str, int], str] = {
+    (BYTES, 12): PAGE,
+    (BYTES, 16): REGION,
+    (BYTES, 21): VABLOCK,
+    (PAGE, 4): REGION,
+    (PAGE, 9): VABLOCK,
+    (REGION, 5): VABLOCK,
+}
+
+#: ``x << amount`` conversions: (operand dim, amount) → result dim.
+SHIFT_LEFT: Dict[Tuple[str, int], str] = {
+    (PAGE, 12): BYTES,
+    (REGION, 16): BYTES,
+    (VABLOCK, 21): BYTES,
+    (REGION, 4): PAGE,
+    (VABLOCK, 9): PAGE,
+    (VABLOCK, 5): REGION,
+}
+
+#: ``id * SIZE_CONST`` conversions: (id dim, units constant) → result dim.
+MULT_CONVERSIONS: Dict[Tuple[str, str], str] = {
+    (PAGE, "PAGE_SIZE"): BYTES,
+    (REGION, "REGION_SIZE"): BYTES,
+    (VABLOCK, "VABLOCK_SIZE"): BYTES,
+}
+
+
+@dataclass(frozen=True)
+class UnitsSignature:
+    """Fixed dimension signature of one :mod:`repro.units` helper."""
+
+    params: Tuple[str, ...]
+    ret: DimValue
+
+
+#: Seeded signatures for every :mod:`repro.units` helper, keyed by function
+#: name; they apply when the callee resolves into a module whose dotted name
+#: ends in ``units`` (the real ``repro.units`` or a fixture's ``units``).
+UNITS_FUNCS: Dict[str, UnitsSignature] = {
+    "page_of": UnitsSignature((BYTES,), dv(PAGE)),
+    "page_base": UnitsSignature((PAGE,), dv(BYTES)),
+    "region_of_page": UnitsSignature((PAGE,), dv(REGION)),
+    "vablock_of": UnitsSignature((BYTES,), dv(VABLOCK)),
+    "vablock_of_page": UnitsSignature((PAGE,), dv(VABLOCK)),
+    "page_index_in_vablock": UnitsSignature((PAGE,), dv(COUNT)),
+    "first_page_of_vablock": UnitsSignature((VABLOCK,), dv(PAGE)),
+    "pages_spanned": UnitsSignature((BYTES, BYTES), DimValue(elem=PAGE)),
+    "align_up": UnitsSignature((BYTES, BYTES), dv(BYTES)),
+    "align_down": UnitsSignature((BYTES, BYTES), dv(BYTES)),
+    "fmt_bytes": UnitsSignature((BYTES,), dv(NONE)),
+    "fmt_usec": UnitsSignature((SIM_US,), dv(NONE)),
+}
+
+
+def is_units_module(module_name: str) -> bool:
+    """The seeded vocabulary applies to ``repro.units`` and any fixture
+    module named ``units``."""
+    return module_name == "units" or module_name.endswith(".units")
+
+
+# ------------------------------------------------------- metric unit vocab
+
+#: Valid ``unit`` values for catalog entries.  ``bytes``/``us``/``wall_s``
+#: map to strong dims; every other unit is a cardinality (count-like), so a
+#: strong-dimensioned argument observed into it is a wrong-unit bug.
+UNIT_VOCAB = frozenset(
+    {"bytes", "pages", "us", "wall_s", "count", "batches", "faults",
+     "kernels", "rounds", "vablocks", "bursts", "ops", "retries",
+     "violations", "bundles", "recoveries", "evictions"}
+)
+
+#: catalog unit → the strong dim an argument is *allowed* to carry.
+UNIT_EXPECTED_DIM: Dict[str, str] = {
+    "bytes": BYTES,
+    "us": SIM_US,
+    "wall_s": WALL_S,
+}
+
+
+def unit_allows(unit: str, dim: str) -> bool:
+    """Whether a value of ``dim`` may be observed into a ``unit`` metric.
+
+    Weak/unknown dims are always allowed (the pass only reports positive
+    contradictions); a strong dim must match the unit's expected strong dim,
+    and count-like units accept no strong dim at all — a page *id* is not a
+    page *count*.
+    """
+    if dim not in STRONG:
+        return True
+    return UNIT_EXPECTED_DIM.get(unit) == dim
+
+
+# ------------------------------------------------------------- annotations
+
+_DIM_COMMENT_RE = re.compile(r"#\s*dim:\s*(.+?)\s*$")
+_ENTRY_RE = re.compile(
+    r"^(?:(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*=\s*)?"
+    r"(?P<open>[\[{])?(?P<dim>[a-z_]+)(?P<close>[\]}])?$"
+)
+
+
+@dataclass(frozen=True)
+class DimAnnotation:
+    """One parsed ``# dim:`` comment.
+
+    ``bindings`` maps names (parameters or assignment targets) to abstract
+    values; ``default`` is the bare-dim form (``# dim: page``) applied to
+    the statement's single assignment target; ``ret`` is the return value
+    for ``def``-line annotations (``-> dim``); ``errors`` collects the
+    fragments that did not parse (reported as ``dim-annotation``).
+    """
+
+    bindings: Dict[str, DimValue]
+    default: Optional[DimValue]
+    ret: Optional[DimValue]
+    errors: Tuple[str, ...]
+
+
+def _parse_entry(text: str) -> Optional[DimValue]:
+    """``page`` → scalar, ``[page]`` → element dim, ``{page}`` → key dim."""
+    m = _ENTRY_RE.match(text)
+    if m is None:
+        return None
+    name = m.group("dim")
+    if name not in ANNOTATABLE:
+        return None
+    wrap, close = m.group("open"), m.group("close")
+    if wrap == "[" and close == "]":
+        return DimValue(elem=name)
+    if wrap == "{" and close == "}":
+        return DimValue(key=name)
+    if wrap or close:
+        return None
+    return DimValue(dim=name)
+
+
+def parse_dim_comment(line_text: str) -> Optional[DimAnnotation]:
+    """Parse the ``# dim:`` annotation on one source line, if any.
+
+    Vocabulary (entries comma-separated, ``->`` introduces the return)::
+
+        x = faults * 4096          # dim: bytes
+        def span(addr, n):         # dim: addr=bytes, n=count -> [page]
+        pending = []               # dim: [page]
+        residency = {}             # dim: {page}
+    """
+    m = _DIM_COMMENT_RE.search(line_text)
+    if m is None:
+        return None
+    spec = m.group(1)
+    ret: Optional[DimValue] = None
+    errors: List[str] = []
+    if "->" in spec:
+        spec, _, ret_text = spec.partition("->")
+        ret = _parse_entry(ret_text.strip())
+        if ret is None:
+            errors.append(f"return {ret_text.strip()!r}")
+    bindings: Dict[str, DimValue] = {}
+    default: Optional[DimValue] = None
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        m_entry = _ENTRY_RE.match(part)
+        if m_entry is None:
+            errors.append(repr(part))
+            continue
+        value = _parse_entry(
+            part.partition("=")[2].strip() if m_entry.group("name") else part
+        )
+        if value is None:
+            errors.append(repr(part))
+            continue
+        if m_entry.group("name"):
+            bindings[m_entry.group("name")] = value
+        else:
+            default = value
+    return DimAnnotation(
+        bindings=bindings, default=default, ret=ret, errors=tuple(errors)
+    )
+
+
+#: A *comment token* is an annotation only when it opens with the marker —
+#: prose comments and docstrings that merely mention ``# dim:`` are not.
+_DIM_OPENER_RE = re.compile(r"^#\s*dim:")
+
+
+def collect_annotations(
+    lines: List[str],
+) -> Tuple[Dict[int, DimAnnotation], List[Tuple[int, str]]]:
+    """All ``# dim:`` annotations in a module, keyed by 1-based line number.
+
+    Real comment tokens only (the source is tokenized, so ``# dim:`` inside
+    a docstring or string literal is never an annotation).  Returns the
+    parsed map plus (line, fragment) pairs for malformed entries, which the
+    pass reports under ``dim-annotation``.
+    """
+    out: Dict[int, DimAnnotation] = {}
+    bad: List[Tuple[int, str]] = []
+    source = "\n".join(lines) + "\n"
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out, bad
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        if _DIM_OPENER_RE.match(tok.string) is None:
+            continue
+        ann = parse_dim_comment(tok.string)
+        if ann is None:
+            continue
+        line = tok.start[0]
+        out[line] = ann
+        for err in ann.errors:
+            bad.append((line, err))
+    return out, bad

@@ -26,9 +26,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+import time
+
 from ..lint import AllowEntry, LintFinding, _SUPPRESS_RE
 from .base import AnalysisPass, Finding, Rule, fingerprint_findings, normalize_path
 from .baseline import BaselineEntry, apply_baseline
+from .dimensions import DimensionsPass
 from .hygiene import SuppressionHygienePass
 from .ir import ProjectIR, build_project_ir
 from .local_rules import LocalRulesPass
@@ -44,6 +47,7 @@ def default_passes() -> List[AnalysisPass]:
         SimTaintPass(),
         MetricDriftPass(),
         SharedStatePass(),
+        DimensionsPass(),
     ]
 
 
@@ -72,6 +76,13 @@ class AnalysisReport:
     by_pass: Dict[str, int] = field(default_factory=dict)
     #: on-disk path → checkout-independent path used in fingerprints.
     stable_paths: Dict[str, str] = field(default_factory=dict)
+    #: pass name → wall seconds spent in its ``run`` (plus ``"ir"`` for the
+    #: IR build and ``"total"``); the bench gate holds the sum under a
+    #: ceiling so the analysis cannot quietly outgrow CI.
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: pass name → raw finding count before suppression/allowlist/baseline
+    #: filtering (``by_pass`` only counts what survived).
+    raw_by_pass: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -175,15 +186,25 @@ def run_analysis(
     ir: Optional[ProjectIR] = None,
 ) -> AnalysisReport:
     """Run the whole-program analysis; see the module docstring for order."""
+    # Wall timing is observability about the analysis itself, not simulated
+    # state; the clock never feeds a finding or a fingerprint.
+    t0 = time.perf_counter()  # repro: lint-ok[wall-clock]
+    timings: Dict[str, float] = {}
+    raw_by_pass: Dict[str, int] = {}
     if ir is None:
         ir = build_project_ir(paths)
+    timings["ir"] = time.perf_counter() - t0  # repro: lint-ok[wall-clock]
     roster: List[AnalysisPass] = (
         list(passes) if passes is not None else default_passes()
     )
 
     raw: List[Finding] = []
     for p in roster:
-        raw.extend(p.run(ir))
+        t_pass = time.perf_counter()  # repro: lint-ok[wall-clock]
+        produced = p.run(ir)
+        timings[p.name] = time.perf_counter() - t_pass  # repro: lint-ok[wall-clock]
+        raw_by_pass[p.name] = len(produced)
+        raw.extend(produced)
 
     hygiene = SuppressionHygienePass(
         known_rules=[r.id for p in roster for r in p.rules],
@@ -191,7 +212,11 @@ def run_analysis(
         allowlist_path=allowlist_path,
     )
     hygiene.raw_findings = list(raw)
-    raw.extend(hygiene.run(ir))
+    t_pass = time.perf_counter()  # repro: lint-ok[wall-clock]
+    hygiene_findings = hygiene.run(ir)
+    timings[hygiene.name] = time.perf_counter() - t_pass  # repro: lint-ok[wall-clock]
+    raw_by_pass[hygiene.name] = len(hygiene_findings)
+    raw.extend(hygiene_findings)
 
     sources: Dict[str, List[str]] = {
         str(mod.path): mod.lines for mod in ir.modules.values()
@@ -222,6 +247,7 @@ def run_analysis(
         for rule in p.rules:
             rule_catalog[rule.id] = rule
 
+    timings["total"] = time.perf_counter() - t0  # repro: lint-ok[wall-clock]
     return AnalysisReport(
         findings=new,
         baselined=baselined,
@@ -231,6 +257,8 @@ def run_analysis(
         changed_only=report_changed,
         by_pass=by_pass,
         stable_paths=stable,
+        timings=timings,
+        raw_by_pass=raw_by_pass,
     )
 
 
@@ -277,4 +305,15 @@ def report_to_json_dict(report: AnalysisReport) -> dict:
         "stats": report.stats,
         "changed_only": report.changed_only,
         "ok": report.ok,
+        "timings": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(report.timings.items())
+        },
+        "pass_findings": {
+            name: {
+                "raw": report.raw_by_pass.get(name, 0),
+                "new": report.by_pass.get(name, 0),
+            }
+            for name in sorted(report.raw_by_pass)
+        },
     }

@@ -15,7 +15,10 @@ registration and ``.span(...)`` site from the project IR and checks:
 * ``metric-unused`` — a declared family or span no call site ever emits
   (dead declaration, or the drifted half of a rename);
 * ``span-undeclared`` — a ``.span("name", ...)`` name missing from
-  ``SPAN_CATALOG``.
+  ``SPAN_CATALOG``;
+* ``metric-no-unit`` — a catalog entry (metric or span) without a ``unit``
+  in the known vocabulary, which would leave the ``dimensions`` pass unable
+  to check its emission arguments.
 
 The catalog is discovered *inside the analyzed project*: any module-level
 ``METRIC_CATALOG`` / ``SPAN_CATALOG`` dict literal (parsed statically, no
@@ -30,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .base import AnalysisPass, Finding, Rule
+from .dims import UNIT_VOCAB
 from .ir import ModuleInfo, ProjectIR
 
 _REGISTER_METHODS = {"counter": "counter", "gauge": "gauge",
@@ -47,6 +51,11 @@ class _Declaration:
     labels: Tuple[str, ...]
     module: str
     line: int
+    #: Declared measurement unit (``"bytes"``/``"pages"``/``"us"``/…), or
+    #: None when the entry omits one.  The ``dimensions`` pass checks
+    #: emission arguments against it; this pass checks it exists and is in
+    #: :data:`repro.check.program.dims.UNIT_VOCAB`.
+    unit: Optional[str] = None
 
 
 @dataclass
@@ -102,21 +111,31 @@ def extract_catalogs(
                         continue
                     if not isinstance(spec, dict):
                         continue
+                    unit = spec.get("unit")
                     metrics[name] = _Declaration(
                         kind=str(spec.get("kind", "counter")),
                         labels=tuple(spec.get("labels", ())),
                         module=mod.name,
                         line=key.lineno,
+                        unit=str(unit) if unit is not None else None,
                     )
             if "SPAN_CATALOG" in names and isinstance(stmt.value, ast.Dict):
                 catalog_module = catalog_module or mod.name
-                for key in stmt.value.keys:
+                for key, value in zip(stmt.value.keys, stmt.value.values):
                     name = _literal_str(key)
-                    if name is not None:
-                        spans[name] = _Declaration(
-                            kind="span", labels=(), module=mod.name,
-                            line=key.lineno,
-                        )
+                    if name is None:
+                        continue
+                    unit: Optional[str] = None
+                    try:
+                        spec = ast.literal_eval(value)
+                    except (ValueError, SyntaxError):
+                        spec = None
+                    if isinstance(spec, dict) and spec.get("unit") is not None:
+                        unit = str(spec["unit"])
+                    spans[name] = _Declaration(
+                        kind="span", labels=(), module=mod.name,
+                        line=key.lineno, unit=unit,
+                    )
     return metrics, spans, catalog_module
 
 
@@ -216,7 +235,14 @@ class MetricDriftPass(AnalysisPass):
         "span-undeclared", "metric-drift", "error",
         "span name used at a call site but missing from SPAN_CATALOG",
     )
-    rules = (RULE_UNDECLARED, RULE_MISMATCH, RULE_UNUSED, RULE_SPAN_UNDECLARED)
+    RULE_NO_UNIT = Rule(
+        "metric-no-unit", "metric-drift", "error",
+        "catalog entry declares no measurement unit (or one outside the "
+        "known unit vocabulary) — the dimensions pass cannot check its "
+        "emission arguments",
+    )
+    rules = (RULE_UNDECLARED, RULE_MISMATCH, RULE_UNUSED,
+             RULE_SPAN_UNDECLARED, RULE_NO_UNIT)
 
     def run(self, ir: ProjectIR) -> List[Finding]:
         metrics, spans, catalog_module = extract_catalogs(ir)
@@ -313,6 +339,25 @@ class MetricDriftPass(AnalysisPass):
                         line=decl.line, col=0,
                         message=f"span {name!r} is declared but never "
                                 "recorded by any call site",
+                    )
+                )
+        for catalog, what in ((metrics, "metric family"), (spans, "span")):
+            for name, decl in catalog.items():
+                if decl.unit in UNIT_VOCAB:
+                    continue
+                mod = ir.modules.get(decl.module)
+                detail = (
+                    "declares no unit"
+                    if decl.unit is None
+                    else f"declares unknown unit {decl.unit!r}"
+                )
+                findings.append(
+                    self.make_finding(
+                        self.RULE_NO_UNIT,
+                        path=str(mod.path) if mod else decl.module,
+                        line=decl.line, col=0,
+                        message=f"{what} {name!r} {detail}; pick one of the "
+                                "units in repro.check.program.dims.UNIT_VOCAB",
                     )
                 )
         return findings

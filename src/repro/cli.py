@@ -16,7 +16,8 @@ Subcommands:
   (Prometheus text, or ``--json`` for the snapshot dict);
 * ``lint [paths...]`` — whole-program static analysis over the simulator
   sources: per-file determinism rules plus the interprocedural sim-taint,
-  metric-drift, mp-shared-state, and suppression-hygiene passes, filtered
+  metric-drift, mp-shared-state, suppression-hygiene, and dimensions
+  (bytes/page/µs unit inference) passes, filtered
   through the allowlist and the committed baseline (exit 0 clean / 1
   findings / 2 usage error; ``--format json|sarif`` for machine output,
   ``--changed-only`` to scope reporting to a git diff);

@@ -41,7 +41,7 @@ class Fault:
 
     __slots__ = ("page", "access", "sm_id", "utlb_id", "warp_uid", "timestamp")
 
-    def __init__(
+    def __init__(  # dim: page=page, timestamp=us
         self,
         page: int,
         access: AccessType,

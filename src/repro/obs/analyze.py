@@ -53,6 +53,12 @@ PHASE_FIELDS = (
 #: Default relative tolerance for ``diff_reports`` (10 %).
 DEFAULT_TOLERANCE = 0.10
 
+#: Absolute wall-time ceiling for one whole-program lint run (all passes,
+#: interprocedural fixpoints included).  Generous vs the ~2.5 s committed
+#: baseline, but hard: a fixpoint that stops converging fails the gate
+#: on any machine.
+LINT_WALL_CEILING_SEC = 30.0
+
 
 # ------------------------------------------------------------------ loading
 
@@ -335,7 +341,10 @@ def bench_gate(
       differences largely cancel);
     * end-to-end wall time may not exceed 1.5× baseline (wall clocks are
       noisy across machines; 1.5× catches real slowdowns like an
-      accidental O(n²), not scheduler jitter).
+      accidental O(n²), not scheduler jitter);
+    * the whole-program lint may not exceed 1.5× its baseline wall time
+      nor the absolute ``LINT_WALL_CEILING_SEC`` ceiling, so the
+      interprocedural fixpoints (sim-taint, dimensions) stay interactive.
     """
     problems: List[str] = []
 
@@ -374,6 +383,23 @@ def bench_gate(
         problems.append(
             f"end_to_end.wall_sec: {fresh_wall:.2f}s > 1.5x baseline "
             f"({base_wall:.2f}s)"
+        )
+
+    # The whole-program lint (interprocedural fixpoints included) must
+    # stay interactive: same 1.5x-vs-baseline rule as the end-to-end wall
+    # time, plus an absolute ceiling so a runaway fixpoint fails even on
+    # a machine with a slow committed baseline.
+    base_lint = baseline.get("lint", {}).get("total_sec")
+    fresh_lint = fresh.get("lint", {}).get("total_sec")
+    if base_lint and fresh_lint and fresh_lint > 1.5 * base_lint:
+        problems.append(
+            f"lint.total_sec: {fresh_lint:.2f}s > 1.5x baseline "
+            f"({base_lint:.2f}s)"
+        )
+    if fresh_lint and fresh_lint > LINT_WALL_CEILING_SEC:
+        problems.append(
+            f"lint.total_sec: {fresh_lint:.2f}s > absolute "
+            f"{LINT_WALL_CEILING_SEC:.0f}s ceiling"
         )
 
     return (not problems, problems)

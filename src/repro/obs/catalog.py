@@ -12,7 +12,15 @@ checks every call site in ``src/`` against:
 * kind / label-key disagreement with the declaration → ``metric-mismatch``;
 * an entry here that no call site emits → ``metric-unused``;
 * a ``span(...)`` name missing from :data:`SPAN_CATALOG` →
-  ``span-undeclared``.
+  ``span-undeclared``;
+* an entry with a missing or unknown ``unit`` → ``metric-no-unit``.
+
+Every entry declares its measurement ``unit`` (one of
+:data:`repro.check.program.dims.UNIT_VOCAB`): ``bytes``/``us``/``wall_s``
+are strong dimensions the ``dimensions`` pass checks emission arguments
+against, while count-like units (``pages``, ``faults``, ``batches``, …)
+additionally reject any strongly-dimensioned argument — a page *id*
+observed into a ``pages`` counter is a bug, not a count.
 
 The pass parses this file *statically* (the dict literals below must stay
 literals — no comprehensions, no computed keys).  A runtime cross-check in
@@ -20,8 +28,8 @@ literals — no comprehensions, no computed keys).  A runtime cross-check in
 and asserts the registered families agree with these declarations, so the
 catalog can drift from reality in neither direction.
 
-When adding a metric: register it at the call site, declare it here, done —
-CI's ``lint-program`` job fails on either half alone.
+When adding a metric: register it at the call site, declare it here with a
+unit, done — CI's ``lint-program`` job fails on any half alone.
 """
 
 from __future__ import annotations
@@ -29,138 +37,190 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 #: family name → {"kind": counter|gauge|histogram, "labels": (keys...),
-#: "help": one-liner}.  Keep alphabetical; keep values literal.
+#: "help": one-liner, "unit": measurement unit}.  Keep alphabetical; keep
+#: values literal.
 METRIC_CATALOG: Dict[str, dict] = {
     "uvm_batch_faults": {
         "kind": "histogram",
         "labels": (),
         "help": "Raw faults per batch",
+        "unit": "faults",
     },
     "uvm_batch_service_usec": {
         "kind": "histogram",
         "labels": (),
         "help": "Batch servicing time (simulated us)",
+        "unit": "us",
     },
     "uvm_batches_total": {
         "kind": "counter",
         "labels": ("kind",),
         "help": "Batches through the servicing path",
+        "unit": "batches",
     },
     "uvm_bundles_written_total": {
         "kind": "counter",
         "labels": (),
         "help": "Crash bundles written",
+        "unit": "bundles",
     },
     "uvm_bytes_total": {
         "kind": "counter",
         "labels": ("dir",),
         "help": "Bytes migrated over the interconnect",
+        "unit": "bytes",
     },
     "uvm_ce_bursts_total": {
         "kind": "counter",
         "labels": ("dir",),
         "help": "Copy-engine burst operations",
+        "unit": "bursts",
     },
     "uvm_ce_bytes_total": {
         "kind": "counter",
         "labels": ("dir",),
         "help": "Bytes moved by the copy engines",
+        "unit": "bytes",
     },
     "uvm_ce_failovers_total": {
         "kind": "counter",
         "labels": (),
         "help": "Copy-engine failovers after stuck bursts",
+        "unit": "count",
     },
     "uvm_crash_recoveries_total": {
         "kind": "counter",
         "labels": (),
         "help": "Injected crashes recovered from a checkpoint",
+        "unit": "recoveries",
     },
     "uvm_degrade_total": {
         "kind": "counter",
         "labels": ("kind",),
         "help": "Graceful degradations on the fault path",
+        "unit": "count",
     },
     "uvm_engine_rounds_total": {
         "kind": "counter",
         "labels": (),
         "help": "GPU fault-generation rounds",
+        "unit": "rounds",
     },
     "uvm_evictions_total": {
         "kind": "counter",
         "labels": ("policy",),
         "help": "VABlocks evicted from device memory",
+        "unit": "evictions",
     },
     "uvm_faults_total": {
         "kind": "counter",
         "labels": ("kind",),
         "help": "Faults fetched from the HW buffer",
+        "unit": "faults",
     },
     "uvm_hostos_total": {
         "kind": "counter",
         "labels": ("op",),
         "help": "Host-OS operations on the fault path",
+        "unit": "ops",
     },
     "uvm_injected_total": {
         "kind": "counter",
         "labels": ("site",),
         "help": "Injected faults by site",
+        "unit": "faults",
     },
     "uvm_kernel_time_usec": {
         "kind": "histogram",
         "labels": (),
         "help": "Kernel wall time (simulated us)",
+        "unit": "us",
     },
     "uvm_kernels_total": {
         "kind": "counter",
         "labels": (),
         "help": "Kernel launches run",
+        "unit": "kernels",
     },
     "uvm_pages_total": {
         "kind": "counter",
         "labels": ("op",),
         "help": "Pages handled on the fault path",
+        "unit": "pages",
     },
     "uvm_peer_pages_total": {
         "kind": "counter",
         "labels": ("mode",),
         "help": "Pages moved between devices",
+        "unit": "pages",
     },
     "uvm_peer_time_usec_total": {
         "kind": "counter",
         "labels": ("mode",),
         "help": "Simulated time spent on cross-device migration",
+        "unit": "us",
     },
     "uvm_resident_vablocks": {
         "kind": "gauge",
         "labels": (),
         "help": "GPU-allocated VABlocks tracked by the eviction policy",
+        "unit": "vablocks",
     },
     "uvm_retries_total": {
         "kind": "counter",
         "labels": ("site",),
         "help": "Driver retries after transient fault-path failures",
+        "unit": "retries",
     },
     "uvm_san_violations_total": {
         "kind": "counter",
         "labels": ("rule",),
         "help": "UVMSan invariant violations detected",
+        "unit": "violations",
     },
 }
 
-#: span name → one-line description.  Covers ``obs.span(...)`` /
-#: ``spans.span(...)`` context spans and the manual ``spans.record(...)``
-#: replayed spans.  Keep alphabetical; keep literal.
-SPAN_CATALOG: Dict[str, str] = {
-    "driver.batch": "one batch envelope, reconciled against BatchRecord",
-    "driver.fetch": "drain the HW fault buffer into the batch",
-    "driver.preprocess": "dedup/sort/group faults into VABlock work",
-    "driver.replay": "replay the stalled warps after servicing",
-    "driver.vablock": "per-VABlock servicing slice (manual span)",
-    "driver.wake": "batch-trigger wakeup latency",
-    "engine.host_touch": "CPU-side touch of managed pages",
-    "engine.launch": "one kernel launch end-to-end",
-    "engine.resume": "resume a kernel after checkpoint restore",
+#: span name → {"help": one-line description, "unit": duration unit}.
+#: Covers ``obs.span(...)`` / ``spans.span(...)`` context spans and the
+#: manual ``spans.record(...)`` replayed spans.  Every span duration is
+#: simulated microseconds.  Keep alphabetical; keep literal.
+SPAN_CATALOG: Dict[str, dict] = {
+    "driver.batch": {
+        "help": "one batch envelope, reconciled against BatchRecord",
+        "unit": "us",
+    },
+    "driver.fetch": {
+        "help": "drain the HW fault buffer into the batch",
+        "unit": "us",
+    },
+    "driver.preprocess": {
+        "help": "dedup/sort/group faults into VABlock work",
+        "unit": "us",
+    },
+    "driver.replay": {
+        "help": "replay the stalled warps after servicing",
+        "unit": "us",
+    },
+    "driver.vablock": {
+        "help": "per-VABlock servicing slice (manual span)",
+        "unit": "us",
+    },
+    "driver.wake": {
+        "help": "batch-trigger wakeup latency",
+        "unit": "us",
+    },
+    "engine.host_touch": {
+        "help": "CPU-side touch of managed pages",
+        "unit": "us",
+    },
+    "engine.launch": {
+        "help": "one kernel launch end-to-end",
+        "unit": "us",
+    },
+    "engine.resume": {
+        "help": "resume a kernel after checkpoint restore",
+        "unit": "us",
+    },
 }
 
 
@@ -198,4 +258,6 @@ def validate_registry(registry) -> list:
                 f"{name}: declared labels {tuple(decl['labels'])!r}, "
                 f"registered {tuple(family.label_names)!r}"
             )
+        if not decl.get("unit"):
+            problems.append(f"{name}: declaration carries no unit")
     return problems

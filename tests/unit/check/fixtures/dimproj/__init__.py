@@ -1,0 +1,3 @@
+"""Fixture package for the ``dimensions`` pass: one seeded violation per
+rule (``viol_*`` modules) plus negative cases proving units-style idioms
+and ``# dim:`` annotations stay clean (``clean.py``)."""

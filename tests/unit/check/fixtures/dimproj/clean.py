@@ -1,0 +1,47 @@
+"""Negative cases: every idiom here is dimension-correct and must stay
+silent — the false-positive contract of the dimensions pass."""
+
+from .units import PAGE_SHIFT, PAGE_SIZE, USEC, page_base, page_of, pages_spanned
+
+
+def round_trip(addr):
+    """units.py helpers compose without findings."""
+    page = page_of(addr)
+    base = page_base(page)
+    npages = (addr + PAGE_SIZE - 1) // PAGE_SIZE  # byte ratio: a count
+    return base + PAGE_SIZE * npages  # bytes + bytes
+
+
+def shift_conversions(addr):
+    """Shifts by the known conversion constants change dimension legally."""
+    page = addr >> PAGE_SHIFT  # bytes -> page
+    back = page << PAGE_SHIFT  # page -> bytes
+    return back - addr  # bytes - bytes
+
+
+def annotated_span(addr, nbytes):  # dim: addr=bytes, nbytes=bytes -> [page]
+    return list(pages_spanned(addr, nbytes))
+
+
+def binary_search(pages, target):  # dim: pages=[page], target=page
+    """Same-dimension comparisons and id arithmetic are legal."""
+    lo, hi = 0, len(pages) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if pages[mid] < target:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return lo
+
+
+def dynamic_shift(key, shift):
+    """A dynamic shift amount is not a conversion claim: silent."""
+    return key >> shift
+
+
+def sim_budget(n):
+    """Weak dims absorb: count * us stays us, us + us stays us."""
+    budget = 5.0 * USEC
+    budget += n * USEC
+    return budget

@@ -1,0 +1,11 @@
+"""Metric catalog for the dimensions fixture: the declared unit is what
+``viol_metric.py`` contradicts."""
+
+METRIC_CATALOG = {
+    "dim_bytes_total": {
+        "kind": "counter",
+        "help": "bytes moved to the device",
+        "labels": (),
+        "unit": "bytes",
+    },
+}

@@ -1,0 +1,27 @@
+"""Mini granularity vocabulary — the fixture's stand-in for repro.units.
+
+The dimensions pass seeds from any module whose dotted name ends in
+``units``, so these helpers carry the same pinned signatures as the real
+ones: ``page_of: bytes → page``, ``page_base: page → bytes``.
+"""
+
+KB = 1024
+PAGE_SIZE = 4 * KB
+PAGE_SHIFT = 12
+REGION_SHIFT = 16
+USEC = 1.0
+MSEC = 1000.0
+
+
+def page_of(addr):
+    return addr >> PAGE_SHIFT
+
+
+def page_base(page):
+    return page << PAGE_SHIFT
+
+
+def pages_spanned(addr, nbytes):
+    first = page_of(addr)
+    last = page_of(addr + nbytes - 1)
+    return range(first, last + 1)

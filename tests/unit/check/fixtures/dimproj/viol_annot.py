@@ -1,0 +1,7 @@
+"""Seeded violation: a ``# dim:`` comment outside the vocabulary
+(dim-annotation, warning)."""
+
+
+def annotated():
+    x = 5  # dim: pagez
+    return x

@@ -1,0 +1,8 @@
+"""Seeded violation: mixed-granularity addition (dim-mixed-arith)."""
+
+from .units import page_of
+
+
+def mixed_add(addr):
+    page = page_of(addr)  # brands addr as bytes, page as a page id
+    return page + addr  # VIOLATION: page + bytes

@@ -1,0 +1,5 @@
+"""Seeded violation: byte-indexed page container (dim-page-index)."""
+
+
+def byte_indexed(addr, page_state):  # dim: addr=bytes, page_state={page}
+    return page_state[addr]  # VIOLATION: page-keyed dict indexed by bytes

@@ -1,0 +1,10 @@
+"""Seeded violation: a page *id* observed into a bytes-unit metric
+(dim-metric-unit)."""
+
+from .units import page_of
+
+
+def emit(metrics, addr):
+    page = page_of(addr)
+    handle = metrics.counter("dim_bytes_total", "bytes moved to the device")
+    handle.inc(page)  # VIOLATION: page id into a metric declared in bytes

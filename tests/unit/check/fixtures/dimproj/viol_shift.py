@@ -1,0 +1,9 @@
+"""Seeded violation: a dimension-changing shift that matches no known
+conversion constant (dim-shift)."""
+
+from .units import page_of
+
+
+def bad_shift(addr):
+    page = page_of(addr)
+    return page >> 3  # VIOLATION: not PAGE/REGION/VABLOCK_SHIFT or a delta

@@ -1,0 +1,10 @@
+"""Seeded violation: wall seconds compared against simulated µs
+(dim-time-mix)."""
+
+import time
+
+
+def wall_into_sim():
+    start = time.time()  # wall seconds
+    sim_now = 125.0  # dim: us
+    return sim_now > start  # VIOLATION: us compared against wall

@@ -5,19 +5,22 @@ METRIC_CATALOG = {
         "kind": "counter",
         "help": "replayed fault batches",
         "labels": ("kind",),
+        "unit": "batches",
     },
     "mini_faults_total": {
         "kind": "counter",
         "help": "page faults observed",
         "labels": (),
+        "unit": "faults",
     },
     "mini_resident_pages": {
         "kind": "gauge",
         "help": "pages resident on device",
         "labels": (),
+        "unit": "pages",
     },
 }
 
 SPAN_CATALOG = {
-    "mini.batch": "one fault batch end to end",
+    "mini.batch": {"help": "one fault batch end to end", "unit": "us"},
 }

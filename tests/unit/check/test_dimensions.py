@@ -1,0 +1,213 @@
+"""Dimensions-pass tests over the dimproj fixture: every seeded violation
+is detected (stable fingerprint, valid SARIF), every clean idiom stays
+silent, and the lattice/annotation vocabulary behaves."""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.check.program import run_analysis, report_to_json_dict, to_sarif
+from repro.check.program.dims import (
+    BOT,
+    BYTES,
+    COUNT,
+    NONE,
+    PAGE,
+    SIM_US,
+    TOP,
+    WALL_S,
+    DimValue,
+    collect_annotations,
+    join,
+    parse_dim_comment,
+    unit_allows,
+)
+
+REPO = Path(__file__).resolve().parents[3]
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "dimproj"
+LINT_SCHEMA = json.loads(
+    (REPO / "docs" / "schemas" / "lint.schema.json").read_text()
+)
+SARIF_SCHEMA = json.loads(
+    (REPO / "docs" / "schemas" / "sarif-2.1.0-subset.schema.json").read_text()
+)
+
+#: rule id → the fixture module seeded with exactly one violation of it.
+SEEDED = {
+    "dim-mixed-arith": "viol_arith.py",
+    "dim-page-index": "viol_index.py",
+    "dim-time-mix": "viol_time.py",
+    "dim-metric-unit": "viol_metric.py",
+    "dim-shift": "viol_shift.py",
+    "dim-annotation": "viol_annot.py",
+}
+
+
+def analyze(path=FIXTURES, **kw):
+    return run_analysis([path], **kw)
+
+
+def dim_findings(report):
+    return [f for f in report.findings if f.pass_name == "dimensions"]
+
+
+@pytest.fixture()
+def dim_copy(tmp_path):
+    dest = tmp_path / "dimproj"
+    shutil.copytree(FIXTURES, dest)
+    return dest
+
+
+class TestSeededViolations:
+    def test_exactly_one_finding_per_rule_in_its_module(self):
+        findings = dim_findings(analyze())
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule, []).append(f)
+        assert set(by_rule) == set(SEEDED)
+        for rule, module in SEEDED.items():
+            assert len(by_rule[rule]) == 1, rule
+            assert by_rule[rule][0].path.endswith(module), rule
+
+    def test_annotation_rule_is_a_warning_the_rest_errors(self):
+        for f in dim_findings(analyze()):
+            expected = "warning" if f.rule == "dim-annotation" else "error"
+            assert f.severity == expected, f.rule
+
+    def test_clean_module_contributes_nothing(self):
+        assert not any(
+            f.path.endswith("clean.py") or f.path.endswith("units.py")
+            for f in dim_findings(analyze())
+        )
+
+    def test_fixing_the_mixed_add_clears_the_finding(self, dim_copy):
+        mod = dim_copy / "viol_arith.py"
+        src = mod.read_text()
+        mod.write_text(
+            src.replace("return page + addr", "return page_base(page) + addr")
+            .replace("from .units import page_of",
+                     "from .units import page_base, page_of")
+        )
+        rules = {f.rule for f in dim_findings(analyze(dim_copy))}
+        assert "dim-mixed-arith" not in rules
+
+    def test_fingerprints_are_stable_across_runs(self):
+        first = {f.fingerprint for f in dim_findings(analyze())}
+        second = {f.fingerprint for f in dim_findings(analyze())}
+        assert first == second
+        assert all(len(fp) == 16 for fp in first)
+
+    def test_unrelated_edit_keeps_fingerprints(self, dim_copy):
+        before = {
+            f.rule: f.fingerprint for f in dim_findings(analyze(dim_copy))
+        }
+        mod = dim_copy / "viol_arith.py"
+        mod.write_text('"""Moved docstring."""\n\n\n' + mod.read_text())
+        after = {
+            f.rule: f.fingerprint for f in dim_findings(analyze(dim_copy))
+        }
+        assert before == after
+
+
+class TestOutputs:
+    def test_json_report_validates_and_carries_timings(self):
+        payload = report_to_json_dict(analyze())
+        jsonschema.validate(payload, LINT_SCHEMA)
+        assert payload["timings"]["total"] >= payload["timings"]["dimensions"]
+        counts = payload["pass_findings"]["dimensions"]
+        assert counts["raw"] >= counts["new"] >= len(SEEDED)
+
+    def test_sarif_includes_the_dimensions_rule_family(self):
+        report = analyze()
+        sarif = to_sarif(report.findings, report.rules, root=FIXTURES)
+        jsonschema.validate(sarif, SARIF_SCHEMA)
+        run = sarif["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(SEEDED) <= rule_ids
+        reported = {r["ruleId"] for r in run["results"]}
+        assert set(SEEDED) <= reported
+
+
+class TestMetricUnits:
+    def test_missing_unit_fails_metric_drift(self, dim_copy):
+        catalog = dim_copy / "obs_catalog.py"
+        catalog.write_text(
+            catalog.read_text().replace('        "unit": "bytes",\n', "")
+        )
+        findings = [
+            f for f in analyze(dim_copy).findings if f.rule == "metric-no-unit"
+        ]
+        assert len(findings) == 1
+        assert "declares no unit" in findings[0].message
+
+    def test_unknown_unit_fails_metric_drift(self, dim_copy):
+        catalog = dim_copy / "obs_catalog.py"
+        catalog.write_text(
+            catalog.read_text().replace('"unit": "bytes"', '"unit": "furlongs"')
+        )
+        findings = [
+            f for f in analyze(dim_copy).findings if f.rule == "metric-no-unit"
+        ]
+        assert len(findings) == 1
+        assert "furlongs" in findings[0].message
+
+    def test_declared_units_are_checked_not_trusted(self):
+        assert unit_allows("bytes", BYTES)
+        assert not unit_allows("bytes", PAGE)
+        assert not unit_allows("pages", PAGE)  # a page id is not a count
+        assert unit_allows("pages", COUNT)
+        assert unit_allows("us", SIM_US)
+        assert not unit_allows("us", WALL_S)
+
+
+class TestLattice:
+    def test_join_is_commutative_and_absorbs_weak(self):
+        assert join(PAGE, COUNT) == PAGE
+        assert join(COUNT, PAGE) == PAGE
+        assert join(PAGE, NONE) == PAGE
+        assert join(BOT, PAGE) == PAGE
+        assert join(PAGE, BYTES) == TOP
+        assert join(SIM_US, WALL_S) == TOP
+        assert join(TOP, COUNT) == TOP
+
+    def test_dimvalue_join_tracks_container_slots(self):
+        a = DimValue(dim=PAGE, elem=BYTES)
+        b = DimValue(dim=PAGE, elem=COUNT)
+        joined = a.join(b)
+        assert joined.dim == PAGE
+        assert joined.elem == BYTES
+
+
+class TestAnnotationVocabulary:
+    def test_def_line_bindings_and_return(self):
+        ann = parse_dim_comment("def f(a, n):  # dim: a=bytes, n=count -> [page]")
+        assert ann.bindings["a"].dim == BYTES
+        assert ann.bindings["n"].dim == COUNT
+        assert ann.ret.elem == PAGE
+        assert ann.errors == ()
+
+    def test_bare_container_and_key_forms(self):
+        assert parse_dim_comment("x = {}  # dim: {page}").default.key == PAGE
+        assert parse_dim_comment("x = []  # dim: [us]").default.elem == SIM_US
+        assert parse_dim_comment("x = 0  # dim: vablock").default.dim == "vablock"
+
+    def test_docstring_mentions_are_not_annotations(self):
+        lines = [
+            "def f():",
+            '    """Docs may mention # dim: page freely."""',
+            "    x = 1  # dim: page",
+            "    return x",
+        ]
+        parsed, bad = collect_annotations(lines)
+        assert list(parsed) == [3]
+        assert bad == []
+
+    def test_malformed_entry_is_reported_not_guessed(self):
+        ann = parse_dim_comment("x = 1  # dim: pagez")
+        assert ann.default is None
+        assert ann.errors == ("'pagez'",)

@@ -9,6 +9,7 @@ import pytest
 
 from repro.api import UvmSystem
 from repro.config import default_config
+from repro.check.program.dims import UNIT_VOCAB
 from repro.obs.catalog import (
     METRIC_CATALOG,
     SPAN_CATALOG,
@@ -38,7 +39,16 @@ class TestCatalogShape:
             assert spec["kind"] in ("counter", "gauge", "histogram"), name
             assert isinstance(spec["labels"], tuple), name
             assert spec["help"], name
-        assert all(isinstance(v, str) for v in SPAN_CATALOG.values())
+        for name, spec in SPAN_CATALOG.items():
+            assert isinstance(spec, dict), name
+            assert spec["help"], name
+
+    def test_every_entry_declares_a_known_unit(self):
+        for catalog in (METRIC_CATALOG, SPAN_CATALOG):
+            for name, spec in catalog.items():
+                assert spec.get("unit") in UNIT_VOCAB, (
+                    f"{name}: unit {spec.get('unit')!r} not in UNIT_VOCAB"
+                )
 
     def test_helpers(self):
         assert metric_declaration("uvm_faults_total")["kind"] == "counter"

@@ -60,7 +60,7 @@ class TestSimTaintPass:
 
 class TestMetricDriftPass:
     DRIFT_RULES = ("metric-undeclared", "metric-mismatch", "metric-unused",
-                   "span-undeclared")
+                   "span-undeclared", "metric-no-unit")
 
     def drift(self, report):
         return [f for f in report.findings if f.rule in self.DRIFT_RULES]
@@ -112,6 +112,7 @@ class TestMetricDriftPass:
                 '        "kind": "gauge",\n'
                 '        "help": "never emitted",\n'
                 '        "labels": (),\n'
+                '        "unit": "pages",\n'
                 '    },\n'
                 '    "mini_resident_pages": {',
             )

@@ -252,6 +252,7 @@ def _bench_report(**overrides):
             "checkpoint": {"speedup": 6.0},
             "metric_labels": {"speedup": 5.0},
         },
+        "lint": {"total_sec": 3.0},
     }
     for key, value in overrides.items():
         section, leaf = key.split("__")
@@ -303,6 +304,25 @@ class TestBenchGate:
         ok, problems = run_bench_gate(fresh, _bench_report())
         assert not ok
         assert any("wall_sec" in p for p in problems)
+
+    def test_lint_slowdown_vs_baseline_fails(self):
+        fresh = _bench_report(lint__total_sec=5.0)
+        ok, problems = run_bench_gate(fresh, _bench_report())
+        assert not ok
+        assert any("lint.total_sec" in p and "1.5x" in p for p in problems)
+
+    def test_lint_absolute_ceiling_fails(self):
+        fresh = _bench_report(lint__total_sec=45.0)
+        base = _bench_report(lint__total_sec=40.0)
+        ok, problems = run_bench_gate(fresh, base)
+        assert not ok
+        assert any("ceiling" in p for p in problems)
+
+    def test_lint_missing_from_baseline_is_tolerated(self):
+        base = _bench_report()
+        del base["lint"]
+        ok, problems = run_bench_gate(_bench_report(), base)
+        assert ok and problems == []
 
 
 # ---------------------------------------------------------------- rendering
