@@ -8,9 +8,13 @@ that into cheap, repeatable bulk experimentation:
 * :mod:`.spec` — a campaign spec (JSON) expands a cartesian product of
   workloads × configs × seeds (or an explicit run list) into an ordered
   list of cells;
-* :mod:`.runner` — cells fan out across a ``multiprocessing`` worker pool
-  and merge back in spec order, so the output is byte-identical regardless
-  of worker count (``--jobs 1`` == ``--jobs N``);
+* :mod:`.runner` — cells fan out across a supervised worker fleet
+  (:mod:`.fleet`) and merge back in spec order, so the output is
+  byte-identical regardless of worker count (``--jobs 1`` == ``--jobs N``);
+* :mod:`.fleet` / :mod:`.ledger` / :mod:`.worker` — coordinator/worker
+  execution with heartbeat enforcement, failure classification, bounded
+  retries, and CRUM-style checkpoint resume recorded in a persistent
+  SQLite run ledger (``uvm-repro campaign --resume``);
 * :mod:`.cache` — a content-addressed on-disk result cache keyed by
   (canonical config, workload, seed, code version) means unchanged cells
   are never re-simulated;
@@ -22,17 +26,35 @@ See ``docs/performance.md`` for the spec format and determinism guarantee.
 
 from .cache import ResultCache, cache_key, code_version
 from .experiments import run_experiment_cached
+from .fleet import (
+    CampaignInterrupted,
+    FleetChaos,
+    FleetConfig,
+    FleetCoordinator,
+    FleetRetryPolicy,
+)
+from .ledger import RunLedger, spec_hash
 from .runner import CampaignOutcome, run_campaign, to_ndjson
 from .spec import CampaignCell, CampaignSpec
+from .worker import classify_error_type, make_row
 
 __all__ = [
     "CampaignCell",
-    "CampaignSpec",
+    "CampaignInterrupted",
     "CampaignOutcome",
+    "CampaignSpec",
+    "FleetChaos",
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetRetryPolicy",
     "ResultCache",
+    "RunLedger",
     "cache_key",
+    "classify_error_type",
     "code_version",
+    "make_row",
     "run_campaign",
     "run_experiment_cached",
+    "spec_hash",
     "to_ndjson",
 ]

@@ -1,28 +1,47 @@
-"""Campaign execution: cache check, worker-pool fan-out, spec-order merge.
+"""Campaign execution: cache check, supervised fan-out, spec-order merge.
 
 Every cell is a pure function of (workload, config, seed): the simulator is
 deterministic by construction, so the cell summary a worker computes is the
-summary — independent of which process ran it, in what order, or whether it
-came from the cache.  That is the determinism guarantee: the merged row
-list (and its NDJSON serialization) is byte-identical for ``jobs=1`` and
-``jobs=N``, warm or cold cache.
+summary — independent of which process ran it, in what order, whether it
+came from the cache, or whether the attempt resumed a checkpoint.  That is
+the determinism guarantee: the merged row list (and its NDJSON
+serialization) is byte-identical for ``jobs=1`` and ``jobs=N``, warm or
+cold cache, clean run or kill-and-resume.
 
-The parent process owns the cache; workers receive plain picklable
-payloads and return plain dicts, so the pool works under both the ``fork``
-and ``spawn`` start methods.
+Execution modes:
+
+* **serial** (``jobs=1``, no chaos) — cells run inline in this process via
+  :func:`~repro.campaign.worker.execute_cell`; ledger, checkpointing, and
+  resume still work (the serial path is the reference the fleet must match
+  byte-for-byte);
+* **fleet** (``jobs>1`` or a chaos harness) — the supervised
+  coordinator/worker fleet in :mod:`repro.campaign.fleet`: heartbeat
+  enforcement, failure classification, bounded retries, checkpoint resume.
+
+The parent process owns the cache and the ledger; workers receive plain
+picklable payloads and return plain dicts, so the fleet works under both
+the ``fork`` and ``spawn`` start methods.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .cache import ResultCache, cache_key
+from .fleet import CampaignInterrupted, FleetConfig, FleetCoordinator
+from .ledger import RunLedger
 from .spec import CampaignCell, CampaignSpec
-from .telemetry import emit as telemetry_emit
+from .telemetry import CampaignMonitor, emit as telemetry_emit
+from .worker import (
+    checkpoint_path,
+    classify_error_type,
+    discard_cell_checkpoint,
+    execute_cell,
+    make_row,
+)
 
 #: BatchRecord resilience counters summed into each cell summary (same set
 #: as the chaos report).
@@ -38,88 +57,19 @@ _RESILIENCE_COUNTERS = (
 
 @dataclass
 class CampaignOutcome:
-    """A completed campaign: rows in spec order plus cache statistics."""
+    """A completed campaign: rows in spec order plus cache statistics.
+
+    ``resumed`` counts rows replayed verbatim from the ledger; ``fleet`` is
+    the coordinator's report (retries/kills/resumes/deaths plus a metrics
+    snapshot) when the fleet ran, else None.
+    """
 
     spec: CampaignSpec
     rows: List[dict]
     cache_hits: int
     cache_misses: int
-
-
-def _execute_cell(payload: dict) -> dict:
-    """Worker entry point: simulate one cell and summarize it.
-
-    Top-level (picklable) and import-light at module scope: the simulator
-    stack loads inside the worker.  Instruments are forced off — campaign
-    summaries come from batch records and engine counters, both of which
-    exist regardless of observability config, and dark cells run faster.
-    The two optional side-channels ride inside the payload (never through
-    module globals): ``bundle_dir`` arms crash-bundle forensics for this
-    cell, ``telemetry`` is a queue proxy for lifecycle events.
-
-    A failing cell returns a *failure summary* instead of raising — one bad
-    (workload, config, seed) point must not abort a thousand-cell sweep.
-    The failure is deterministic data (error class + message + bundle
-    path), so merged output stays byte-identical across worker counts.
-    """
-    from ..api import UvmSystem
-    from ..workloads import WORKLOAD_REGISTRY
-    from .telemetry import HeartbeatThread, emit
-
-    bundle_dir = payload.pop("bundle_dir", None)
-    telemetry = payload.pop("telemetry", None)
-    cell = CampaignCell(**payload)
-    emit(
-        telemetry,
-        {
-            "type": "job.start",
-            "index": cell.index,
-            "workload": cell.workload,
-            "config": cell.config_label,
-            "seed": cell.seed,
-        },
-    )
-    system = None
-    try:
-        cfg = cell.build_config()
-        if bundle_dir is not None:
-            cfg.obs.bundle_dir = bundle_dir
-        cfg.obs = cfg.obs.disabled()
-        system = UvmSystem(cfg)
-        beat = HeartbeatThread(
-            telemetry, cell.index, lambda: len(system.driver.log)
-        )
-        with beat:
-            result = WORKLOAD_REGISTRY[cell.workload]().run(system)
-        summary = summarize_run(system, result)
-    except Exception as exc:
-        bundle = getattr(system, "engine", None) and system.engine.last_bundle
-        summary = {
-            "failed": True,
-            "error_type": type(exc).__name__,
-            "error": str(exc),
-            "bundle": str(bundle) if bundle else None,
-        }
-        emit(
-            telemetry,
-            {
-                "type": "job.failed",
-                "index": cell.index,
-                "error": summary["error_type"],
-                "bundle": summary["bundle"],
-            },
-        )
-        return summary
-    emit(
-        telemetry,
-        {
-            "type": "job.done",
-            "index": cell.index,
-            "batches": summary["batches"],
-            "clock_usec": summary["clock_usec"],
-        },
-    )
-    return summary
+    resumed: int = 0
+    fleet: Optional[dict] = None
 
 
 def summarize_run(system, result) -> dict:
@@ -149,24 +99,122 @@ def summarize_run(system, result) -> dict:
     }
 
 
-def _make_row(cell: CampaignCell, summary: dict) -> dict:
-    row = {
-        "index": cell.index,
-        "workload": cell.workload,
-        "config": cell.config_label,
-        "seed": cell.seed,
-    }
-    if summary.get("failed"):
-        row["status"] = "failed"
-        row["error"] = {
-            "type": summary["error_type"],
-            "message": summary["error"],
-        }
-        row["bundle"] = summary.get("bundle")
-    else:
-        row["status"] = "ok"
-        row["result"] = summary
-    return row
+def _uses_fleet(jobs: int, fleet_config: Optional[FleetConfig]) -> bool:
+    """Fleet supervision engages for real parallelism or armed chaos; a
+    plain ``jobs=1`` run stays inline (it is the byte-identity reference)."""
+    if jobs > 1:
+        return True
+    return (
+        fleet_config is not None
+        and fleet_config.chaos is not None
+        and not fleet_config.chaos.empty
+    )
+
+
+class _SerialRunner:
+    """Inline (in-process) execution with the same ledger/checkpoint/resume
+    semantics as the fleet — minus supervision, which needs real workers."""
+
+    def __init__(self, rows, monitor, ledger, config: FleetConfig,
+                 cache, bundle_dir) -> None:
+        self.rows = rows
+        self.monitor = monitor
+        self.ledger = ledger
+        self.config = config
+        self.cache = cache
+        self.bundle_dir = bundle_dir
+
+    def _checkpoint_file(self, index: int) -> Optional[str]:
+        if self.config.checkpoint_dir is None:
+            return None
+        return checkpoint_path(self.config.checkpoint_dir, index)
+
+    def _record_events(self, events, attempts: Dict[int, int]) -> None:
+        if self.ledger is None:
+            return
+        for event in events:
+            index = event.get("index")
+            if index not in attempts:
+                continue
+            if event["type"] == "job.checkpoint":
+                self.ledger.job_checkpoint(
+                    index,
+                    attempts[index],
+                    event.get("path", ""),
+                    int(event.get("batches", 0)),
+                )
+            elif event["type"] == "job.resume":
+                self.ledger.job_resumed(
+                    index, attempts[index], int(event.get("batches", 0))
+                )
+
+    def run(self, pending: List[Tuple[CampaignCell, Optional[str]]]) -> None:
+        attempts: Dict[int, int] = {}
+        if self.ledger is not None:
+            for info in self.ledger.jobs():
+                attempts.setdefault(info.index, info.attempts)
+        for cell, key in pending:
+            index = cell.index
+            ckpt = self._checkpoint_file(index)
+            attempt = attempts.get(index, 0) + 1
+            attempts[index] = attempt
+            payload = {
+                "index": index,
+                "workload": cell.workload,
+                "config_label": cell.config_label,
+                "seed": cell.seed,
+                "overrides": cell.overrides,
+                "attempt": attempt,
+                "bundle_dir": os.path.join(self.bundle_dir, f"cell-{index}")
+                if self.bundle_dir is not None
+                else None,
+                "checkpoint_path": ckpt,
+                "checkpoint_every": self.config.checkpoint_every,
+                "heartbeat_sec": self.config.heartbeat_sec,
+                "resume": ckpt is not None and os.path.exists(ckpt),
+                "telemetry": self.monitor.queue
+                if self.monitor is not None
+                else None,
+            }
+            if self.ledger is not None:
+                self.ledger.job_started(index, attempt, payload["resume"])
+            try:
+                summary = execute_cell(payload)
+            except KeyboardInterrupt:
+                if self.ledger is not None:
+                    self.ledger.job_failed(
+                        index, attempt, "interrupt", None, "interrupted"
+                    )
+                if self.monitor is not None:
+                    self._record_events(self.monitor.poll(), attempts)
+                raise CampaignInterrupted(self.rows)
+            row = make_row(cell, summary)
+            self.rows[index] = row
+            if summary.get("failed"):
+                failure_class = classify_error_type(summary["error_type"])
+                if self.monitor is not None:
+                    telemetry_emit(
+                        self.monitor.queue,
+                        {
+                            "type": "job.failed",
+                            "index": index,
+                            "error": summary["error_type"],
+                            "class": failure_class,
+                            "bundle": summary.get("bundle"),
+                        },
+                    )
+                if self.ledger is not None:
+                    self.ledger.job_failed(
+                        index, attempt, failure_class, row, summary["error"]
+                    )
+            else:
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, {"result": summary})
+                if self.ledger is not None:
+                    self.ledger.job_done(index, attempt, row)
+                discard_cell_checkpoint(ckpt)
+            if self.monitor is not None:
+                self._record_events(self.monitor.poll(), attempts)
 
 
 def run_campaign(
@@ -174,97 +222,132 @@ def run_campaign(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     bundle_dir: Optional[str] = None,
-    monitor=None,
+    monitor: Optional[CampaignMonitor] = None,
+    ledger: Optional[RunLedger] = None,
+    resume: bool = False,
+    fleet_config: Optional[FleetConfig] = None,
 ) -> CampaignOutcome:
     """Run every cell of ``spec``; rows come back in spec order.
 
     ``bundle_dir`` arms per-cell crash-bundle forensics (cell ``i`` writes
     under ``<bundle_dir>/cell-<i>``).  ``monitor`` is an optional
     :class:`~repro.campaign.telemetry.CampaignMonitor`: workers stream
-    lifecycle events onto its queue and the runner polls it while the pool
-    works.  Neither changes the merged rows — telemetry is a side-channel
-    and bundle paths are a pure function of the spec — so byte-identity
-    across worker counts and cache temperatures holds with both on.
+    lifecycle events onto it and the runner polls it while cells execute.
+    ``ledger`` persists per-job state for crash recovery; with
+    ``resume=True`` it replays already-``done`` rows verbatim and restarts
+    the rest — from their latest engine checkpoint when one exists.
+    ``fleet_config`` tunes the supervised fleet (retry budget, stall
+    timeout, chaos harness).  None of these change the merged rows —
+    telemetry is a side-channel, bundle/checkpoint paths are a pure
+    function of the spec, and resumed cells summarize identically — so
+    byte-identity holds across worker counts, cache temperatures, kill
+    patterns, and resume paths.
+
+    Raises :class:`~repro.campaign.fleet.CampaignInterrupted` on Ctrl-C
+    after draining finished rows to the ledger and reaping every worker.
     """
+    config = fleet_config if fleet_config is not None else FleetConfig()
+    if config.checkpoint_dir is None and ledger is not None:
+        config.checkpoint_dir = f"{ledger.path}.ckpt.d"
+    if config.checkpoint_dir is not None:
+        os.makedirs(config.checkpoint_dir, exist_ok=True)
+
     rows: List[Optional[dict]] = [None] * len(spec.cells)
+    resumed = 0
+    if ledger is not None:
+        ledger.begin(spec, resume=resume)
+        if resume:
+            for index, row in ledger.completed_rows().items():
+                rows[index] = row
+            resumed = len(spec.cells) - rows.count(None)
+
     pending: List[Tuple[CampaignCell, Optional[str]]] = []
     for cell in spec.cells:
+        if rows[cell.index] is not None:
+            continue
         key = None
         if cache is not None:
             key = cache_key(cell.workload, cell.seed, cell.build_config())
             entry = cache.get(key)
             if entry is not None:
-                rows[cell.index] = _make_row(cell, entry["result"])
+                rows[cell.index] = make_row(cell, entry["result"])
+                if ledger is not None:
+                    ledger.job_cached(cell.index, rows[cell.index])
                 continue
         pending.append((cell, key))
 
-    telemetry = monitor.queue if monitor is not None else None
-    if monitor is not None:
-        telemetry_emit(
-            telemetry,
-            {
-                "type": "campaign.start",
-                "name": spec.name,
-                "cells": len(spec.cells),
-                "cached": len(spec.cells) - len(pending),
-            },
+    use_fleet = _uses_fleet(jobs, fleet_config) and bool(pending)
+    own_monitor = False
+    if monitor is None and (use_fleet or ledger is not None):
+        # Supervision and ledger event folding both consume telemetry; spin
+        # up a quiet in-process monitor when the caller did not provide one.
+        monitor = CampaignMonitor(
+            len(spec.cells),
+            stall_timeout_sec=config.stall_timeout_sec,
+            mp_safe=False,
         )
-        monitor.poll()
+        own_monitor = True
 
-    if pending:
-        payloads = [
-            {
-                "index": cell.index,
-                "workload": cell.workload,
-                "config_label": cell.config_label,
-                "seed": cell.seed,
-                "overrides": cell.overrides,
-                "bundle_dir": os.path.join(bundle_dir, f"cell-{cell.index}")
-                if bundle_dir is not None
-                else None,
-                "telemetry": telemetry,
-            }
-            for cell, _ in pending
-        ]
-        if jobs <= 1 or len(pending) == 1:
-            summaries = []
-            for payload in payloads:
-                summaries.append(_execute_cell(payload))
-                if monitor is not None:
-                    monitor.poll()
-        else:
-            with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
-                async_result = pool.map_async(_execute_cell, payloads)
-                while monitor is not None and not async_result.ready():
-                    monitor.poll()
-                    async_result.wait(0.25)
-                summaries = async_result.get()
-        for (cell, key), summary in zip(pending, summaries):
-            rows[cell.index] = _make_row(cell, summary)
-            if cache is not None and key is not None and not summary.get("failed"):
-                cache.put(key, {"result": summary})
+    fleet_report: Optional[dict] = None
+    try:
+        if monitor is not None:
+            telemetry_emit(
+                monitor.queue,
+                {
+                    "type": "campaign.resume" if resume else "campaign.start",
+                    "name": spec.name,
+                    "cells": len(spec.cells),
+                    "cached": len(spec.cells) - len(pending),
+                },
+            )
+            monitor.poll()
 
-    if monitor is not None:
-        telemetry_emit(
-            telemetry,
-            {
-                "type": "campaign.done",
-                "hits": cache.hits if cache is not None else 0,
-                "misses": cache.misses
-                if cache is not None
-                else len(spec.cells),
-                "failed": sum(
-                    1 for row in rows if row and row.get("status") == "failed"
-                ),
-            },
-        )
-        monitor.poll()
+        if pending:
+            if use_fleet:
+                coordinator = FleetCoordinator(
+                    pending,
+                    rows,
+                    jobs,
+                    config,
+                    cache=cache,
+                    bundle_dir=bundle_dir,
+                    monitor=monitor,
+                    ledger=ledger,
+                )
+                report = coordinator.run()
+                report["metrics"] = coordinator.metrics.snapshot()
+                fleet_report = report
+            else:
+                _SerialRunner(
+                    rows, monitor, ledger, config, cache, bundle_dir
+                ).run(pending)
+
+        if monitor is not None:
+            telemetry_emit(
+                monitor.queue,
+                {
+                    "type": "campaign.done",
+                    "hits": cache.hits if cache is not None else 0,
+                    "misses": cache.misses
+                    if cache is not None
+                    else len(spec.cells),
+                    "failed": sum(
+                        1 for row in rows if row and row.get("status") == "failed"
+                    ),
+                },
+            )
+            monitor.poll()
+    finally:
+        if own_monitor:
+            monitor.close()
 
     return CampaignOutcome(
         spec=spec,
         rows=rows,
         cache_hits=cache.hits if cache is not None else 0,
         cache_misses=cache.misses if cache is not None else len(spec.cells),
+        resumed=resumed,
+        fleet=fleet_report,
     )
 
 
@@ -272,7 +355,7 @@ def to_ndjson(rows: List[dict]) -> str:
     """Canonical NDJSON: one sorted-key, compact JSON object per row.
 
     This is the byte-identity surface — same spec, same sources ⇒ same
-    bytes, whatever the worker count or cache temperature.
+    bytes, whatever the worker count, kill pattern, or resume path.
     """
     return "".join(
         json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"

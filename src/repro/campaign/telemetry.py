@@ -5,7 +5,10 @@ rows": a wedged worker looked exactly like a slow one.  This module adds a
 side-channel — workers emit small lifecycle events (``job.start``,
 ``heartbeat``, ``job.done``, ``job.failed``) onto a shared queue; the parent
 drains it into an NDJSON telemetry file and a live progress state that
-``uvm-repro campaign --watch`` renders between refreshes.
+``uvm-repro campaign --watch`` renders between refreshes.  The fleet
+coordinator (:mod:`repro.campaign.fleet`) additionally *acts* on the same
+stream: heartbeat silence past the stall timeout escalates to SIGTERM then
+SIGKILL, and checkpoint/resume events land in the run ledger.
 
 The channel is strictly *observational*: telemetry rides next to the result
 path, never through it, so the merged campaign NDJSON stays byte-identical
@@ -15,10 +18,14 @@ state — the ``mp-global-write`` whole-program pass would flag either), and
 every event is a plain picklable dict, so the channel works under both the
 ``fork`` and ``spawn`` start methods.
 
-Wall-clock time is confined to the parent-side monitor (arrival stamps,
-rates, stall detection) and the worker heartbeat timer; the simulator itself
-never sees it.  Event times are therefore *host* seconds — they order and
-pace the campaign but carry no simulation meaning.
+Two host clocks are deliberately kept apart.  NDJSON arrival stamps (the
+``t`` field) are *wall-clock* seconds since campaign start — they are a
+persistent artifact people correlate with logs and dashboards.  Liveness
+bookkeeping (``started_at``/``last_seen``, the stall detector, rates and
+ETA) runs on ``time.monotonic()``: an NTP step or a laptop suspend must not
+spuriously flag a healthy worker as stalled — or worse, hide a genuinely
+wedged one by jumping the wall clock backwards.  The simulator itself never
+sees either clock.
 """
 
 from __future__ import annotations
@@ -34,13 +41,23 @@ from typing import Callable, Dict, List, Optional
 #: Seconds between worker heartbeats while a job simulates.
 HEARTBEAT_INTERVAL_SEC = 1.0
 
-#: Event types a campaign emits (the telemetry NDJSON vocabulary).
+#: Event types a campaign emits (the telemetry NDJSON vocabulary).  The
+#: ``job.checkpoint``/``job.resume``/``job.retry``/``job.kill`` and
+#: ``worker.*`` events exist only under the fleet coordinator; a plain
+#: serial run emits the original six.
 EVENT_TYPES = (
     "campaign.start",
+    "campaign.resume",
     "job.start",
     "heartbeat",
+    "job.checkpoint",
+    "job.resume",
+    "job.retry",
+    "job.kill",
     "job.done",
     "job.failed",
+    "worker.spawn",
+    "worker.exit",
     "campaign.done",
 )
 
@@ -97,6 +114,12 @@ class HeartbeatThread:
                 {"type": "heartbeat", "index": self._index, "batches": batches},
             )
 
+    def stop(self) -> None:
+        """Stop beating *now* — the fleet's kill harness calls this before a
+        self-inflicted SIGKILL so the thread cannot die mid-``put`` and
+        strand a queue lock."""
+        self._stop.set()
+
     def __enter__(self) -> "HeartbeatThread":
         if self._channel is not None:
             self._thread.start()
@@ -111,15 +134,19 @@ class HeartbeatThread:
 
 @dataclass
 class JobState:
-    """What the parent knows about one in-flight job."""
+    """What the parent knows about one in-flight job.
+
+    ``started_at``/``last_seen`` are ``time.monotonic()`` readings — liveness
+    bookkeeping, never serialized into the telemetry file.
+    """
 
     index: int
     workload: str
     config: str
     seed: int
     batches: int = 0
-    started_at: float = 0.0
-    last_seen: float = 0.0
+    started_at: float = 0.0  # dim: [wall]
+    last_seen: float = 0.0  # dim: [wall]
 
 
 @dataclass
@@ -131,8 +158,9 @@ class CampaignProgress:
     cached: int = 0
     done: int = 0
     failed: int = 0
+    retried: int = 0
     batches_done: int = 0
-    started_at: float = 0.0
+    started_at: float = 0.0  # dim: [wall]
     running: Dict[int, JobState] = field(default_factory=dict)
 
     @property
@@ -146,10 +174,14 @@ class CampaignProgress:
 
 
 def apply_event(progress: CampaignProgress, event: dict, now: float) -> None:
-    """Fold one telemetry event into the progress state."""
+    """Fold one telemetry event into the progress state.
+
+    ``now`` is a ``time.monotonic()`` reading (anything comparable works for
+    the pure-function tests) — it feeds liveness state only.
+    """
     etype = event.get("type")
     index = event.get("index")
-    if etype == "campaign.start":
+    if etype in ("campaign.start", "campaign.resume"):
         progress.started_at = now
         progress.cached = int(event.get("cached", 0))
     elif etype == "job.start":
@@ -161,7 +193,7 @@ def apply_event(progress: CampaignProgress, event: dict, now: float) -> None:
             started_at=now,
             last_seen=now,
         )
-    elif etype == "heartbeat":
+    elif etype in ("heartbeat", "job.checkpoint", "job.resume"):
         job = progress.running.get(index)
         if job is not None:
             job.batches = int(event.get("batches", job.batches))
@@ -172,6 +204,11 @@ def apply_event(progress: CampaignProgress, event: dict, now: float) -> None:
         progress.batches_done += int(
             event.get("batches", job.batches if job else 0)
         )
+    elif etype == "job.retry":
+        # The attempt died but the job is not finally failed: it leaves the
+        # running set and will come back with a fresh job.start.
+        progress.running.pop(index, None)
+        progress.retried += 1
     elif etype == "job.failed":
         progress.running.pop(index, None)
         progress.failed += 1
@@ -203,10 +240,11 @@ def render_progress(
     elapsed = max(0.0, now - progress.started_at)
     rate = progress.batches_done / elapsed if elapsed > 0 else 0.0
     hit_rate = progress.cached / progress.total if progress.total else 0.0
+    retries = f", {progress.retried} retried" if progress.retried else ""
     lines = [
         f"campaign: {progress.finished}/{progress.total} cells "
         f"({progress.done} run, {progress.cached} cached, "
-        f"{progress.failed} failed) | {len(progress.running)} running",
+        f"{progress.failed} failed{retries}) | {len(progress.running)} running",
         f"  batches/sec {rate:.1f} | cache hit rate {hit_rate:.0%} "
         f"| elapsed {elapsed:.0f}s | eta {format_eta(progress, now)}",
     ]
@@ -242,10 +280,16 @@ class CampaignMonitor:
     """Parent-side telemetry endpoint: queue owner, NDJSON writer, progress.
 
     One monitor per campaign run.  ``poll()`` drains every queued event,
-    stamps it with arrival time (seconds since campaign start, so telemetry
-    files diff cleanly), appends it to the NDJSON file, and folds it into
-    :attr:`progress`.  The runner calls ``poll()`` between pool waits; the
-    CLI additionally renders :func:`render_progress` after each poll.
+    stamps it with arrival time (wall seconds since campaign start, so
+    telemetry files diff cleanly), appends it to the NDJSON file, and folds
+    it into :attr:`progress` using the monotonic clock.  The runner calls
+    ``poll()`` between waits; the CLI additionally renders
+    :func:`render_progress` after each poll.
+
+    ``mp_safe`` forces a process-shareable queue even for one worker (the
+    fleet coordinator always talks to real child processes); ``queue``
+    plugs in an externally owned channel instead — the monitor then never
+    creates or shuts down a manager of its own.
     """
 
     def __init__(
@@ -256,6 +300,8 @@ class CampaignMonitor:
         stall_timeout_sec: Optional[float] = None,
         watch: bool = False,
         stream=None,
+        mp_safe: Optional[bool] = None,
+        queue=None,
     ) -> None:
         self.progress = CampaignProgress(total=total_cells)
         self.stall_timeout_sec = stall_timeout_sec
@@ -265,14 +311,17 @@ class CampaignMonitor:
         self._path = path
         self._fh = open(path, "w", encoding="utf-8") if path else None
         self._manager = None
-        if jobs > 1:
+        if queue is not None:
+            self.queue = queue
+        elif mp_safe or (mp_safe is None and jobs > 1):
             import multiprocessing
 
             self._manager = multiprocessing.Manager()
             self.queue = self._manager.Queue()
         else:
             self.queue = queue_mod.Queue()
-        self._t0 = time.time()
+        self._t0_wall = time.time()
+        self._t0_mono = time.monotonic()
 
     # ------------------------------------------------------------- ingestion
 
@@ -286,10 +335,9 @@ class CampaignMonitor:
                 break
             except (EOFError, OSError, ConnectionError):
                 break
-            now = time.time()
             event = dict(event)
-            event["t"] = round(now - self._t0, 3)
-            apply_event(self.progress, event, now)
+            event["t"] = round(time.time() - self._t0_wall, 3)
+            apply_event(self.progress, event, time.monotonic())
             if self._fh is not None:
                 self._fh.write(
                     json.dumps(event, sort_keys=True, separators=(",", ":"))
@@ -307,13 +355,15 @@ class CampaignMonitor:
 
     def render(self) -> str:
         return render_progress(
-            self.progress, time.time(), self.stall_timeout_sec
+            self.progress, time.monotonic(), self.stall_timeout_sec
         )
 
     def stalled(self) -> List[JobState]:
         if self.stall_timeout_sec is None:
             return []
-        return stalled_jobs(self.progress, time.time(), self.stall_timeout_sec)
+        return stalled_jobs(
+            self.progress, time.monotonic(), self.stall_timeout_sec
+        )
 
     # -------------------------------------------------------------- lifecycle
 

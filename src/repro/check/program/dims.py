@@ -213,7 +213,8 @@ def is_units_module(module_name: str) -> bool:
 UNIT_VOCAB = frozenset(
     {"bytes", "pages", "us", "wall_s", "count", "batches", "faults",
      "kernels", "rounds", "vablocks", "bursts", "ops", "retries",
-     "violations", "bundles", "recoveries", "evictions"}
+     "violations", "bundles", "recoveries", "evictions", "kills",
+     "resumes", "writes"}
 )
 
 #: catalog unit → the strong dim an argument is *allowed* to carry.

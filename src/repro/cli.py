@@ -29,11 +29,15 @@ Subcommands:
   and print the chaos verdict (same JSON/exit-code contract as
   ``validate``; ``--list-profiles`` shows the bundled profiles);
 * ``campaign <spec.json>`` — expand a campaign spec (workloads × configs ×
-  seeds) and run every cell across a worker pool with a content-addressed
-  result cache; the NDJSON output is byte-identical for any ``--jobs``
-  value (see ``docs/performance.md``); ``--watch`` renders live progress
-  from worker telemetry, ``--telemetry`` logs the lifecycle events,
-  ``--bundle-dir`` arms per-cell crash bundles;
+  seeds) and run every cell across a supervised worker fleet with a
+  content-addressed result cache; the NDJSON output is byte-identical for
+  any ``--jobs`` value, kill pattern, or resume path (see
+  ``docs/performance.md`` and ``docs/fleet.md``); ``--watch`` renders live
+  progress from worker telemetry, ``--telemetry`` logs the lifecycle
+  events, ``--bundle-dir`` arms per-cell crash bundles, ``--ledger`` +
+  ``--resume`` persist per-job state for crash recovery, and
+  ``--kill-worker``/``--hang-worker`` arm the fleet's chaos harness
+  (exit 0 clean / 1 failed cells / 2 usage error or interrupt);
 * ``analyze <input...>`` — post-hoc report over observability NDJSON logs
   or crash-bundle directories: fault-latency percentiles, per-phase stall
   attribution, overflow-storm/thrashing detectors; ``--diff A B`` compares
@@ -228,11 +232,39 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write worker lifecycle events (job start/done/"
                           "failed, heartbeats) to an NDJSON file")
     cam.add_argument("--stall-timeout", type=float, default=30.0,
-                     help="seconds of worker silence before a job is "
-                          "flagged stalled in --watch (default 30)")
+                     help="seconds of heartbeat silence before the fleet "
+                          "escalates a stalled worker SIGTERM->SIGKILL "
+                          "(and --watch flags it; default 30)")
     cam.add_argument("--bundle-dir", default=None,
                      help="arm per-cell crash bundles under this directory "
                           "(cell i writes <dir>/cell-<i>)")
+    cam.add_argument("--ledger", default=None, metavar="PATH",
+                     help="persistent SQLite run ledger (per-job state, "
+                          "attempts, checkpoints); default <out>.ledger "
+                          "when --resume is given")
+    cam.add_argument("--resume", action="store_true",
+                     help="resume a previous run from its ledger: done "
+                          "rows replay verbatim, half-finished jobs "
+                          "restart from their latest checkpoint")
+    cam.add_argument("--max-attempts", type=int, default=3,
+                     help="fleet retry budget per job for transient "
+                          "failure classes (crash/hang/oom; default 3)")
+    cam.add_argument("--term-grace", type=float, default=5.0,
+                     help="seconds between SIGTERM and SIGKILL when "
+                          "escalating a stalled worker (default 5)")
+    cam.add_argument("--checkpoint-every", type=int, default=8,
+                     help="cell auto-checkpoint cadence in serviced "
+                          "batches, when a ledger is active (default 8)")
+    cam.add_argument("--kill-worker", action="append", default=[],
+                     metavar="IDX:BATCH",
+                     help="chaos harness: SIGKILL the worker running cell "
+                          "IDX at batch BATCH (first attempt only; "
+                          "repeatable)")
+    cam.add_argument("--hang-worker", action="append", default=[],
+                     metavar="IDX:BATCH",
+                     help="chaos harness: SIGSTOP the worker running cell "
+                          "IDX at batch BATCH so stall escalation engages "
+                          "(first attempt only; repeatable)")
 
     an = sub.add_parser(
         "analyze",
@@ -676,7 +708,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "campaign":
         from pathlib import Path
 
-        from .campaign import CampaignSpec, ResultCache, run_campaign, to_ndjson
+        from .campaign import (
+            CampaignInterrupted,
+            CampaignSpec,
+            FleetChaos,
+            FleetConfig,
+            FleetRetryPolicy,
+            ResultCache,
+            RunLedger,
+            run_campaign,
+            to_ndjson,
+        )
         from .errors import ConfigError
 
         try:
@@ -690,18 +732,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.jobs < 1:
             print("error: --jobs must be >= 1", file=sys.stderr)
             return 2
+        try:
+            chaos = FleetChaos.parse(args.kill_worker, args.hang_worker)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        out_path = Path(args.out) if args.out else Path(f"{spec.name}.ndjson")
+        ledger_path = args.ledger
+        if ledger_path is None and args.resume:
+            ledger_path = f"{out_path}.ledger"
         cache = None if args.no_cache else ResultCache(args.cache_dir)
+        fleet_config = FleetConfig(
+            retry=FleetRetryPolicy(max_attempts=max(1, args.max_attempts)),
+            stall_timeout_sec=args.stall_timeout,
+            term_grace_sec=args.term_grace,
+            checkpoint_every=args.checkpoint_every,
+            chaos=None if chaos.empty else chaos,
+        )
         monitor = None
         if args.watch or args.telemetry:
             from .campaign.telemetry import CampaignMonitor
 
             monitor = CampaignMonitor(
                 len(spec.cells),
-                jobs=args.jobs,
                 path=args.telemetry,
                 stall_timeout_sec=args.stall_timeout,
                 watch=args.watch,
+                mp_safe=False,
             )
+        ledger = RunLedger(ledger_path) if ledger_path is not None else None
         t0 = time.perf_counter()
         try:
             outcome = run_campaign(
@@ -710,12 +769,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cache=cache,
                 bundle_dir=args.bundle_dir,
                 monitor=monitor,
+                ledger=ledger,
+                resume=args.resume,
+                fleet_config=fleet_config,
             )
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except CampaignInterrupted as exc:
+            # Finished rows are safe in the ledger; write what resolved and
+            # leave the rest to `campaign --resume`.
+            done = [row for row in exc.rows if row is not None]
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(to_ndjson(done), encoding="utf-8")
+            print(f"interrupted: {exc}", file=sys.stderr)
+            if ledger is not None:
+                print(
+                    f"resume with: uvm-repro campaign {args.spec} --resume "
+                    f"--ledger {ledger.path}",
+                    file=sys.stderr,
+                )
+            return 2
         finally:
+            if ledger is not None:
+                ledger.close()
             if monitor is not None:
                 monitor.close()
         wall = time.perf_counter() - t0
-        out_path = Path(args.out) if args.out else Path(f"{spec.name}.ndjson")
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(to_ndjson(outcome.rows), encoding="utf-8")
         ok_rows = [row for row in outcome.rows if row["status"] == "ok"]
@@ -726,6 +806,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"jobs={args.jobs}, cache hits {outcome.cache_hits}, "
             f"misses {outcome.cache_misses}"
         )
+        if outcome.resumed:
+            print(f"resumed: {outcome.resumed} rows replayed from ledger")
+        if outcome.fleet is not None:
+            print(
+                f"fleet: {outcome.fleet['retries']} retries, "
+                f"{outcome.fleet['kills']} kills, "
+                f"{outcome.fleet['resumes']} checkpoint resumes, "
+                f"{outcome.fleet['worker_deaths']} worker deaths"
+            )
         print(
             f"wrote {out_path} (simulated {sim_total / 1e6:.2f}s total, "
             f"wall {wall:.1f}s)"

@@ -118,6 +118,30 @@ METRIC_CATALOG: Dict[str, dict] = {
         "help": "Faults fetched from the HW buffer",
         "unit": "faults",
     },
+    "uvm_fleet_kills_total": {
+        "kind": "counter",
+        "labels": ("signal",),
+        "help": "Worker kill escalations by signal",
+        "unit": "kills",
+    },
+    "uvm_fleet_ledger_writes_total": {
+        "kind": "counter",
+        "labels": (),
+        "help": "Run-ledger mutations committed",
+        "unit": "writes",
+    },
+    "uvm_fleet_resumes_total": {
+        "kind": "counter",
+        "labels": (),
+        "help": "Jobs resumed from an engine checkpoint",
+        "unit": "resumes",
+    },
+    "uvm_fleet_retries_total": {
+        "kind": "counter",
+        "labels": ("class",),
+        "help": "Fleet-level job retries by failure class",
+        "unit": "retries",
+    },
     "uvm_hostos_total": {
         "kind": "counter",
         "labels": ("op",),

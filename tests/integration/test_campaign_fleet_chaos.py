@@ -1,0 +1,270 @@
+"""Integration tests for the supervised campaign fleet.
+
+The robustness contract under test: a campaign survives worker deaths and
+hangs — killed jobs are classified, retried with bounded backoff, and
+resumed from their latest engine checkpoint — and the merged NDJSON stays
+byte-identical to an uninterrupted ``--jobs 1`` run for any kill pattern
+or resume path.  The chaos harness (``kill_at``/``hang_at``) makes the
+process-level faults deterministic: "the worker running cell 0 dies at
+batch 10" reproduces exactly.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.campaign import (
+    CampaignInterrupted,
+    CampaignSpec,
+    FleetChaos,
+    FleetConfig,
+    FleetRetryPolicy,
+    RunLedger,
+    run_campaign,
+    to_ndjson,
+)
+from repro.cli import main
+
+#: stream cells run ~40 batches at 32 MiB — long enough to checkpoint,
+#: kill, and resume mid-flight.
+SPEC_DOC = {
+    "name": "fleet-itest",
+    "workloads": ["stream"],
+    "configs": [{"label": "base", "overrides": {}}],
+    "seeds": [1, 2],
+    "base_overrides": {"gpu.memory_bytes": 33554432},
+}
+
+FAST_RETRY = FleetRetryPolicy(max_attempts=3, backoff_base_sec=0.05)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return CampaignSpec.from_dict(SPEC_DOC)
+
+
+@pytest.fixture(scope="module")
+def clean_ndjson(spec):
+    return to_ndjson(run_campaign(spec, jobs=1).rows)
+
+
+def _fleet_config(**kwargs):
+    defaults = dict(
+        retry=FAST_RETRY,
+        stall_timeout_sec=15.0,
+        checkpoint_every=4,
+        heartbeat_sec=0.2,
+    )
+    defaults.update(kwargs)
+    return FleetConfig(**defaults)
+
+
+# Two chaos profiles (which cell dies) × two seeds drawing the kill batch
+# at a randomized point mid-run: the satellite contract for crash/resume
+# coverage.  The draw is seeded, so every run replays the same points.
+KILL_PROFILES = [
+    pytest.param(cell, seed, id=f"cell{cell}-draw{seed}")
+    for cell in (0, 1)
+    for seed in (101, 202)
+]
+
+
+class TestKillRetryResume:
+    @pytest.mark.parametrize(("cell", "draw_seed"), KILL_PROFILES)
+    def test_sigkill_mid_cell_is_retried_and_resumed(
+        self, spec, clean_ndjson, tmp_path, cell, draw_seed
+    ):
+        kill_batch = random.Random(draw_seed).randrange(6, 38)
+        config = _fleet_config(chaos=FleetChaos(kill_at={cell: kill_batch}))
+        with RunLedger(tmp_path / "run.ledger") as ledger:
+            outcome = run_campaign(
+                spec, jobs=2, ledger=ledger, fleet_config=config
+            )
+            assert to_ndjson(outcome.rows) == clean_ndjson
+            assert outcome.fleet["worker_deaths"] == 1
+            assert outcome.fleet["retries"] == 1
+            assert outcome.fleet["resumes"] == 1
+            events = [t["event"] for t in ledger.transitions(cell)]
+            # Retried and resumed — not rerun from scratch.
+            assert "retry" in events
+            resume_idx = events.index("resume")
+            assert events[resume_idx - 1] == "start"
+            detail = ledger.transitions(cell)[resume_idx]["detail"]
+            assert int(detail.split("=")[1]) > 0  # resumed past batch 0
+            assert ledger.job(cell).state == "done"
+
+    def test_metrics_snapshot_records_the_chaos(self, spec, tmp_path):
+        config = _fleet_config(chaos=FleetChaos(kill_at={0: 10}))
+        outcome = run_campaign(spec, jobs=2, fleet_config=config,
+                               ledger=RunLedger(tmp_path / "l"))
+        metrics = outcome.fleet["metrics"]
+        retry_series = metrics["uvm_fleet_retries_total"]["series"]
+        assert retry_series == [{"labels": {"class": "crash"}, "value": 1.0}]
+        assert metrics["uvm_fleet_resumes_total"]["series"][0]["value"] == 1.0
+        assert (
+            metrics["uvm_fleet_ledger_writes_total"]["series"][0]["value"] > 0
+        )
+
+
+class TestHangEscalation:
+    def test_stalled_worker_is_escalated_within_timeout(
+        self, spec, clean_ndjson, tmp_path
+    ):
+        config = _fleet_config(
+            stall_timeout_sec=1.0,
+            term_grace_sec=0.3,
+            chaos=FleetChaos(hang_at={0: 10}),
+        )
+        with RunLedger(tmp_path / "run.ledger") as ledger:
+            outcome = run_campaign(
+                spec, jobs=1, ledger=ledger, fleet_config=config
+            )
+            assert to_ndjson(outcome.rows) == clean_ndjson
+            # SIGTERM cannot reach a SIGSTOPped process; the grace period
+            # lapses and SIGKILL finishes the escalation.
+            assert outcome.fleet["kills"] == 2
+            details = [
+                t["detail"] for t in ledger.transitions(0)
+                if t["event"] == "kill"
+            ]
+            assert details == ["SIGTERM", "SIGKILL"]
+            retries = [
+                t for t in ledger.transitions(0) if t["event"] == "retry"
+            ]
+            assert retries and retries[0]["detail"].startswith("hang:")
+
+
+class TestCoordinatorRestart:
+    def test_failed_run_resumes_from_checkpoint(
+        self, spec, clean_ndjson, tmp_path
+    ):
+        """Exhaust the retry budget so the first campaign *fails* the killed
+        cell, then ``--resume``: the second coordinator must replay done
+        rows verbatim and restart the failed cell from its checkpoint."""
+        ledger_path = tmp_path / "run.ledger"
+        chaos = FleetChaos(kill_at={0: 10})
+        with RunLedger(ledger_path) as ledger:
+            first = run_campaign(
+                spec,
+                jobs=2,
+                ledger=ledger,
+                fleet_config=_fleet_config(
+                    retry=FleetRetryPolicy(max_attempts=1), chaos=chaos
+                ),
+            )
+            assert first.rows[0]["status"] == "failed"
+            assert first.rows[0]["error"]["class"] == "crash"
+            assert first.rows[1]["status"] == "ok"
+        with RunLedger(ledger_path) as ledger:
+            second = run_campaign(
+                spec, jobs=2, ledger=ledger, resume=True,
+                fleet_config=_fleet_config(),
+            )
+            assert to_ndjson(second.rows) == clean_ndjson
+            assert second.resumed == 1  # the ok row replayed verbatim
+            events = [t["event"] for t in ledger.transitions(0)]
+            assert "resume" in events  # restarted from checkpoint, not scratch
+
+    def test_stale_running_rows_fail_on_restart(self, spec, tmp_path):
+        ledger_path = tmp_path / "run.ledger"
+        with RunLedger(ledger_path) as ledger:
+            ledger.begin(spec)
+            ledger.job_started(0, 1, resume=False)
+        with RunLedger(ledger_path) as ledger:
+            outcome = run_campaign(spec, jobs=1, ledger=ledger, resume=True)
+            # The stale row was distrusted and rerun to completion.
+            assert outcome.rows[0]["status"] == "ok"
+            assert any(
+                t["event"] == "stale-failed" for t in ledger.transitions(0)
+            )
+
+
+class TestInterrupt:
+    def test_serial_interrupt_drains_finished_rows(
+        self, spec, tmp_path, monkeypatch
+    ):
+        """Ctrl-C mid-campaign: finished rows reach the ledger, the
+        in-flight job is marked failed/interrupt, and the caller gets
+        CampaignInterrupted with the partial rows."""
+        from repro.campaign import runner as runner_mod
+
+        real = runner_mod.execute_cell
+        calls = []
+
+        def flaky(payload):
+            calls.append(payload["index"])
+            if len(calls) == 2:
+                raise KeyboardInterrupt()
+            return real(payload)
+
+        monkeypatch.setattr(runner_mod, "execute_cell", flaky)
+        with RunLedger(tmp_path / "run.ledger") as ledger:
+            with pytest.raises(CampaignInterrupted) as excinfo:
+                run_campaign(spec, jobs=1, ledger=ledger)
+            rows = excinfo.value.rows
+            assert rows[0] is not None and rows[0]["status"] == "ok"
+            assert rows[1] is None
+            assert ledger.job(0).state == "done"
+            interrupted = ledger.job(1)
+            assert interrupted.state == "failed"
+            assert interrupted.failure_class == "interrupt"
+
+    def test_cli_maps_interrupt_to_exit_2(self, spec, tmp_path, monkeypatch):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_DOC), encoding="utf-8")
+        import repro.cli as cli_mod
+
+        def interrupted(*args, **kwargs):
+            raise CampaignInterrupted([None] * len(spec.cells))
+
+        monkeypatch.setattr("repro.campaign.runner.run_campaign", interrupted)
+        monkeypatch.setattr("repro.campaign.run_campaign", interrupted)
+        rc = cli_mod.main(
+            ["campaign", str(spec_path), "--out",
+             str(tmp_path / "out.ndjson"), "--no-cache"]
+        )
+        assert rc == 2
+
+
+class TestCliChaosRoundTrip:
+    def test_kill_fail_then_resume_byte_identical(
+        self, clean_ndjson, tmp_path, capsys
+    ):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_DOC), encoding="utf-8")
+        out = tmp_path / "out.ndjson"
+        ledger = tmp_path / "run.ledger"
+        base = [
+            "campaign", str(spec_path), "--out", str(out),
+            "--ledger", str(ledger), "--no-cache", "--jobs", "2",
+            "--checkpoint-every", "4",
+        ]
+        rc = main(base + ["--kill-worker", "0:10", "--max-attempts", "1"])
+        assert rc == 1  # the killed cell exhausted its budget and failed
+        first = out.read_text(encoding="utf-8")
+        assert '"status":"failed"' in first
+
+        rc = main(base + ["--resume"])
+        assert rc == 0
+        assert out.read_text(encoding="utf-8") == clean_ndjson
+        captured = capsys.readouterr().out
+        assert "resumed: 1 rows replayed from ledger" in captured
+
+    def test_malformed_chaos_spec_exits_2(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_DOC), encoding="utf-8")
+        rc = main(
+            ["campaign", str(spec_path), "--kill-worker", "nope",
+             "--out", str(tmp_path / "o.ndjson"), "--no-cache"]
+        )
+        assert rc == 2
+
+    def test_resume_without_ledger_exits_2(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_DOC), encoding="utf-8")
+        rc = main(
+            ["campaign", str(spec_path), "--resume",
+             "--out", str(tmp_path / "o.ndjson"), "--no-cache"]
+        )
+        assert rc == 2

@@ -1,0 +1,169 @@
+"""Unit tests for the persistent campaign run ledger.
+
+The contracts under test: per-job state transitions are committed as they
+happen and audited in ``transitions``; ``begin(resume=True)`` validates
+spec identity and distrusts stale in-flight rows; stored ``done`` rows
+round-trip to the exact canonical bytes :func:`repro.campaign.to_ndjson`
+emits, which is what makes resume byte-identical.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, RunLedger, spec_hash, to_ndjson
+from repro.campaign.ledger import DONE, FAILED, PENDING, RUNNING
+from repro.errors import ConfigError
+
+SPEC_DOC = {
+    "name": "ledger-unit",
+    "workloads": ["vecadd"],
+    "configs": [{"label": "base", "overrides": {}}],
+    "seeds": [0, 1],
+    "base_overrides": {"gpu.memory_bytes": 33554432},
+}
+
+
+@pytest.fixture()
+def spec():
+    return CampaignSpec.from_dict(SPEC_DOC)
+
+
+@pytest.fixture()
+def ledger(tmp_path):
+    with RunLedger(tmp_path / "run.ledger") as led:
+        yield led
+
+
+class TestBegin:
+    def test_fresh_begin_seeds_pending_jobs(self, ledger, spec):
+        ledger.begin(spec)
+        jobs = ledger.jobs()
+        assert [j.index for j in jobs] == [0, 1]
+        assert all(j.state == PENDING and j.attempts == 0 for j in jobs)
+        assert ledger.stored_spec_hash == spec_hash(spec)
+        assert ledger.campaign_name == "ledger-unit"
+
+    def test_fresh_begin_resets_a_prior_run(self, ledger, spec):
+        ledger.begin(spec)
+        ledger.job_started(0, 1, resume=False)
+        ledger.begin(spec)
+        assert all(j.state == PENDING for j in ledger.jobs())
+        assert ledger.transitions() == []
+
+    def test_resume_requires_a_prior_run(self, ledger, spec):
+        with pytest.raises(ConfigError, match="nothing to resume"):
+            ledger.begin(spec, resume=True)
+
+    def test_resume_rejects_a_different_spec(self, ledger, spec):
+        ledger.begin(spec)
+        other = CampaignSpec.from_dict({**SPEC_DOC, "seeds": [7]})
+        with pytest.raises(ConfigError, match="spec hash mismatch"):
+            ledger.begin(other, resume=True)
+
+    def test_resume_fails_stale_running_rows(self, ledger, spec):
+        ledger.begin(spec)
+        ledger.job_started(0, 1, resume=False)
+        assert ledger.job(0).state == RUNNING
+        ledger.begin(spec, resume=True)
+        stale = ledger.job(0)
+        assert stale.state == FAILED
+        assert stale.failure_class == "interrupt"
+        assert ledger.transitions(0)[-1]["event"] == "stale-failed"
+        # The untouched job is unaffected.
+        assert ledger.job(1).state == PENDING
+
+
+class TestTransitions:
+    def test_full_lifecycle_is_audited(self, ledger, spec):
+        ledger.begin(spec)
+        ledger.job_started(0, 1, resume=False)
+        ledger.job_checkpoint(0, 1, "/tmp/cell-0.ckpt", 8)
+        ledger.job_killed(0, 1, "SIGTERM")
+        ledger.job_retry(0, 1, "hang", "stalled", 0.25)
+        ledger.job_started(0, 2, resume=True)
+        ledger.job_resumed(0, 2, 8)
+        row = {"index": 0, "status": "ok", "result": {"batches": 9}}
+        ledger.job_done(0, 2, row)
+        events = [t["event"] for t in ledger.transitions(0)]
+        assert events == [
+            "start", "checkpoint", "kill", "retry", "start", "resume", "done",
+        ]
+        info = ledger.job(0)
+        assert info.state == DONE
+        assert info.attempts == 2
+        assert info.checkpoint_path == "/tmp/cell-0.ckpt"
+        assert info.checkpoint_batches == 8
+        assert info.row == row
+
+    def test_retry_returns_job_to_pending(self, ledger, spec):
+        ledger.begin(spec)
+        ledger.job_started(0, 1, resume=False)
+        ledger.job_retry(0, 1, "crash", "worker died", 0.5)
+        info = ledger.job(0)
+        assert info.state == PENDING
+        assert info.failure_class == "crash"
+
+    def test_failed_row_is_stored(self, ledger, spec):
+        ledger.begin(spec)
+        ledger.job_started(1, 1, resume=False)
+        row = {
+            "index": 1,
+            "status": "failed",
+            "error": {"class": "injected", "type": "InjectedCrash"},
+        }
+        ledger.job_failed(1, 1, "injected", row, "boom")
+        info = ledger.job(1)
+        assert info.state == FAILED
+        assert info.failure_class == "injected"
+        assert info.row == row
+
+    def test_writes_counter_counts_mutations(self, ledger, spec):
+        ledger.begin(spec)
+        before = ledger.writes
+        ledger.job_started(0, 1, resume=False)
+        ledger.job_done(0, 1, {"index": 0})
+        assert ledger.writes == before + 2
+
+
+class TestCanonicalRows:
+    def test_completed_rows_round_trip_to_identical_bytes(self, ledger, spec):
+        ledger.begin(spec)
+        rows = [
+            {"index": 0, "status": "ok", "seed": 0,
+             "result": {"batches": 2, "clock_usec": 1234}},
+            {"index": 1, "status": "ok", "seed": 1,
+             "result": {"batches": 2, "clock_usec": 5678}},
+        ]
+        for row in rows:
+            ledger.job_done(row["index"], 1, row)
+        replayed = ledger.completed_rows()
+        assert to_ndjson([replayed[0], replayed[1]]) == to_ndjson(rows)
+
+    def test_completed_rows_skips_unfinished_jobs(self, ledger, spec):
+        ledger.begin(spec)
+        ledger.job_done(0, 1, {"index": 0})
+        ledger.job_started(1, 1, resume=False)
+        assert set(ledger.completed_rows()) == {0}
+
+    def test_ledger_survives_reopen(self, tmp_path, spec):
+        path = tmp_path / "run.ledger"
+        with RunLedger(path) as led:
+            led.begin(spec)
+            led.job_done(0, 1, {"index": 0, "status": "ok"})
+        with RunLedger(path) as led:
+            assert led.stored_spec_hash == spec_hash(spec)
+            assert led.completed_rows()[0] == {"index": 0, "status": "ok"}
+
+
+class TestSpecHash:
+    def test_hash_is_stable_and_sensitive(self, spec):
+        assert spec_hash(spec) == spec_hash(CampaignSpec.from_dict(SPEC_DOC))
+        other = CampaignSpec.from_dict({**SPEC_DOC, "seeds": [0, 2]})
+        assert spec_hash(spec) != spec_hash(other)
+
+    def test_hash_is_json_canonical(self, spec):
+        # Implementation detail worth pinning: the digest must not depend
+        # on dict iteration order.
+        digest = spec_hash(spec)
+        assert len(digest) == 64 and int(digest, 16) >= 0

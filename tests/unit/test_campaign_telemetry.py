@@ -253,3 +253,44 @@ class TestHeartbeatThread:
                 time.sleep(0.01)
         event = q.get_nowait()
         assert event == {"type": "heartbeat", "index": 5, "batches": 42}
+
+
+class TestMonotonicLiveness:
+    """Stall detection must ride the monotonic clock: an NTP step or a
+    suspend/resume jump in ``time.time()`` may move the NDJSON ``t``
+    stamps, but it must neither flag a healthy job as stalled nor hide a
+    wedged one."""
+
+    def test_wall_clock_jump_does_not_fake_a_stall(self, monkeypatch):
+        monitor = CampaignMonitor(total_cells=1, jobs=1, stall_timeout_sec=60)
+        emit(
+            monitor.queue,
+            {"type": "job.start", "index": 0, "workload": "w",
+             "config": "c", "seed": 0},
+        )
+        monitor.poll()
+        # The wall clock leaps a day forward; the monotonic clock did not.
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 86_400.0)
+        emit(monitor.queue, {"type": "heartbeat", "index": 0, "batches": 3})
+        events = monitor.poll()
+        assert monitor.stalled() == []
+        # NDJSON arrival stamps still follow the wall clock by design.
+        assert events[0]["t"] > 80_000
+        monitor.close()
+
+    def test_liveness_state_tracks_monotonic_readings(self, monkeypatch):
+        monitor = CampaignMonitor(total_cells=1, jobs=1, stall_timeout_sec=5)
+        emit(
+            monitor.queue,
+            {"type": "job.start", "index": 0, "workload": "w",
+             "config": "c", "seed": 0},
+        )
+        monitor.poll()
+        started = monitor.progress.running[0].last_seen
+        assert abs(started - time.monotonic()) < 5.0
+        # A monotonic jump past the timeout *does* flag the job.
+        real_mono = time.monotonic
+        monkeypatch.setattr(time, "monotonic", lambda: real_mono() + 30.0)
+        assert [job.index for job in monitor.stalled()] == [0]
+        monitor.close()
