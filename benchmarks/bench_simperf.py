@@ -12,12 +12,16 @@ hot path with a faithful re-creation of its previous implementation:
   vs the old unconditional ``sorted(set(faulted) | prefetched)`` rebuild.
 - ``metric_labels``: cached label-handle ``inc()`` vs per-call
   ``family.labels(...).inc()`` lookup.
+- ``fault_pipeline``: the structure-of-arrays fault path (bulk buffer
+  append + vectorized dedup/classify/group) vs the per-fault-object scalar
+  path, on a duplicate-heavy 4096-fault batch.
 
-Results (plus an end-to-end workload timing, a UVMSan timeline-identity
-check, and the whole-program lint's per-pass wall time) are written to
-``BENCH_perf.json`` at the repo root.  The suite
-asserts at least one pair shows a >= 1.2x speedup, and that the sanitizer
-observes a bit-identical timeline around every optimisation.
+Results (plus an end-to-end workload timing with its ``batches_per_sec``
+headline, a UVMSan timeline-identity check, and the whole-program lint's
+per-pass wall time) are written to ``BENCH_perf.json`` at the repo root.
+The suite asserts at least one pair shows a >= 1.2x speedup, that the SoA
+fault pipeline holds its floor, and that the sanitizer observes a
+bit-identical timeline around every optimisation.
 
 Run either way::
 
@@ -50,6 +54,11 @@ PERF_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 #: Minimum speedup at least one timed pair must demonstrate.
 SPEEDUP_FLOOR = 1.2
+
+#: Minimum speedup the SoA fault pipeline must hold over the scalar path.
+#: Measured ~5-7x on an idle machine; the floor leaves headroom for noisy
+#: CI neighbours without letting a real regression slip through.
+FAULT_PIPELINE_FLOOR = 4.0
 
 
 def _best_usec(fn, number: int, repeats: int = 3) -> float:
@@ -140,6 +149,90 @@ def _pair_replay_target() -> dict:
     }
 
 
+def _interleaved_pair_usec(baseline, optimized, number: int, repeats: int = 7):
+    """Best-of-``repeats`` per-call wall time for two rivals, with rounds
+    interleaved (A, B, A, B, ...) so slow drift in machine state — turbo
+    levels, background load — hits both sides instead of biasing the ratio.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            baseline()
+        best_a = min(best_a, (time.perf_counter() - t0) / number)
+        t0 = time.perf_counter()
+        for _ in range(number):
+            optimized()
+        best_b = min(best_b, (time.perf_counter() - t0) / number)
+    return best_a * 1e6, best_b * 1e6
+
+
+def _pair_fault_pipeline() -> dict:
+    """The tentpole pair: GMMU delivery → driver fetch → dedup/classify →
+    VABlock grouping, per-fault objects vs structure-of-arrays.
+
+    Baseline is the scalar production path (one ``deliver_ok`` — Fault
+    allocation plus deque push — per fault, then the dict-churn assembler);
+    optimized is the SoA production path (flat event recording, one bulk
+    buffer append, strided-slice fetch, vectorized assembler).  The stream
+    is duplicate-heavy like the paper's batches (§4.2, Fig 8): 4096 faults
+    over a 512-page working set across 4 VABlocks, mixed access types.
+    Both paths must produce identical batch contents — asserted below.
+    """
+    import random
+
+    from repro.core.batch import assemble_batch
+    from repro.gpu.fault import AccessType
+    from repro.gpu.fault_buffer import FaultBuffer, SoaFaultBuffer
+    from repro.gpu.gmmu import Gmmu
+
+    n = 4096
+    rng = random.Random(2)
+    events = []
+    for _ in range(n):
+        sm_id = rng.randrange(80)
+        events.append(
+            (
+                sm_id,
+                sm_id // 2,
+                rng.randrange(0, n // 4),
+                AccessType(rng.randrange(3)),
+                rng.randrange(1, 2000),
+            )
+        )
+
+    def baseline():
+        buffer = FaultBuffer(n + 8)
+        gmmu = Gmmu(buffer, 2)
+        t = 0.0
+        for sm_id, _utlb_id, page, access, uid in events:
+            gmmu.deliver_ok(page, access, sm_id, uid, t)
+            t += 0.1
+        return assemble_batch(buffer.fetch(n), 80)
+
+    def optimized():
+        buffer = SoaFaultBuffer(n + 8)
+        gmmu = Gmmu(buffer, 2)
+        bucket: list = []
+        for event in events:
+            bucket.extend(event)
+        gmmu.latch_interrupt(0.0)
+        buffer.extend_bulk(bucket, 0.0, 0.1)
+        return assemble_batch(buffer.fetch(n), 80)
+
+    a, b = baseline(), optimized()
+    assert a.num_unique == b.num_unique
+    assert a.dup_same_utlb == b.dup_same_utlb
+    assert a.dup_cross_utlb == b.dup_cross_utlb
+    assert [w.pages for w in a.blocks] == [w.pages for w in b.blocks]
+    assert [w.write_pages for w in a.blocks] == [w.write_pages for w in b.blocks]
+    assert [w.raw_faults for w in a.blocks] == [w.raw_faults for w in b.blocks]
+    assert a.faults[-1].timestamp == b.faults[-1].timestamp
+
+    base_usec, opt_usec = _interleaved_pair_usec(baseline, optimized, number=20)
+    return {"baseline_usec": base_usec, "optimized_usec": opt_usec}
+
+
 def _pair_metric_labels() -> dict:
     registry = MetricsRegistry(enabled=True)
     family = registry.counter("bench_retries_total", "bench", labels=("site",))
@@ -169,6 +262,7 @@ def _end_to_end() -> dict:
         "workload": "stream",
         "wall_sec": round(wall, 4),
         "batches": result.num_batches,
+        "batches_per_sec": round(result.num_batches / wall, 1),
         "clock_usec": system.clock.now,
     }
 
@@ -217,6 +311,7 @@ def run_suite() -> dict:
         "advise_grouping": _pair_advise_grouping(),
         "replay_target": _pair_replay_target(),
         "metric_labels": _pair_metric_labels(),
+        "fault_pipeline": _pair_fault_pipeline(),
     }
     for stats in hot_paths.values():
         stats["speedup"] = round(stats["baseline_usec"] / stats["optimized_usec"], 3)
@@ -238,6 +333,10 @@ def _check(report: dict) -> None:
         name: stats["speedup"] for name, stats in report["hot_paths"].items()
     }
     assert max(speedups.values()) >= SPEEDUP_FLOOR, speedups
+    assert (
+        speedups["fault_pipeline"] >= FAULT_PIPELINE_FLOOR
+    ), speedups
+    assert report["end_to_end"]["batches_per_sec"] > 0, report["end_to_end"]
     assert report["uvmsan"]["timeline_identical"], report["uvmsan"]
     assert report["uvmsan"]["violations"] == 0, report["uvmsan"]
 

@@ -24,7 +24,7 @@ neighbour blocks.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Dict, Iterable, List, Set, Tuple
 
 import numpy as np
 
@@ -69,6 +69,22 @@ class DensityPrefetcher(PrefetcherBase):
         self.threshold = threshold
         #: Tree levels above the region leaves: 32 regions → 6 levels.
         self._levels = int(np.log2(REGIONS_PER_VABLOCK)) + 1
+        #: Per-block valid-page masks, keyed by block id and invalidated by
+        #: valid-page count (blocks are never deallocated and their valid
+        #: sets only grow, so a length match proves the mask is current).
+        self._valid_masks: Dict[int, Tuple[int, np.ndarray]] = {}
+
+    def _valid_mask(self, block: VABlockState, first: int) -> np.ndarray:
+        cached = self._valid_masks.get(block.block_id)
+        num_valid = len(block.valid_pages)
+        if cached is not None and cached[0] == num_valid:
+            return cached[1]
+        mask = np.zeros(PAGES_PER_VABLOCK, dtype=bool)
+        mask[
+            np.fromiter(block.valid_pages, dtype=np.int64, count=num_valid) - first
+        ] = True
+        self._valid_masks[block.block_id] = (num_valid, mask)
+        return mask
 
     def expand(self, block: VABlockState, faulted_pages: Iterable[int]) -> Set[int]:
         """Pages to migrate for ``block`` beyond the faulted set.
@@ -90,16 +106,23 @@ class DensityPrefetcher(PrefetcherBase):
         # exactly half its parent, so self-feedback would cascade a single
         # fault in an empty block to the full 2 MiB.
         density_mask = np.zeros(PAGES_PER_VABLOCK, dtype=bool)
-        for page in block.resident_pages:
-            density_mask[page - first] = True
-        fault_offsets = [p - first for p in faulted]
-        for off in region_upgrade(fault_offsets):
-            density_mask[off] = True
+        resident = block.resident_pages
+        res_off = None
+        if resident:
+            res_off = (
+                np.fromiter(resident, dtype=np.int64, count=len(resident)) - first
+            )
+            density_mask[res_off] = True
+        fault_off = np.fromiter(faulted, dtype=np.int64, count=len(faulted)) - first
+        # Unconditional 64 KiB upgrade (§2.2), vectorized: every region
+        # containing a faulted page contributes all of its pages.
+        region_bases = np.unique(fault_off - fault_off % PAGES_PER_REGION)
+        density_mask[
+            (region_bases[:, None] + np.arange(PAGES_PER_REGION)).ravel()
+        ] = True
 
-        # Valid mask (tail blocks are partial).
-        valid = np.zeros(PAGES_PER_VABLOCK, dtype=bool)
-        for page in block.valid_pages:
-            valid[page - first] = True
+        # Valid mask (tail blocks are partial), cached per block.
+        valid = self._valid_mask(block, first)
         density_mask &= valid
 
         fetch = density_mask.copy()
@@ -121,14 +144,11 @@ class DensityPrefetcher(PrefetcherBase):
             fetch |= expand_mask
             span *= 2
 
-        result: Set[int] = set()
-        resident = block.resident_pages
-        offsets = np.nonzero(fetch)[0]
-        for off in offsets:
-            page = first + int(off)
-            if page not in resident and page not in faulted:
-                result.add(page)
-        return result
+        # Exclude already-resident pages and the faulted set itself.
+        if res_off is not None:
+            fetch[res_off] = False
+        fetch[fault_off] = False
+        return set((first + np.nonzero(fetch)[0]).tolist())
 
 
 class RegionOnlyPrefetcher(PrefetcherBase):

@@ -30,7 +30,8 @@ only depend on that granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from functools import cached_property
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .fault import AccessType
 
@@ -61,10 +62,17 @@ class Phase:
     ) -> "Phase":
         return Phase(tuple(reads), tuple(writes), tuple(prefetches), compute_usec)
 
-    @property
-    def pages(self) -> Set[int]:
-        """All distinct pages the phase touches (excluding prefetch hints)."""
-        return set(self.reads) | set(self.writes)
+    @cached_property
+    def pages(self) -> FrozenSet[int]:
+        """All distinct pages the phase touches (excluding prefetch hints).
+
+        Cached: ``Phase`` is frozen, so the set is computed once instead of
+        being rebuilt on every property access in the engine's hot loops
+        (``cached_property`` stores into the instance ``__dict__``, which
+        bypasses the frozen ``__setattr__`` and stays out of field-based
+        equality/hashing).
+        """
+        return frozenset(self.reads) | frozenset(self.writes)
 
 
 @dataclass
@@ -82,12 +90,11 @@ class WarpProgram:
     def total_accesses(self) -> int:
         return sum(len(p.reads) + len(p.writes) for p in self.phases)
 
-    @property
-    def touched_pages(self) -> Set[int]:
-        out: Set[int] = set()
-        for p in self.phases:
-            out |= p.pages
-        return out
+    @cached_property
+    def touched_pages(self) -> FrozenSet[int]:
+        """Union of all phase footprints; cached — programs are immutable
+        once built (``__post_init__`` freezes ``phases`` into a tuple)."""
+        return frozenset().union(*(p.pages for p in self.phases))
 
 
 @dataclass
@@ -104,12 +111,11 @@ class KernelLaunch:
     def total_accesses(self) -> int:
         return sum(p.total_accesses for p in self.programs)
 
-    @property
-    def touched_pages(self) -> Set[int]:
-        out: Set[int] = set()
-        for p in self.programs:
-            out |= p.touched_pages
-        return out
+    @cached_property
+    def touched_pages(self) -> FrozenSet[int]:
+        """Union of all program footprints; cached — launches are built once
+        by the workload generators and never mutated afterwards."""
+        return frozenset().union(*(p.touched_pages for p in self.programs))
 
 
 @dataclass
@@ -256,19 +262,23 @@ class WarpState:
 
     def peek_page(self) -> Optional[int]:
         """Page of the next issuable occurrence (skipping satisfied ones),
-        or None.  Advances past satisfied occurrences as a side effect."""
+        or None.
+
+        Pure: issue state is only consumed by :meth:`take_issuable`.  An
+        earlier version advanced ``_unissued_head`` past satisfied
+        occurrences and reset the queue when it ran off the end — so a peek
+        on a still-blocked warp could clear the queue out from under a
+        concurrent :meth:`requeue` (a re-demanded occurrence landed in a
+        freshly-reset list, or was skipped by the advanced head).  Peeking
+        must never change which occurrences a later take/requeue sees.
+        """
         unissued = self._unissued
-        head = self._unissued_head
         missing = self.missing
-        n = len(unissued)
-        while head < n and unissued[head][0] not in missing:
-            head += 1
-        self._unissued_head = head
-        if head >= n:
-            self._unissued = []
-            self._unissued_head = 0
-            return None
-        return unissued[head][0]
+        for i in range(self._unissued_head, len(unissued)):
+            page = unissued[i][0]
+            if page in missing:
+                return page
+        return None
 
     def take_issuable(self, max_n: int) -> List[Tuple[int, AccessType]]:
         """Pop up to ``max_n`` occurrences whose pages are still missing.

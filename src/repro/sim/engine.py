@@ -25,6 +25,7 @@ Fig 9's diminishing returns).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -151,10 +152,13 @@ class Engine:
         self.clock = clock if clock is not None else SimClock()
         self.trace = trace if trace is not None else EventTrace(enabled=False)
         self.obs = obs if obs is not None else Observability(config.obs, self.clock)
+        #: Structure-of-arrays fault pipeline (``REPRO_SOA=0`` disables).
+        self._soa = config.soa
         self.device = GpuDevice(
             config.gpu,
             copy_bandwidth_bytes_per_usec=self.cost.link_bandwidth_bytes_per_usec,
             copy_latency_usec=self.cost.transfer_latency_usec,
+            soa_fault_buffer=self._soa,
         )
         self.host_vm = host_vm if host_vm is not None else HostVm()
         self.host_cpu = HostCpu(config.host)
@@ -575,10 +579,9 @@ class Engine:
             for sm_id, page in self._prefetch_queue:
                 if page in resident:
                     continue
-                fault = device.gmmu.deliver(
+                if device.gmmu.deliver_ok(
                     page, AccessType.PREFETCH, sm_id, warp_uid=0, timestamp=t
-                )
-                if fault is not None:
+                ):
                     t += interval
                     progressed = True
             self._prefetch_queue.clear()
@@ -599,6 +602,22 @@ class Engine:
                     # translation faults for one replay window.
                     continue
                 issuers.append((sm, utlb, warps, [0]))
+        buffer = device.fault_buffer
+        if (
+            self._soa
+            and inj is None
+            and sum(entry[0].budget for entry in issuers)
+            <= buffer.capacity - len(buffer)
+        ):
+            # SoA bulk window: every delivery is guaranteed to land (total
+            # budget bounds deliveries, so overflow is impossible), which
+            # lets the per-µTLB issuance run decoupled from the buffer and
+            # the accepted events append column-wise in one burst.  The
+            # scalar loop below stays the arbiter whenever overflow or
+            # injection could steer the interleaving.
+            t, soa_progressed = self._issue_window_soa(issuers, t, interval)
+            progressed = progressed or soa_progressed
+            issuers = []
         while issuers:
             next_issuers = []
             for sm, utlb, warps, cursor in issuers:
@@ -684,6 +703,105 @@ class Engine:
         if len(device.fault_buffer) > 0:
             self.clock.advance_to(t)
         return progressed, compute
+
+    def _issue_window_soa(
+        self, issuers: List[Tuple], t0: float, interval: float
+    ) -> Tuple[float, bool]:
+        """Round-robin issuance with bulk column-wise buffer appends.
+
+        Equivalence with the scalar interleaved loop: µTLB and warp state
+        are local to one µTLB's SM group (adjacent SMs share the µTLB), so
+        with overflow ruled out by the caller the only cross-group coupling
+        is the buffer's arrival order.  Each group is therefore simulated
+        alone, recording accepted events into per-pass buckets; replaying
+        the buckets pass-by-pass (groups appear in ascending SM order within
+        each bucket) reproduces the scalar loop's exact interleaving, and
+        timestamps accumulate by the same repeated ``t += interval`` float
+        additions during the single bulk append.
+        """
+        device = self.device
+        #: Accepted events per round-robin pass, scalar arrival order within.
+        #: Flat interleaved layout — (sm_id, utlb_id, page, access, warp_uid)
+        #: five-tuples concatenated — so recording is one list.extend per
+        #: event and the buffer de-interleaves with C-speed strided slices.
+        buckets: List[List] = []
+        progressed = False
+        i = 0
+        n = len(issuers)
+        while i < n:
+            utlb = issuers[i][1]
+            group = [issuers[i]]
+            i += 1
+            while i < n and issuers[i][1] is utlb:
+                group.append(issuers[i])
+                i += 1
+            pending = utlb.pending_pages
+            pass_no = 0
+            active = group
+            while active:
+                if pass_no == len(buckets):
+                    buckets.append([])
+                bucket = buckets[pass_no]
+                next_active = []
+                for entry in active:
+                    sm, _utlb, warps, cursor = entry
+                    issued_here = False
+                    # One fault per SM per pass → round-robin interleaving.
+                    while cursor[0] < len(warps):
+                        warp = warps[cursor[0]]
+                        if not warp.has_issuable:
+                            cursor[0] += 1
+                            continue
+                        if sm.budget <= 0:
+                            break
+                        merged_ahead = warp.peek_page() in pending
+                        if not merged_ahead and utlb.available <= 0:
+                            break
+                        occs = warp.take_issuable(1)
+                        if not occs:
+                            cursor[0] += 1
+                            continue
+                        page, access = occs[0]
+                        if page in pending:
+                            # Same-page miss merges into the existing µTLB
+                            # entry (occasionally a spurious duplicate is
+                            # emitted).
+                            if utlb.request(page):
+                                sm.consume_budget(1)
+                                bucket.extend(
+                                    (sm.sm_id, sm.utlb_id, page, access, warp.uid)
+                                )
+                            progressed = True
+                            issued_here = True
+                            break
+                        utlb.request(page)
+                        sm.consume_budget(1)
+                        bucket.extend(
+                            (sm.sm_id, sm.utlb_id, page, access, warp.uid)
+                        )
+                        progressed = True
+                        issued_here = True
+                        break
+                    if (
+                        issued_here
+                        and sm.budget > 0
+                        and utlb.available > 0
+                        and any(w.has_issuable for w in warps)
+                    ):
+                        next_active.append(entry)
+                active = next_active
+                pass_no += 1
+        if not buckets:
+            return t0, progressed
+        events = (
+            buckets[0]
+            if len(buckets) == 1
+            else list(chain.from_iterable(buckets))
+        )
+        if events:
+            device.gmmu.latch_interrupt(t0)
+            t0 = device.fault_buffer.extend_bulk(events, t0, interval)
+        return t0, progressed
 
     def _next_ready_time(self) -> Optional[float]:
         """Earliest future phase-completion among active warps."""

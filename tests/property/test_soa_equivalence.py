@@ -1,0 +1,333 @@
+"""Scalar-vs-SoA fault-pipeline equivalence (the ISSUE 9 tentpole gate).
+
+The structure-of-arrays pipeline (``REPRO_SOA`` / ``config.soa``) must be a
+pure representation change: every observable — assembled batches, buffer
+counters, BatchRecords, the simulated clock — is byte-identical to the
+scalar path.  Four layers of evidence:
+
+1. **Assembler.**  200+ seeded random fault streams (duplicate-heavy,
+   prefetch storms, single-page floods) through ``assemble_batch`` on a
+   ``List[Fault]`` vs the vectorized ``assemble_batch_soa`` on a
+   ``FaultArrays``: identical counters, block order, intra-block page
+   order, write/prefetch sets, raw counts — and plain ``int`` types, so
+   downstream cost models never see NumPy scalars.
+2. **Buffer.**  Random push/fetch/flush interleavings against
+   ``FaultBuffer`` and ``SoaFaultBuffer`` with overflow-inducing
+   capacities: same accept/drop verdicts, same lifetime counters, same
+   fetched rows.
+3. **Engine.**  Whole-system runs with ``config.soa`` off vs on across
+   workloads that exercise replay storms, eviction under fault, and
+   prefetch instructions: identical record streams and final clock.
+4. **Chaos.**  Every builtin chaos profile and every bundled
+   ``examples/chaos/*.json`` profile, across seeds: injection forces the
+   scalar fallback paths (per-fault pushes, injector sites) and the
+   timelines must still match bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import UvmSystem
+from repro.config import default_config
+from repro.core.batch import assemble_batch, assemble_batch_soa
+from repro.gpu.fault import AccessType, Fault, FaultArrays
+from repro.gpu.fault_buffer import FaultBuffer, SoaFaultBuffer
+from repro.inject.profiles import BUILTIN_PROFILES
+from repro.units import MB
+from repro.workloads import WORKLOAD_REGISTRY
+
+CHAOS_DIR = Path(__file__).resolve().parents[2] / "examples" / "chaos"
+
+NUM_SMS = 16
+
+
+# --------------------------------------------------------------- generators
+
+
+def random_fault_stream(rng: random.Random) -> list:
+    """A fault stream shaped like the hot path produces them: bursty,
+    duplicate-heavy, with occasional prefetch storms."""
+    shape = rng.random()
+    n = rng.randrange(1, 200)
+    if shape < 0.15:
+        # Single-page flood: every fault hits one page (max duplicates).
+        page_space = 1
+    elif shape < 0.5:
+        # Duplicate-heavy: far fewer pages than faults.
+        page_space = max(1, n // 8)
+    else:
+        # Sparse: mostly unique pages across many VABlocks.
+        page_space = n * 4
+    prefetch_storm = shape >= 0.85
+    faults = []
+    t = rng.random() * 100.0
+    for _ in range(n):
+        sm_id = rng.randrange(NUM_SMS)
+        if prefetch_storm and rng.random() < 0.7:
+            access = AccessType.PREFETCH
+        else:
+            access = AccessType(rng.randrange(3))
+        faults.append(
+            Fault(
+                page=rng.randrange(page_space),
+                access=access,
+                sm_id=sm_id,
+                utlb_id=sm_id // 2,
+                warp_uid=rng.randrange(1, 500),
+                timestamp=t,
+            )
+        )
+        t += rng.random()
+    return faults
+
+
+def batch_fingerprint(batch):
+    """Everything observable about an assembled batch, with type checks:
+    the SoA assembler must hand downstream code plain Python ints."""
+    blocks = []
+    for work in batch.blocks:
+        assert type(work.block_id) is int
+        assert all(type(p) is int for p in work.pages)
+        assert all(type(p) is int for p in work.write_pages)
+        assert all(type(p) is int for p in work.prefetch_only_pages)
+        assert type(work.raw_faults) is int
+        blocks.append(
+            (
+                work.block_id,
+                tuple(work.pages),
+                frozenset(work.write_pages),
+                frozenset(work.prefetch_only_pages),
+                work.raw_faults,
+                work.hinted,
+            )
+        )
+    assert type(batch.num_unique) is int
+    assert type(batch.dup_same_utlb) is int
+    assert type(batch.dup_cross_utlb) is int
+    return (
+        tuple(blocks),
+        batch.num_unique,
+        batch.dup_same_utlb,
+        batch.dup_cross_utlb,
+        tuple(batch.sm_fault_counts.tolist()),
+        batch.arrival_window,
+        batch.num_raw,
+    )
+
+
+# ----------------------------------------------------- assembler equivalence
+
+
+class TestAssemblerEquivalence:
+    def test_200_seeded_random_streams(self):
+        """Byte-identical AssembledBatch across 200 seeded random cases."""
+        for seed in range(200):
+            rng = random.Random(seed)
+            faults = random_fault_stream(rng)
+            scalar = assemble_batch(list(faults), NUM_SMS)
+            soa = assemble_batch_soa(FaultArrays.from_faults(faults), NUM_SMS)
+            assert batch_fingerprint(scalar) == batch_fingerprint(soa), seed
+
+    def test_dispatch_on_fault_arrays(self):
+        """``assemble_batch`` routes a FaultArrays to the SoA assembler."""
+        faults = random_fault_stream(random.Random(42))
+        arrs = FaultArrays.from_faults(faults)
+        via_dispatch = assemble_batch(arrs, NUM_SMS)
+        direct = assemble_batch_soa(FaultArrays.from_faults(faults), NUM_SMS)
+        assert batch_fingerprint(via_dispatch) == batch_fingerprint(direct)
+        assert via_dispatch.faults is arrs  # no copy on the hot path
+
+    def test_empty_batch(self):
+        fp = batch_fingerprint(assemble_batch_soa(FaultArrays(), NUM_SMS))
+        assert fp == batch_fingerprint(assemble_batch([], NUM_SMS))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_duplicate_conservation(self, seed):
+        """§4.2 bookkeeping: unique + type-1 + type-2 == raw faults, on
+        both paths, for arbitrary seeded streams."""
+        faults = random_fault_stream(random.Random(seed))
+        for batch in (
+            assemble_batch(list(faults), NUM_SMS),
+            assemble_batch_soa(FaultArrays.from_faults(faults), NUM_SMS),
+        ):
+            assert (
+                batch.num_unique + batch.dup_same_utlb + batch.dup_cross_utlb
+                == len(faults)
+            )
+            assert sum(b.raw_faults for b in batch.blocks) == len(faults)
+            assert sum(len(b.pages) for b in batch.blocks) == batch.num_unique
+            assert int(batch.sm_fault_counts.sum()) == len(faults)
+
+
+# ------------------------------------------------------- buffer equivalence
+
+
+def buffer_fingerprint(buf):
+    return (
+        len(buf),
+        buf.total_pushed,
+        buf.total_fetched,
+        buf.total_overflow_dropped,
+        buf.total_flush_dropped,
+        buf.total_injected,
+        buf.total_injector_dropped,
+    )
+
+
+def rows_of(fetched):
+    return [
+        (f.page, int(f.access), f.sm_id, f.utlb_id, f.warp_uid, f.timestamp)
+        for f in fetched
+    ]
+
+
+class TestBufferEquivalence:
+    def test_random_interleavings(self):
+        """Same op sequence against both buffers: same verdicts, counters,
+        and fetched/flushed rows — including overflow drops."""
+        for seed in range(50):
+            rng = random.Random(1000 + seed)
+            capacity = rng.randrange(1, 24)
+            scalar = FaultBuffer(capacity)
+            soa = SoaFaultBuffer(capacity)
+            t = 0.0
+            for _ in range(rng.randrange(5, 120)):
+                op = rng.random()
+                if op < 0.7:
+                    sm_id = rng.randrange(NUM_SMS)
+                    args = (
+                        rng.randrange(64),
+                        AccessType(rng.randrange(3)),
+                        sm_id,
+                        sm_id // 2,
+                        rng.randrange(1, 99),
+                        t,
+                    )
+                    t += 0.25
+                    assert scalar.push_scalar(*args) == soa.push_scalar(*args)
+                elif op < 0.9:
+                    n = rng.randrange(0, capacity + 4)
+                    assert rows_of(scalar.fetch(n)) == rows_of(soa.fetch(n))
+                else:
+                    assert rows_of(scalar.flush()) == rows_of(soa.flush())
+                assert buffer_fingerprint(scalar) == buffer_fingerprint(soa)
+
+    def test_extend_bulk_matches_scalar_pushes(self):
+        """A bulk burst lands exactly like the equivalent scalar pushes:
+        same rows, same ``t += interval`` float timestamps."""
+        rng = random.Random(7)
+        events = []
+        for _ in range(300):
+            sm_id = rng.randrange(NUM_SMS)
+            events.extend(
+                (sm_id, sm_id // 2, rng.randrange(40),
+                 AccessType(rng.randrange(3)), rng.randrange(1, 99))
+            )
+        t0, interval = 3.1, 0.0625
+        soa = SoaFaultBuffer(4096)
+        t_bulk = soa.extend_bulk(events, t0, interval)
+        scalar = FaultBuffer(4096)
+        t = t0
+        for i in range(0, len(events), 5):
+            sm, utlb, page, access, uid = events[i : i + 5]
+            scalar.push_scalar(page, access, sm, utlb, uid, t)
+            t += interval
+        assert t_bulk == t
+        assert rows_of(soa.fetch(300)) == rows_of(scalar.fetch(300))
+        assert buffer_fingerprint(scalar) == buffer_fingerprint(soa)
+
+    def test_partial_fetch_preserves_remainder(self):
+        """take_front slices rows off the front; the remainder keeps
+        arrival order (the peek → requeue regression family)."""
+        arrs = FaultArrays()
+        for i in range(10):
+            arrs.append(i, AccessType.READ, 0, 0, i, float(i))
+        front = arrs.take_front(4)
+        assert [r.page for r in front] == [0, 1, 2, 3]
+        assert [r.page for r in arrs] == [4, 5, 6, 7, 8, 9]
+        assert arrs.take_front(99) is not arrs  # full drain hands lists over
+        assert len(arrs) == 0
+
+
+# -------------------------------------------------------- engine equivalence
+
+
+def run_system(workload: str, *, soa: bool, seed: int = 0,
+               gpu_mem_mb: int = 16, profile=None):
+    cfg = default_config()
+    cfg.seed = seed
+    cfg.gpu.memory_bytes = gpu_mem_mb * MB
+    cfg.gpu.num_sms = 8
+    cfg.obs = cfg.obs.disabled()
+    cfg.soa = soa
+    if profile is not None:
+        cfg.inject.enabled = True
+        cfg.inject.profile = profile
+    cfg.validate()
+    system = UvmSystem(cfg)
+    WORKLOAD_REGISTRY[workload]().run(system)
+    return system
+
+
+def timeline_fingerprint(system):
+    return (
+        system.clock.now,
+        [tuple(sorted(r.to_dict().items())) for r in system.records],
+    )
+
+
+class TestEngineBitIdentity:
+    # vecadd: replay-heavy streaming; stream: eviction under fault at
+    # 16 MiB (oversubscribed); sgemm: reuse + write faults; bfs: irregular;
+    # prefetch-kernel: PTX prefetch storms through the µTLB bypass path.
+    @pytest.mark.parametrize(
+        "workload", ["vecadd", "stream", "sgemm", "bfs", "prefetch-kernel"]
+    )
+    def test_soa_timeline_identity(self, workload):
+        base = timeline_fingerprint(run_system(workload, soa=False))
+        soa = timeline_fingerprint(run_system(workload, soa=True))
+        assert base == soa
+
+    def test_evict_under_fault_pressure(self):
+        """4 MiB GPU forces continuous evict-under-fault; the SoA flush /
+        re-demand path must track the scalar one exactly."""
+        base = timeline_fingerprint(run_system("stream", soa=False, gpu_mem_mb=4))
+        soa = timeline_fingerprint(run_system("stream", soa=True, gpu_mem_mb=4))
+        assert base == soa
+
+
+class TestChaosProfileBitIdentity:
+    """Injection forces the scalar fallbacks (per-fault pushes, injector
+    decision points); every profile × seed must stay timeline-identical."""
+
+    @pytest.mark.parametrize("profile", sorted(BUILTIN_PROFILES))
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_builtin_profiles(self, profile, seed):
+        base = timeline_fingerprint(
+            run_system("vecadd", soa=False, seed=seed, profile=profile)
+        )
+        soa = timeline_fingerprint(
+            run_system("vecadd", soa=True, seed=seed, profile=profile)
+        )
+        assert base == soa
+
+    @pytest.mark.parametrize(
+        "profile_file", sorted(p.name for p in CHAOS_DIR.glob("*.json"))
+    )
+    def test_example_profile_files(self, profile_file):
+        path = str(CHAOS_DIR / profile_file)
+        base = timeline_fingerprint(
+            run_system("stream", soa=False, seed=3, profile=path)
+        )
+        soa = timeline_fingerprint(
+            run_system("stream", soa=True, seed=3, profile=path)
+        )
+        assert base == soa

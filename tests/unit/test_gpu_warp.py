@@ -175,6 +175,68 @@ class TestIssuance:
         assert warp.faults_issued == 2
 
 
+class TestPeekRequeueRegression:
+    """``peek_page`` must be pure (ISSUE 9 bugfix).
+
+    An earlier version advanced ``_unissued_head`` past satisfied
+    occurrences while peeking and reset the queue when it ran off the end —
+    so a peek on a still-blocked warp could clear the issue queue out from
+    under a concurrent post-replay-flush ``requeue``: the re-demanded
+    occurrence landed in a freshly-reset list or was skipped by the
+    advanced head, and the access was lost until livelock.
+    """
+
+    def test_peek_is_pure(self):
+        warp = make_warp([Phase.of([1, 2, 3])])
+        warp.advance(resident=set())
+        warp.on_pages_resident([1])  # satisfied prefix the old code compacted
+        before = (list(warp._unissued), warp._unissued_head)
+        for _ in range(3):
+            assert warp.peek_page() == 2
+        assert (list(warp._unissued), warp._unissued_head) == before
+
+    def test_peek_pure_when_all_unissued_satisfied(self):
+        # The exact trigger of the old bug: every unissued occurrence is
+        # satisfied, so the old peek ran off the end and reset the queue.
+        warp = make_warp([Phase.of([1, 2])])
+        warp.advance(resident=set())
+        warp.take_issuable(1)  # issue page 1; page 2 still queued
+        warp.on_pages_resident([2])  # resolves before issuing
+        before = (list(warp._unissued), warp._unissued_head)
+        assert warp.peek_page() is None
+        assert (list(warp._unissued), warp._unissued_head) == before
+
+    def test_peek_requeue_take_after_replay_flush(self):
+        # Replay-flush scenario: both occurrences issued, then the fault
+        # for page 2 is dropped by the pre-replay flush and re-demands.
+        warp = make_warp([Phase.of([1, 2])])
+        warp.advance(resident=set())
+        assert warp.take_issuable(10) == [
+            (1, AccessType.READ),
+            (2, AccessType.READ),
+        ]
+        warp.on_pages_resident([1])
+        assert warp.peek_page() is None  # nothing unissued yet
+        warp.requeue(2, AccessType.READ)
+        assert warp.peek_page() == 2  # peek sees the re-demand...
+        assert warp.peek_page() == 2  # ...without consuming it
+        assert warp.take_issuable(10) == [(2, AccessType.READ)]
+
+    def test_peek_between_requeues_never_drops_occurrences(self):
+        # Peeking over a satisfied head must not clear the queue a
+        # following requeue appends to: both the original unissued
+        # occurrence and the re-demand must issue.
+        warp = make_warp([Phase.of([1, 2])])
+        warp.advance(resident=set())
+        warp.on_pages_resident([1])
+        assert warp.peek_page() == 2
+        warp.requeue(2, AccessType.READ)
+        assert warp.take_issuable(10) == [
+            (2, AccessType.READ),
+            (2, AccessType.READ),
+        ]
+
+
 class TestNotification:
     def test_partial_notification_stays_blocked(self):
         warp = make_warp([Phase.of([1, 2])])
