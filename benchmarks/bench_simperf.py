@@ -270,7 +270,8 @@ def _end_to_end() -> dict:
 def _lint_timing() -> dict:
     """Time the whole-program analysis over ``src/repro`` using the
     engine's own per-pass timings, so the gate can hold a wall ceiling on
-    the interprocedural fixpoints (sim-taint, dimensions)."""
+    the interprocedural fixpoints (sim-taint, dimensions, and the
+    protocol/lifecycle family's path walks and closure comparisons)."""
     from repro.check.program import run_analysis
 
     src = Path(__file__).resolve().parent.parent / "src" / "repro"
@@ -279,6 +280,9 @@ def _lint_timing() -> dict:
         "total_sec": round(report.timings.get("total", 0.0), 3),
         "ir_sec": round(report.timings.get("ir", 0.0), 3),
         "dimensions_sec": round(report.timings.get("dimensions", 0.0), 3),
+        "lifecycle_sec": round(report.timings.get("lifecycle", 0.0), 3),
+        "snapshot_sec": round(report.timings.get("snapshot", 0.0), 3),
+        "parity_sec": round(report.timings.get("parity", 0.0), 3),
         "raw_findings": sum(report.raw_by_pass.values()),
     }
 

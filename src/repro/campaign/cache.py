@@ -94,8 +94,15 @@ class ResultCache:
         path = self._path(key, ext)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------- JSON documents
 

@@ -277,16 +277,18 @@ def run_campaign(
         pending.append((cell, key))
 
     use_fleet = _uses_fleet(jobs, fleet_config) and bool(pending)
-    own_monitor = False
+    own_monitor: Optional[CampaignMonitor] = None
     if monitor is None and (use_fleet or ledger is not None):
         # Supervision and ledger event folding both consume telemetry; spin
         # up a quiet in-process monitor when the caller did not provide one.
-        monitor = CampaignMonitor(
+        # The owned instance lives in its own variable so the close guard
+        # below tests the resource itself, not a boolean shadow of it.
+        own_monitor = CampaignMonitor(
             len(spec.cells),
             stall_timeout_sec=config.stall_timeout_sec,
             mp_safe=False,
         )
-        own_monitor = True
+        monitor = own_monitor
 
     fleet_report: Optional[dict] = None
     try:
@@ -338,8 +340,8 @@ def run_campaign(
             )
             monitor.poll()
     finally:
-        if own_monitor:
-            monitor.close()
+        if own_monitor is not None:
+            own_monitor.close()
 
     return CampaignOutcome(
         spec=spec,

@@ -73,9 +73,16 @@ def write_cell_checkpoint(path: str, state: dict) -> None:
     killed mid-write must never leave a truncated file a resume would
     trip over."""
     tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "wb") as fh:
-        pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_cell_checkpoint(path: str, key: str) -> Optional[dict]:

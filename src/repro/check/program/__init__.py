@@ -2,7 +2,7 @@
 
 PR 2's determinism lint sees one file at a time; this package sees the
 project.  A shared IR (:mod:`~repro.check.program.ir`: module index,
-symbol tables, intra-package call graph) feeds six passes through one
+symbol tables, intra-package call graph) feeds nine passes through one
 engine (:mod:`~repro.check.program.engine`):
 
 * ``determinism`` — the per-file hazard rules, ported onto the IR;
@@ -15,6 +15,16 @@ engine (:mod:`~repro.check.program.engine`):
 * ``dimensions`` — interprocedural units-and-dimensions inference
   (bytes/page/region/vablock vs sim-µs/wall-s;
   :mod:`~repro.check.program.dimensions`);
+* ``lifecycle`` — resource linearity over the declarative protocol
+  catalog (:mod:`~repro.check.program.protocols`): BatchRecord
+  open→close/abort, spans, SQLite ledgers, atomic-write temp files,
+  telemetry monitors (:mod:`~repro.check.program.lifecycle`);
+* ``snapshot`` — checkpoint-coverage drift between the engine's mutable
+  attributes and ``sim/checkpoint.py`` capture/skip lists
+  (:mod:`~repro.check.program.snapshot`);
+* ``parity`` — scalar/SoA (and future driver-backend) write-surface
+  equivalence via ``# parity:`` annotations
+  (:mod:`~repro.check.program.parity`);
 * ``suppression-hygiene`` — stale ``lint-ok`` comments and dead
   allowlist entries.
 
@@ -35,19 +45,25 @@ from .baseline import (
 from .dimensions import DimensionsPass
 from .engine import (
     AnalysisReport,
+    SEED_SUFFIXES,
     all_rules,
     changed_files,
     default_passes,
     render_report,
     report_to_json_dict,
     run_analysis,
+    seeds_in_changed,
 )
 from .hygiene import SuppressionHygienePass
 from .ir import ProjectIR, build_project_ir
+from .lifecycle import LifecyclePass
 from .local_rules import LocalRulesPass
 from .metric_drift import MetricDriftPass
+from .parity import ParityPass
+from .protocols import PROTOCOLS, SNAPSHOT, ResourceProtocol
 from .sarif import sarif_to_json, to_sarif
 from .shared_state import SharedStatePass, find_worker_entry_points
+from .snapshot import SnapshotCoveragePass
 from .taint import SimTaintPass
 
 __all__ = [
@@ -57,12 +73,19 @@ __all__ = [
     "DEFAULT_BASELINE_PATH",
     "DimensionsPass",
     "Finding",
+    "LifecyclePass",
     "LocalRulesPass",
     "MetricDriftPass",
+    "PROTOCOLS",
+    "ParityPass",
     "ProjectIR",
+    "ResourceProtocol",
     "Rule",
+    "SEED_SUFFIXES",
+    "SNAPSHOT",
     "SharedStatePass",
     "SimTaintPass",
+    "SnapshotCoveragePass",
     "SuppressionHygienePass",
     "all_rules",
     "apply_baseline",
@@ -77,5 +100,6 @@ __all__ = [
     "run_analysis",
     "sarif_to_json",
     "save_baseline",
+    "seeds_in_changed",
     "to_sarif",
 ]

@@ -34,9 +34,12 @@ from .baseline import BaselineEntry, apply_baseline
 from .dimensions import DimensionsPass
 from .hygiene import SuppressionHygienePass
 from .ir import ProjectIR, build_project_ir
+from .lifecycle import LifecyclePass
 from .local_rules import LocalRulesPass
 from .metric_drift import MetricDriftPass
+from .parity import ParityPass
 from .shared_state import SharedStatePass
+from .snapshot import SnapshotCoveragePass
 from .taint import SimTaintPass
 
 
@@ -48,7 +51,34 @@ def default_passes() -> List[AnalysisPass]:
         MetricDriftPass(),
         SharedStatePass(),
         DimensionsPass(),
+        LifecyclePass(),
+        SnapshotCoveragePass(),
+        ParityPass(),
     ]
+
+
+#: Analysis-seed files: editing one changes what the passes report in
+#: *other* files (unit signatures, the metric catalog, the protocol
+#: catalog, the checkpoint capture lists), so a ``--changed-only`` run
+#: restricted to the diff would report a silently stale clean result.
+SEED_SUFFIXES = (
+    "repro/units.py",
+    "repro/obs/catalog.py",
+    "repro/check/program/protocols.py",
+    "repro/sim/checkpoint.py",
+    "repro/check/lint_allow.txt",
+    "repro/check/lint_baseline.json",
+)
+
+
+def seeds_in_changed(changed: Sequence[str]) -> List[str]:
+    """The analysis seeds present in a changed-file list."""
+    out = []
+    for name in changed:
+        norm = normalize_path(name)
+        if any(norm.endswith(seed) for seed in SEED_SUFFIXES):
+            out.append(name)
+    return out
 
 
 def all_rules(passes: Sequence[AnalysisPass] = None) -> List[Rule]:

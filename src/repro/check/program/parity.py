@@ -1,0 +1,328 @@
+"""Dual-path parity pass: shadow implementations must write one surface.
+
+The SoA fault pipeline (and any future driver backend) shadows a scalar
+reference path and must update the same counters, metrics, sanitizer hooks,
+and record fields.  Variants are declared with a comment on the ``def`` /
+``class`` line::
+
+    def assemble_batch(  # parity: batch-assembly/scalar
+    def assemble_batch_soa(faults, num_sms):  # parity: batch-assembly/soa
+    class FaultBuffer:  # parity: fault-buffer/object
+
+For each group, the pass computes every variant's call-graph closure (class
+annotations root at all methods; other variants of the same group are
+excluded from traversal, so a scalar entry point that *dispatches* to the
+SoA twin does not trivially union the surfaces) and collects its observable
+write surface:
+
+* ``field:<name>`` — stores / in-place mutations / constructor kwargs on
+  fields of the group's record classes (:data:`~.protocols.PARITY_GROUPS`);
+* ``self:<name>`` — plain stores to ``self.<attr>`` in the variant's own
+  root functions, when the group compares counter surfaces
+  (``self_fields``; closure callees are excluded so a helper class's
+  attributes are not imported into the comparison);
+* ``metric:<name>`` — stores to cached metric handles (``self._m_*``);
+* ``san:<hook>`` — ``on_*`` calls on a sanitizer handle;
+* ``inj:<site>`` — literal injection-site names passed to ``.fire(...)``;
+* ``flight:<event>`` — literal event names passed to ``flight.record(...)``.
+
+Rules: ``parity-surface`` (a variant misses elements another variant has),
+``parity-unpaired`` (a group with a single variant — usually a typo in the
+group name), ``parity-annotation`` (malformed marker).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .base import AnalysisPass, Finding, Rule
+from .ir import FunctionInfo, ModuleInfo, ProjectIR, _dotted
+from .protocols import (
+    DEFAULT_PARITY,
+    PARITY_GROUPS,
+    PARITY_MARK,
+    PARITY_RE,
+    ParityGroupSpec,
+)
+
+_MUTATORS = frozenset(
+    {"append", "add", "insert", "extend", "update", "discard", "remove",
+     "clear", "appendleft", "setdefault"}
+)
+
+_SAN_RECEIVERS = frozenset({"san", "_san", "sanitizer"})
+
+_RULES = {
+    "surface": Rule(
+        id="parity-surface",
+        pass_name="parity",
+        severity="error",
+        description=(
+            "A parity variant's call-graph closure misses observable "
+            "writes (fields / counters / metrics / sanitizer hooks / "
+            "injection sites / flight events) that a sibling variant "
+            "performs — the shadow implementation has drifted."
+        ),
+    ),
+    "unpaired": Rule(
+        id="parity-unpaired",
+        pass_name="parity",
+        severity="warning",
+        description=(
+            "A parity group with a single variant: nothing is being "
+            "compared (usually a typo in the group name, or a pair whose "
+            "twin was removed)."
+        ),
+    ),
+    "annotation": Rule(
+        id="parity-annotation",
+        pass_name="parity",
+        severity="error",
+        description=(
+            "A '# parity:' marker that does not parse as "
+            "'# parity: <group>/<variant>'."
+        ),
+    ),
+}
+
+
+class _Variant:
+    __slots__ = ("group", "name", "roots", "module", "line")
+
+    def __init__(self, group: str, name: str, roots: List[str],
+                 module: ModuleInfo, line: int) -> None:
+        self.group = group
+        self.name = name
+        self.roots = roots
+        self.module = module
+        self.line = line
+
+
+def _record_fields(ir: ProjectIR, class_names: Tuple[str, ...]) -> Set[str]:
+    """Field names of the given record classes: dataclass/annotated fields,
+    class-level assignments, and ``__slots__`` entries."""
+    fields: Set[str] = set()
+    for _name, module in sorted(ir.modules.items()):
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.ClassDef) and node.name in class_names):
+                continue
+            for st in node.body:
+                if isinstance(st, ast.AnnAssign) and isinstance(
+                    st.target, ast.Name
+                ):
+                    fields.add(st.target.id)
+                elif isinstance(st, ast.Assign):
+                    for t in st.targets:
+                        if isinstance(t, ast.Name):
+                            if t.id == "__slots__" and st.value is not None:
+                                for n in ast.walk(st.value):
+                                    if isinstance(n, ast.Constant) and isinstance(
+                                        n.value, str
+                                    ):
+                                        fields.add(n.value)
+                            else:
+                                fields.add(t.id)
+    return fields
+
+
+def _surface_of_function(
+    ir: ProjectIR,
+    fn: FunctionInfo,
+    spec: ParityGroupSpec,
+    record_fields: Set[str],
+    record_classes: Tuple[str, ...],
+    allow_self: bool,
+) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for t in targets:
+                if not isinstance(t, ast.Attribute):
+                    continue
+                attr = t.attr
+                if attr.startswith("_m_"):
+                    out.add(f"metric:{attr}")
+                elif attr in record_fields:
+                    out.add(f"field:{attr}")
+                elif (
+                    spec.self_fields
+                    and allow_self
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                ):
+                    out.add(f"self:{attr}")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                # Record-class constructor by bare name.
+                if isinstance(func, ast.Name) and func.id in record_classes:
+                    for kw in node.keywords:
+                        if kw.arg is not None and kw.arg in record_fields:
+                            out.add(f"field:{kw.arg}")
+                continue
+            attr = func.attr
+            if attr in _MUTATORS and isinstance(func.value, ast.Attribute):
+                inner = func.value.attr
+                if inner in record_fields:
+                    out.add(f"field:{inner}")
+            if attr.startswith("on_"):
+                recv = _dotted(func.value)
+                if recv is not None and recv.split(".")[-1] in _SAN_RECEIVERS:
+                    out.add(f"san:{attr}")
+            if attr == "fire" and node.args:
+                lit = node.args[0]
+                if isinstance(lit, ast.Constant) and isinstance(lit.value, str):
+                    out.add(f"inj:{lit.value}")
+            if attr == "record":
+                recv = _dotted(func.value)
+                if (
+                    recv is not None
+                    and recv.split(".")[-1] in ("flight", "_flight")
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    out.add(f"flight:{node.args[0].value}")
+    return out
+
+
+class ParityPass(AnalysisPass):
+    """Compare annotated variant pairs' observable write surfaces."""
+
+    name = "parity"
+    rules = tuple(_RULES.values())
+
+    def __init__(self, groups: Dict[str, ParityGroupSpec] = None) -> None:
+        self.groups = dict(PARITY_GROUPS if groups is None else groups)
+
+    def run(self, ir: ProjectIR) -> List[Finding]:
+        findings: List[Finding] = []
+        variants = self._collect_variants(ir, findings)
+
+        by_group: Dict[str, List[_Variant]] = {}
+        for v in variants:
+            by_group.setdefault(v.group, []).append(v)
+
+        for group in sorted(by_group):
+            members = sorted(by_group[group], key=lambda v: v.name)
+            merged: Dict[str, _Variant] = {}
+            for v in members:
+                prior = merged.get(v.name)
+                if prior is not None:
+                    prior.roots.extend(v.roots)  # multi-root variant
+                else:
+                    merged[v.name] = v
+            members = [merged[k] for k in sorted(merged)]
+            if len(members) < 2:
+                v = members[0]
+                findings.append(
+                    self.make_finding(
+                        _RULES["unpaired"], str(v.module.path), v.line, 0,
+                        f"parity group '{group}' has a single variant "
+                        f"'{v.name}' — nothing to compare against",
+                    )
+                )
+                continue
+            spec = self.groups.get(group, DEFAULT_PARITY)
+            fields = _record_fields(ir, spec.record_classes)
+            all_roots = {r for v in members for r in v.roots}
+            surfaces: Dict[str, Set[str]] = {}
+            for v in members:
+                own_roots = set(v.roots)
+                closure = self._closure(ir, v.roots, all_roots - own_roots)
+                surface: Set[str] = set()
+                for qname in closure:
+                    fn = ir.functions.get(qname)
+                    if fn is not None:
+                        # ``self:`` stores only count in the variant's own
+                        # roots — a closure that wanders into a helper class
+                        # would otherwise import that class's attributes.
+                        surface |= _surface_of_function(
+                            ir, fn, spec, fields, spec.record_classes,
+                            allow_self=qname in own_roots,
+                        )
+                surfaces[v.name] = surface - set(
+                    f"{kind}:{name}" for kind in
+                    ("field", "self", "metric", "san", "inj", "flight")
+                    for name in spec.ignore
+                )
+            union: Set[str] = set()
+            for vname in sorted(surfaces):
+                union |= surfaces[vname]
+            for v in members:
+                missing = sorted(union - surfaces[v.name])
+                if missing:
+                    findings.append(
+                        self.make_finding(
+                            _RULES["surface"], str(v.module.path), v.line, 0,
+                            f"parity group '{group}' variant '{v.name}' "
+                            f"misses surface elements present in a sibling "
+                            f"variant: {', '.join(missing)}",
+                        )
+                    )
+        return findings
+
+    # ------------------------------------------------------------ helpers
+
+    def _collect_variants(
+        self, ir: ProjectIR, findings: List[Finding]
+    ) -> List[_Variant]:
+        out: List[_Variant] = []
+        for mod_name in sorted(ir.modules):
+            module = ir.modules[mod_name]
+            lines = module.lines
+            for node in ast.walk(module.tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+                if PARITY_MARK not in line:
+                    continue
+                match = PARITY_RE.search(line)
+                if match is None:
+                    findings.append(
+                        self.make_finding(
+                            _RULES["annotation"], str(module.path),
+                            node.lineno, 0,
+                            f"malformed parity marker on '{node.name}': "
+                            f"expected '# parity: <group>/<variant>'",
+                        )
+                    )
+                    continue
+                group, variant = match.group(1), match.group(2)
+                if isinstance(node, ast.ClassDef):
+                    roots = [
+                        f.qname
+                        for f in module.classes.get(node.name, {}).values()
+                    ]
+                else:
+                    qname = self._qname_of(module, node)
+                    roots = [qname] if qname else []
+                out.append(_Variant(group, variant, roots, module, node.lineno))
+        return out
+
+    @staticmethod
+    def _qname_of(module: ModuleInfo, node: ast.AST) -> Optional[str]:
+        for _local, fn in sorted(module.functions.items()):
+            if fn.node is node:
+                return fn.qname
+        return None
+
+    @staticmethod
+    def _closure(
+        ir: ProjectIR, roots: List[str], exclude: Set[str]
+    ) -> Set[str]:
+        seen: Set[str] = set()
+        frontier = [r for r in roots if r in ir.functions]
+        while frontier:
+            qname = frontier.pop()
+            if qname in seen or qname in exclude:
+                continue
+            seen.add(qname)
+            frontier.extend(ir.call_graph.get(qname, ()))
+        return seen

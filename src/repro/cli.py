@@ -496,6 +496,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_analysis,
             sarif_to_json,
             save_baseline,
+            seeds_in_changed,
             to_sarif,
         )
         from .errors import ConfigError
@@ -537,6 +538,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "falling back to the full report",
                     file=sys.stderr,
                 )
+            else:
+                # Analysis seeds (units table, obs catalog, protocol
+                # catalog, checkpoint skip sets, allow/baseline files)
+                # parameterize findings in *other* files — a diff touching
+                # one invalidates every file's results, so restricting the
+                # report to the diff would silently hide regressions.
+                seeds = seeds_in_changed(changed)
+                if seeds:
+                    print(
+                        "lint: analysis seed(s) changed "
+                        f"({', '.join(sorted(seeds))}); "
+                        "widening --changed-only to the full report",
+                        file=sys.stderr,
+                    )
+                    changed = None
 
         report = run_analysis(
             paths,
@@ -750,19 +766,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             chaos=None if chaos.empty else chaos,
         )
         monitor = None
-        if args.watch or args.telemetry:
-            from .campaign.telemetry import CampaignMonitor
-
-            monitor = CampaignMonitor(
-                len(spec.cells),
-                path=args.telemetry,
-                stall_timeout_sec=args.stall_timeout,
-                watch=args.watch,
-                mp_safe=False,
-            )
-        ledger = RunLedger(ledger_path) if ledger_path is not None else None
+        ledger = None
         t0 = time.perf_counter()
         try:
+            # Both resources are acquired inside the guarded region so a
+            # failure acquiring the second can never strand the first.
+            if args.watch or args.telemetry:
+                from .campaign.telemetry import CampaignMonitor
+
+                monitor = CampaignMonitor(
+                    len(spec.cells),
+                    path=args.telemetry,
+                    stall_timeout_sec=args.stall_timeout,
+                    watch=args.watch,
+                    mp_safe=False,
+                )
+            if ledger_path is not None:
+                ledger = RunLedger(ledger_path)
             outcome = run_campaign(
                 spec,
                 jobs=args.jobs,
@@ -791,10 +811,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             return 2
         finally:
-            if ledger is not None:
-                ledger.close()
-            if monitor is not None:
-                monitor.close()
+            # Nested so a ledger.close() failure cannot skip the monitor
+            # teardown (which owns a feeder thread).
+            try:
+                if ledger is not None:
+                    ledger.close()
+            finally:
+                if monitor is not None:
+                    monitor.close()
         wall = time.perf_counter() - t0
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(to_ndjson(outcome.rows), encoding="utf-8")

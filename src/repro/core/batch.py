@@ -78,7 +78,7 @@ class AssembledBatch:
         return self.faults[-1].timestamp - self.faults[0].timestamp
 
 
-def assemble_batch(
+def assemble_batch(  # parity: batch-assembly/scalar
     faults: Union[Sequence[Fault], FaultArrays], num_sms: int
 ) -> AssembledBatch:
     """Preprocess fetched faults: dedup, classify, group by VABlock.
@@ -140,7 +140,9 @@ def assemble_batch(
     return batch
 
 
-def assemble_batch_soa(faults: FaultArrays, num_sms: int) -> AssembledBatch:
+def assemble_batch_soa(  # parity: batch-assembly/soa
+    faults: FaultArrays, num_sms: int
+) -> AssembledBatch:
     """Vectorized :func:`assemble_batch` over parallel fault columns.
 
     The scalar loop's dict-of-sets bookkeeping becomes mask algebra:

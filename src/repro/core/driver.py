@@ -287,9 +287,9 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, hinted=True)
         self._batch_id += 1
         record.t_start = self.clock.now
-        self.flight.record("batch.open", record.batch_id, "migrate")
-        self.san.on_batch_start(self, record)
         try:
+            self.flight.record("batch.open", record.batch_id, "migrate")
+            self.san.on_batch_start(self, record)
             by_block: Dict[int, List[int]] = {}
             for page in sorted(set(pages)):
                 by_block.setdefault(vablock_of_page(page), []).append(page)
@@ -342,9 +342,9 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, hinted=True)
         self._batch_id += 1
         record.t_start = self.clock.now
-        self.flight.record("batch.open", record.batch_id, "advise")
-        self.san.on_batch_start(self, record)
         try:
+            self.flight.record("batch.open", record.batch_id, "advise")
+            self.san.on_batch_start(self, record)
             self._advise_accessed_by(record, pages)
         except UvmError:
             # Fail-fast DMA exhaustion raises out of the hinted batch; close
@@ -433,9 +433,9 @@ class UvmDriver:
         record = BatchRecord(batch_id=self._batch_id, slept_before=slept)
         self._batch_id += 1
         record.t_start = self.clock.now
-        self.flight.record("batch.open", record.batch_id, "fault")
-        self.san.on_batch_start(self, record)
         try:
+            self.flight.record("batch.open", record.batch_id, "fault")
+            self.san.on_batch_start(self, record)
             outcome = self._service_batch_body(record, slept)
         except UvmError:
             # Fail-fast retry exhaustion (or any mid-service failure) must

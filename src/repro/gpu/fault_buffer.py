@@ -17,7 +17,7 @@ from typing import Deque, List, Sequence, Tuple
 from .fault import AccessType, Fault, FaultArrays
 
 
-class FaultBuffer:
+class FaultBuffer:  # parity: fault-buffer/object
     """Bounded FIFO of :class:`Fault` entries with drop-on-overflow.
 
     The lifetime counters satisfy the conservation identity UVMSan checks
@@ -59,9 +59,9 @@ class FaultBuffer:
         self.total_injected = 0
         self.total_injector_dropped = 0
         #: Attached UVMSan checker, or None (the common, zero-cost case).
-        self._san = None
+        self._san = None  # snapshot: skip
         #: Attached fault injector, or None (the common, zero-cost case).
-        self._inj = None
+        self._inj = None  # snapshot: skip
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -151,7 +151,7 @@ class FaultBuffer:
         return f"FaultBuffer({len(self._entries)}/{self.capacity})"
 
 
-class SoaFaultBuffer:
+class SoaFaultBuffer:  # parity: fault-buffer/soa
     """Structure-of-arrays drop-in for :class:`FaultBuffer` (``REPRO_SOA``).
 
     Entries live in a :class:`FaultArrays` (flat interleaved record list plus
@@ -188,8 +188,8 @@ class SoaFaultBuffer:
         self.total_flush_dropped = 0
         self.total_injected = 0
         self.total_injector_dropped = 0
-        self._san = None
-        self._inj = None
+        self._san = None  # snapshot: skip
+        self._inj = None  # snapshot: skip
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import shutil
 from pathlib import Path
 from typing import Optional, Union
 
@@ -70,6 +72,31 @@ def _dump_json(path: Path, payload) -> None:
     )
 
 
+def _finalize_bundle(directory: Path, manifest: dict) -> None:
+    """Land ``manifest.json`` atomically — the write that *makes* the
+    directory a bundle.
+
+    :func:`read_manifest` (and ``uvm-repro analyze``) key off the manifest,
+    so it must appear whole or not at all: a crash mid-write must not leave
+    a truncated manifest that parses as garbage or half a bundle that looks
+    finished.  Everything else in the directory is written first; this
+    rename is the commit point.
+    """
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    try:
+        tmp.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, directory / MANIFEST_NAME)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def unique_bundle_dir(base: Union[str, Path], name: str) -> Path:
     """``base/name``, suffixed ``-2``, ``-3``, ... if already taken."""
     base = Path(base)
@@ -96,7 +123,24 @@ def write_bundle(
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=False)
+    try:
+        manifest = _write_bundle_contents(directory, engine, error, label)
+        _finalize_bundle(directory, manifest)
+    except BaseException:
+        # A failure partway through (disk full, unpicklable RNG state, …)
+        # must not leave a half-written directory that analyze mistakes
+        # for a bundle — remove the whole thing and let the error out.
+        shutil.rmtree(directory, ignore_errors=True)
+        raise
+    return directory
 
+
+def _write_bundle_contents(
+    directory: Path,
+    engine,
+    error: Optional[BaseException],
+    label: str,
+) -> dict:
     obs = engine.obs
     flight = obs.flight
     config = engine.config
@@ -150,8 +194,7 @@ def write_bundle(
             "spans": SPANS_NAME,
         },
     }
-    _dump_json(directory / MANIFEST_NAME, manifest)
-    return directory
+    return manifest
 
 
 def read_manifest(bundle_dir: Union[str, Path]) -> dict:

@@ -205,7 +205,7 @@ class Engine:
                 ce.attach_flight(self.flight)
         #: Where the latest crash bundle landed (None until a crash writes
         #: one; see :meth:`_capture_bundle`).
-        self.last_bundle = None
+        self.last_bundle = None  # snapshot: skip — diagnostics, not sim state
         metrics = self.obs.metrics
         self._m_kernels = metrics.counter("uvm_kernels_total", "Kernel launches run")
         self._m_kernel_usec = metrics.histogram(
@@ -254,7 +254,7 @@ class Engine:
         #: In-flight launch state (checkpointable); None outside a launch.
         self._progress: Optional[LaunchProgress] = None
         #: Latest auto-checkpoint (crash-recovery restore target).
-        self._auto_checkpoint = None
+        self._auto_checkpoint = None  # snapshot: skip — the checkpoint itself
         #: Test/tooling hooks called as ``hook(engine, batch_id)`` after
         #: every serviced batch (checkpoint property tests attach here).
         self._batch_hooks: List[Callable[["Engine", int], None]] = []

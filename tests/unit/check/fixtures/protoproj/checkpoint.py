@@ -1,0 +1,17 @@
+"""Fixture checkpoint module: activates the snapshot-coverage pass.
+
+``_SKIP_COMMON`` seeds one stale entry (``ghost`` is assigned nowhere in
+the package — VIOLATION snapshot-stale-skip); ``_SKIP_EXTRA``'s
+``extra_buf`` IS assigned (in :mod:`.gmmu`) so only one stale finding may
+appear.
+"""
+
+_SKIP_COMMON = frozenset({"_wire", "ghost"})
+
+_SKIP_EXTRA = {"gmmu": {"extra_buf"}}
+
+_ENGINE_ATTRS = ("clock", "steps")
+
+
+def capture(engine):
+    return {"clock": engine.clock, "steps": engine.steps}

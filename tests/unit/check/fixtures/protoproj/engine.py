@@ -1,0 +1,18 @@
+"""Fixture engine: the attr-list class the snapshot pass audits."""
+
+
+class Engine:
+    def __init__(self):
+        self.clock = 0
+        self.steps = 0  # snapshot: skip
+        self.drift = 0
+        self._wire = None
+
+    def step(self):
+        self.clock += 1
+        # VIOLATION snapshot-skip-drift: ``steps`` is annotated skip in
+        # __init__ yet captured verbatim by _ENGINE_ATTRS.
+        self.steps += 1
+        # VIOLATION snapshot-uncaptured: ``drift`` is mutated here but is
+        # in no capture list, no skip set, and carries no annotation.
+        self.drift += 1

@@ -1,0 +1,14 @@
+"""Fixture component class (named in ``SnapshotSpec.component_classes``)."""
+
+
+class Gmmu:
+    def __init__(self):
+        self.extra_buf = []
+        self._wire = None  # snapshot: skip
+        # VIOLATION snapshot-skip-drift: ``_hook`` claims skip but no skip
+        # set excludes it — generic capture still pickles it.
+        self._hook = None  # snapshot: skip
+
+    def translate(self, page):
+        self.extra_buf.append(page)
+        return page

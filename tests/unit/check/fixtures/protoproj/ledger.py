@@ -1,0 +1,22 @@
+"""sqlite-conn protocol: ``sqlite3.connect`` must reach ``.close()`` on
+every path.  Scope matches on the module name ``ledger``."""
+
+import sqlite3
+
+
+def count_rows(path):
+    """VIOLATION lifecycle-exception-leak: ``execute`` raising (bad SQL,
+    locked database) escapes with the connection open."""
+    conn = sqlite3.connect(path)
+    n = conn.execute("select count(*) from runs").fetchone()[0]
+    conn.close()
+    return n
+
+
+def count_rows_clean(path):
+    """Clean: try/finally covers the risky statements."""
+    conn = sqlite3.connect(path)
+    try:
+        return conn.execute("select count(*) from runs").fetchone()[0]
+    finally:
+        conn.close()

@@ -1,0 +1,25 @@
+"""Parity fixtures: an annotated pair with drifted surfaces, a lonely
+variant, and a marker that does not parse."""
+
+
+def push_scalar(buf, san, inj, n):  # parity: push/scalar
+    buf.total += n
+    san.on_push(buf)
+    inj.fire("push.overflow")
+    return n
+
+
+def push_soa(buf, san, inj, n):  # parity: push/soa
+    # VIOLATION parity-surface: misses san:on_push and inj:push.overflow.
+    buf.total += n
+    return n
+
+
+def lonely(x):  # parity: orphan/only
+    # VIOLATION parity-unpaired: no sibling variant to compare against.
+    return x
+
+
+def broken(x):  # parity: nonsense
+    # VIOLATION parity-annotation: marker has no <group>/<variant> shape.
+    return x

@@ -1,0 +1,51 @@
+"""campaign-monitor protocol: acquire via ``CampaignMonitor(...)``,
+release via ``.close()``.  Scope matches on the module name ``runner``."""
+
+
+class CampaignMonitor:
+    def __init__(self, cells):
+        self.cells = cells
+
+    def poll(self):
+        pass
+
+    def close(self):
+        pass
+
+
+def forget_close(cells):
+    """VIOLATION lifecycle-leak: falls off the end with the monitor open."""
+    mon = CampaignMonitor(cells)
+    return 0
+
+
+def close_not_guarded(cells, sink):
+    """VIOLATION lifecycle-exception-leak: ``sink.flush()`` raising skips
+    the close."""
+    mon = CampaignMonitor(cells)
+    sink.flush()
+    mon.close()
+    return 0
+
+
+def clean_finally(cells, sink):
+    """Clean: the finally guarantees the close on every path."""
+    mon = CampaignMonitor(cells)
+    try:
+        sink.flush()
+    finally:
+        mon.close()
+    return 0
+
+
+def clean_guarded_none(cells, sink):
+    """Clean: conditional acquisition, close guarded on the resource."""
+    mon = None
+    try:
+        if cells:
+            mon = CampaignMonitor(cells)
+        sink.flush()
+    finally:
+        if mon is not None:
+            mon.close()
+    return 0

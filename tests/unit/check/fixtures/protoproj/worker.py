@@ -1,0 +1,28 @@
+"""atomic-temp protocol: a ``*.tmp`` path must reach ``os.replace`` /
+``os.unlink`` on every path.  Scope matches on the module name ``worker``."""
+
+import os
+
+
+def write_state(path, blob):
+    """VIOLATION lifecycle-exception-leak: a failed write strands the
+    temp file (and the next writer's rename may land stale bytes)."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+    os.replace(tmp, path)
+
+
+def write_state_clean(path, blob):
+    """Clean: the temp file is removed on the failure path."""
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

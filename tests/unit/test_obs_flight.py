@@ -161,7 +161,7 @@ class TestHistogramQuantiles:
 # ------------------------------------------------------------------ bundles
 
 
-def _crash_engine(tmp_path, seed=0):
+def _crash_engine(tmp_path, seed=0, bundle_dir=None):
     """A small crashed run with bundles armed; returns (engine, error)."""
     from repro.api import UvmSystem
     from repro.errors import InjectedCrash
@@ -175,7 +175,9 @@ def _crash_engine(tmp_path, seed=0):
     cfg.inject.sites = {"engine.crash": {"at_batch": 3}}
     cfg.inject.crash_recovery = False
     cfg.inject.checkpoint_every = 2
-    cfg.obs.bundle_dir = str(tmp_path / "bundles")
+    cfg.obs.bundle_dir = (
+        str(tmp_path / "bundles") if bundle_dir is None else bundle_dir
+    )
     system = UvmSystem(cfg)
     with pytest.raises(InjectedCrash) as excinfo:
         WORKLOAD_REGISTRY["stream"]().run(system)
@@ -243,3 +245,76 @@ class TestBundleWriter:
         target.mkdir()
         with pytest.raises(OSError):
             write_bundle(target, small_system.engine)
+
+
+class TestBundleRobustness:
+    """A bundle write that cannot finish must leave nothing that looks
+    like a bundle — and must never mask the crash it was documenting."""
+
+    @staticmethod
+    def _failing_dump(bundle_mod):
+        real = bundle_mod._dump_json
+
+        def failing(path, payload):
+            if path.name == bundle_mod.METRICS_NAME:
+                raise OSError(28, "No space left on device")
+            real(path, payload)
+
+        return failing
+
+    def test_unwritable_bundle_dir_degrades_cleanly(self, tmp_path):
+        # A regular file where the bundle root's parent should be makes
+        # mkdir fail for any uid (a read-only dir would not stop root).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        engine, _ = _crash_engine(
+            tmp_path, bundle_dir=str(blocker / "bundles")
+        )
+        assert engine.last_bundle is None
+        assert blocker.is_file()  # nothing was created or clobbered
+
+    def test_midwrite_failure_removes_partial_bundle(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.obs.bundle as bundle_mod
+
+        engine, error = _crash_engine(tmp_path)
+        monkeypatch.setattr(
+            bundle_mod, "_dump_json", self._failing_dump(bundle_mod)
+        )
+        target = tmp_path / "ondemand"
+        with pytest.raises(OSError):
+            bundle_mod.write_bundle(target, engine, error)
+        assert not target.exists()
+        assert not is_bundle_dir(target)
+
+    def test_engine_swallows_midwrite_failure(self, tmp_path, monkeypatch):
+        import repro.obs.bundle as bundle_mod
+
+        monkeypatch.setattr(
+            bundle_mod, "_dump_json", self._failing_dump(bundle_mod)
+        )
+        engine, _ = _crash_engine(tmp_path)
+        assert engine.last_bundle is None
+        root = tmp_path / "bundles"
+        # The crash directory was rolled back; no half-bundle survives.
+        assert not root.exists() or list(root.iterdir()) == []
+
+    def test_manifest_lands_atomically(self, tmp_path, small_system,
+                                       monkeypatch):
+        import repro.obs.bundle as bundle_mod
+        from repro.workloads import WORKLOAD_REGISTRY
+
+        WORKLOAD_REGISTRY["vecadd"]().run(small_system)
+
+        def fail_finalize(directory, manifest):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(bundle_mod, "_finalize_bundle", fail_finalize)
+        target = tmp_path / "snap"
+        with pytest.raises(OSError):
+            bundle_mod.write_bundle(target, small_system.engine)
+        # Every other file was already written, yet without a manifest the
+        # directory must not read back as a bundle.
+        assert not is_bundle_dir(target)
+        assert not target.exists()
